@@ -1,0 +1,162 @@
+// Command repro runs the paper's experiments and prints each table and
+// figure in text form.
+//
+// Usage:
+//
+//	repro -experiment all            # everything (default)
+//	repro -experiment fig10          # one experiment
+//	repro -experiment fig5,fig6      # several
+//	repro -quick                     # reduced workload sizes
+//	repro -list                      # show available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+type experiment struct {
+	id    string
+	title string
+	run   func(quick bool) string
+}
+
+func asText(r *bench.Result) string { return r.Format() }
+
+func experiments() []experiment {
+	return []experiment{
+		{"fig5", "Boot time, synchronous toolstack", func(q bool) string {
+			mems := bench.DefaultBootMems
+			if q {
+				mems = []int{64, 512, 3072}
+			}
+			return asText(bench.Fig5BootTime(mems))
+		}},
+		{"fig6", "VM startup, asynchronous toolstack", func(q bool) string {
+			return asText(bench.Fig6BootAsync(nil))
+		}},
+		{"fig7a", "Thread construction time", func(q bool) string {
+			counts := bench.DefaultThreadCounts
+			if q {
+				counts = []int{1_000_000, 5_000_000}
+			}
+			return asText(bench.Fig7aThreads(counts))
+		}},
+		{"fig7b", "Wakeup jitter CDF", func(q bool) string {
+			n := 1_000_000
+			if q {
+				n = 200_000
+			}
+			r, stats := bench.Fig7bJitter(n)
+			out := asText(r)
+			for _, s := range stats {
+				out += fmt.Sprintf("note: %s p50=%v p90=%v p99=%v max=%v\n", s.Name, s.P50, s.P90, s.P99, s.Max)
+			}
+			return out
+		}},
+		{"ping", "ICMP flood-ping latency", func(q bool) string {
+			n := 100_000
+			if q {
+				n = 5_000
+			}
+			return asText(bench.PingLatency(n))
+		}},
+		{"fig8", "TCP throughput table", func(q bool) string {
+			bytes := 16 << 20
+			if q {
+				bytes = 2 << 20
+			}
+			return asText(bench.Fig8TCP(bytes))
+		}},
+		{"fig9", "Random block read throughput", func(q bool) string {
+			sizes, reqs := bench.DefaultBlockSizes, 1024
+			if q {
+				sizes, reqs = []int{4, 64, 1024, 4096}, 256
+			}
+			return asText(bench.Fig9BlockRead(sizes, reqs))
+		}},
+		{"fig10", "DNS throughput vs zone size", func(q bool) string {
+			zones, queries := bench.DefaultZoneSizes, 50_000
+			if q {
+				zones, queries = []int{100, 1000, 10000}, 5_000
+			}
+			return asText(bench.Fig10DNS(zones, queries))
+		}},
+		{"fig11", "OpenFlow controller throughput", func(q bool) string {
+			n := 200_000
+			if q {
+				n = 50_000
+			}
+			return asText(bench.Fig11OpenFlow(n))
+		}},
+		{"fig12", "Dynamic web appliance", func(q bool) string {
+			return asText(bench.Fig12DynWeb(nil))
+		}},
+		{"fig13", "Static page serving", func(q bool) string {
+			return asText(bench.Fig13StaticWeb())
+		}},
+		{"fig14", "Lines of code", func(q bool) string {
+			return asText(bench.Fig14LoC())
+		}},
+		{"table1", "System facilities (libraries)", func(q bool) string {
+			return bench.Table1Facilities()
+		}},
+		{"table2", "Image sizes", func(q bool) string {
+			return asText(bench.Table2Sizes())
+		}},
+		{"ablations", "Design-choice ablations", func(q bool) string {
+			n := 5000
+			if q {
+				n = 1000
+			}
+			return asText(bench.AblationSeal()) +
+				asText(bench.AblationVchan()) +
+				asText(bench.AblationDNSCompression(0)) +
+				asText(bench.AblationToolstack(4, 256)) +
+				asText(bench.AblationZeroCopy(n))
+		}},
+	}
+}
+
+func main() {
+	which := flag.String("experiment", "all", "comma-separated experiment ids, or 'all'")
+	quick := flag.Bool("quick", false, "reduced workload sizes")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	exps := experiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-10s %s\n", e.id, e.title)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*which, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	ran := 0
+	for _, e := range exps {
+		if !want["all"] && !want[e.id] {
+			continue
+		}
+		fmt.Print(e.run(*quick))
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		var ids []string
+		for _, e := range exps {
+			ids = append(ids, e.id)
+		}
+		sort.Strings(ids)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %s\n", *which, strings.Join(ids, " "))
+		os.Exit(2)
+	}
+}

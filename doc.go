@@ -1,0 +1,9 @@
+// Package repro is a Go reproduction of "Unikernels: Library Operating
+// Systems for the Cloud" (Madhavapeddy et al., ASPLOS 2013): a simulated
+// Xen platform, a complete Mirage-style library operating system (device
+// drivers, clean-slate TCP/IP, DNS/HTTP/OpenFlow, storage), the unikernel
+// build toolchain with dead-code elimination and compile-time ASR, the
+// seal hypercall, and the conventional-OS baselines — plus a benchmark
+// harness that regenerates every table and figure of the paper's
+// evaluation. See README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

@@ -1,0 +1,86 @@
+// Micro-reboot example (§4.1.1): sub-50ms unikernel startup "mitigates the
+// concern that redeployment by reconfiguration is too heavyweight, as well
+// as opening up the possibility of regular micro-reboots". This example
+// cycles a DNS appliance through repeated generations — each one freshly
+// relinked with a new address-space layout (§2.3.4), built on the parallel
+// toolstack, booted, serving, and retired — and reports the cycle times.
+//
+//	go run ./examples/microreboot
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/build"
+	"repro/internal/core"
+	"repro/internal/cstruct"
+	"repro/internal/dns"
+	"repro/internal/ipv4"
+	"repro/internal/netstack"
+)
+
+var mask = ipv4.AddrFrom4(255, 255, 255, 0)
+
+const generations = 5
+
+func main() {
+	pl := core.NewPlatform(77)
+	zone := dns.SyntheticZone("example.org", 100)
+
+	var deps []*core.Deployment
+	var entries []uint64
+	for gen := 0; gen < generations; gen++ {
+		gen := gen
+		dep := pl.Deploy(core.Unikernel{
+			Build:  build.DNSAppliance([]byte("$ORIGIN example.org.\n")),
+			Memory: 64 << 20,
+			Main: func(env *core.Env) int {
+				srv := dns.NewServer(zone, true)
+				env.Net.UDP.Bind(53, func(src ipv4.Addr, sp uint16, data *cstruct.View) {
+					resp, cost := srv.Handle(append([]byte(nil), data.Bytes()...))
+					data.Release()
+					env.VM.Dom.VCPU.Reserve(cost)
+					if resp != nil {
+						env.Net.SendUDP(src, sp, 53, resp)
+					}
+				})
+				env.VM.Dom.SignalReady()
+				// Serve one generation's worth of time, then retire: the
+				// VM shuts down when main returns (§3.3).
+				return env.VM.Main(env.P, env.VM.S.Sleep(200*time.Millisecond))
+			},
+		}, core.DeployOpts{
+			ParallelToolstack: true,
+			Delay:             time.Duration(gen) * 300 * time.Millisecond,
+			Net: &netstack.Config{
+				MAC: core.MAC(byte(10 + gen)), IP: ipv4.AddrFrom4(10, 0, 0, 53), Netmask: mask,
+			},
+		})
+		deps = append(deps, dep)
+	}
+
+	if _, err := pl.RunFor(time.Duration(generations)*300*time.Millisecond + time.Second); err != nil {
+		log.Fatal(err)
+	}
+	if err := pl.Check(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("micro-reboot generations (parallel toolstack):")
+	for i, d := range deps {
+		dom := d.Domain
+		bootReady := dom.BootedAt.Sub(dom.CreatedAt)
+		fmt.Printf("  gen %d: boot-to-ready (after build) %7v  served until retired (exit=%d, sealed layout entry %#x)\n",
+			i, bootReady.Round(time.Microsecond), dom.ExitCode, d.Image.Entry)
+		entries = append(entries, d.Image.Entry)
+	}
+	distinct := map[uint64]bool{}
+	for _, e := range entries {
+		distinct[e] = true
+	}
+	fmt.Printf("\n%d generations, %d distinct address-space layouts (compile-time ASR, §2.3.4)\n",
+		generations, len(distinct))
+	fmt.Println("each reboot is a fresh image: code not present at compile time can never run (§2.3.3)")
+}

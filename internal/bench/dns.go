@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/conventional"
+	"repro/internal/dns"
+)
+
+// DefaultZoneSizes are the Figure 10 x-axis zone sizes (entries).
+var DefaultZoneSizes = []int{100, 300, 1000, 3000, 10000}
+
+// Fig10DNS regenerates Figure 10: authoritative DNS throughput against
+// zone size for BIND9, NSD, NSD-in-MiniOS (-O and -O3), and Mirage with
+// and without response memoization. The Mirage lines run the real server
+// (wire parse, zone lookup, compression, encode) under a queryperf-style
+// random query stream; the baselines combine the same real zone lookups
+// with their measured cost profiles.
+func Fig10DNS(zoneSizes []int, queriesPerPoint int) *Result {
+	if zoneSizes == nil {
+		zoneSizes = DefaultZoneSizes
+	}
+	if queriesPerPoint == 0 {
+		queriesPerPoint = 20_000
+	}
+	r := &Result{
+		ID:     "fig10",
+		Title:  "DNS server throughput vs zone size",
+		XLabel: "zone size (entries)",
+		YLabel: "kqueries/s",
+		Notes: []string{
+			"paper: BIND ~55 kq/s, NSD ~70 kq/s, Mirage no-memo ~40 kq/s, Mirage memo 75-80 kq/s, NSD-MiniOS far lower",
+			"the memoization patch was ~20 lines and roughly doubled throughput (§4.2)",
+		},
+	}
+
+	profiles := []conventional.DNSProfile{
+		conventional.Bind9Profile(),
+		conventional.NSDProfile(),
+		conventional.NSDMiniOSProfile(false),
+		conventional.NSDMiniOSProfile(true),
+	}
+	for _, pr := range profiles {
+		s := Series{Name: pr.Name}
+		for _, n := range zoneSizes {
+			qps := 1.0 / pr.CostPerQuery(n).Seconds()
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, qps/1e3)
+		}
+		r.Series = append(r.Series, s)
+	}
+
+	for _, memo := range []bool{false, true} {
+		name := "mirage-no-memo"
+		if memo {
+			name = "mirage-memo"
+		}
+		s := Series{Name: name}
+		for _, n := range zoneSizes {
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, mirageDNSThroughput(n, memo, queriesPerPoint)/1e3)
+		}
+		r.Series = append(r.Series, s)
+	}
+	return r
+}
+
+// mirageDNSThroughput runs the real Mirage DNS server against a queryperf
+// stream over a zone of n entries and returns queries/s: the server is
+// CPU-bound, so throughput is the reciprocal of the mean per-query cost
+// (parse + lookup + compression/encode, or memo hit).
+func mirageDNSThroughput(zoneEntries int, memo bool, queries int) float64 {
+	zone := dns.SyntheticZone("bench.local", zoneEntries)
+	srv := dns.NewServer(zone, memo)
+	rng := rand.New(rand.NewSource(int64(zoneEntries)))
+	if memo {
+		// Steady state: queryperf sustains load long enough that every
+		// name is memoized; warm the cache outside the measurement.
+		for i := 0; i < zoneEntries; i++ {
+			srv.Handle(dns.EncodeQuery(uint16(i), fmt.Sprintf("host-%d.bench.local", i), dns.TypeA))
+		}
+	}
+	var total time.Duration
+	for i := 0; i < queries; i++ {
+		host := rng.Intn(zoneEntries)
+		q := dns.EncodeQuery(uint16(i), fmt.Sprintf("host-%d.bench.local", host), dns.TypeA)
+		resp, cost := srv.Handle(q)
+		if resp == nil {
+			panic("dns bench: query failed")
+		}
+		total += cost
+	}
+	mean := total / time.Duration(queries)
+	return 1.0 / mean.Seconds()
+}
+
+// AblationDNSCompression compares the naive hashtable label compressor
+// against the size-first functional map on a hostile workload where many
+// names share lengths (the §4.2 hash-collision DoS concern) and reports
+// ordering comparisons saved. Both strategies must produce identical wire
+// output; the ~20% speedup in the paper came from the cheap length-first
+// comparison.
+func AblationDNSCompression(answers int) *Result {
+	if answers == 0 {
+		answers = 20
+	}
+	m := dns.Message{ID: 1, Flags: dns.FlagResponse}
+	for i := 0; i < answers; i++ {
+		m.Answers = append(m.Answers, dns.RR{
+			Name: fmt.Sprintf("host-%04d.sub.bench.local", i),
+			Type: dns.TypeA, Class: dns.ClassIN, TTL: 60, Data: "10.0.0.1",
+		})
+	}
+	tree := dns.NewTreeCompressor()
+	enc1 := dns.EncodeMessage(m, tree)
+	hash := dns.NewHashCompressor()
+	enc2 := dns.EncodeMessage(m, hash)
+	identical := string(enc1) == string(enc2)
+
+	return &Result{
+		ID:     "ablation-dns-compression",
+		Title:  "Label compression: functional map vs hashtable",
+		XLabel: "strategy",
+		YLabel: "message bytes",
+		Series: []Series{
+			{Name: "tree(size-first)", X: []float64{0}, Y: []float64{float64(len(enc1))}},
+			{Name: "hashtable", X: []float64{1}, Y: []float64{float64(len(enc2))}},
+		},
+		Notes: []string{
+			fmt.Sprintf("identical output: %v; tree comparisons: %d (most decided by length alone)", identical, tree.Comparisons),
+			"the functional map also removes the hash-collision denial of service (§4.2)",
+		},
+	}
+}
+
+// CompressionWorkload builds the message used by the label-compression
+// benchmarks: many answers sharing suffixes, as a zone transfer would.
+func CompressionWorkload(answers int) dns.Message {
+	m := dns.Message{ID: 1, Flags: dns.FlagResponse}
+	for i := 0; i < answers; i++ {
+		m.Answers = append(m.Answers, dns.RR{
+			Name: fmt.Sprintf("host-%04d.sub.bench.local", i),
+			Type: dns.TypeA, Class: dns.ClassIN, TTL: 60, Data: "10.0.0.1",
+		})
+	}
+	return m
+}

@@ -1,0 +1,256 @@
+// Package blkback models the block backend of the driver domain (paper
+// §3.5.2): an SSD device with internal channel parallelism and a shared
+// bus, plus a per-guest VBD backend that drains the guest's request ring.
+// There is no buffer cache anywhere on this path — all requests go direct
+// to the device, which is the unikernel storage discipline ("the only
+// built-in policy is that all writes are guaranteed to be direct").
+package blkback
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cstruct"
+	"repro/internal/grant"
+	"repro/internal/hypervisor"
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// SectorSize is the device sector size.
+const SectorSize = 512
+
+// SectorsPerPage is how many sectors fit one I/O page.
+const SectorsPerPage = cstruct.PageSize / SectorSize
+
+// SSDParams model a fast PCIe SSD (the paper's Figure 9 device peaks around
+// 1.6 GB/s on direct I/O).
+type SSDParams struct {
+	Channels     int           // internal parallelism
+	ReadLatency  time.Duration // per-request channel occupancy
+	WriteLatency time.Duration
+	BusGBps      float64 // shared-bus bandwidth in GB/s (bounds aggregate throughput)
+}
+
+// DefaultSSDParams returns parameters calibrated to Figure 9's envelope.
+func DefaultSSDParams() SSDParams {
+	return SSDParams{
+		Channels:     4,
+		ReadLatency:  60 * time.Microsecond,
+		WriteLatency: 80 * time.Microsecond,
+		BusGBps:      1.6,
+	}
+}
+
+// SSD is the device model plus its backing store.
+type SSD struct {
+	K        *sim.Kernel
+	Params   SSDParams
+	channels []sim.Time // per-channel busy-until
+	bus      *sim.CPU
+
+	data map[uint64][]byte // sector -> 512 bytes
+
+	// Stats
+	Reads, Writes int
+	BytesMoved    int
+}
+
+// NewSSD creates an SSD with the given parameters.
+func NewSSD(k *sim.Kernel, p SSDParams) *SSD {
+	if p.Channels <= 0 {
+		p.Channels = 1
+	}
+	d := &SSD{
+		K:        k,
+		Params:   p,
+		channels: make([]sim.Time, p.Channels),
+		bus:      k.NewCPU("ssd-bus"),
+		data:     map[uint64][]byte{},
+	}
+	return d
+}
+
+// Submit schedules a request of n bytes starting at sector and returns the
+// virtual instant it completes. Channel parallelism lets small requests
+// overlap; the shared bus bounds aggregate bandwidth.
+func (d *SSD) Submit(sector uint64, n int, write bool) sim.Time {
+	lat := d.Params.ReadLatency
+	if write {
+		lat = d.Params.WriteLatency
+		d.Writes++
+	} else {
+		d.Reads++
+	}
+	d.BytesMoved += n
+	// Earliest-free channel.
+	best := 0
+	for i, t := range d.channels {
+		if t < d.channels[best] {
+			best = i
+		}
+	}
+	start := d.K.Now()
+	if d.channels[best] > start {
+		start = d.channels[best]
+	}
+	chanDone := start.Add(lat)
+	d.channels[best] = chanDone
+	// Bus transfer serialises across channels.
+	busDone := d.bus.Reserve(time.Duration(float64(n) / d.Params.BusGBps))
+	if busDone > chanDone {
+		return busDone
+	}
+	return chanDone
+}
+
+// ReadSector returns the 512 bytes at sector (zeroes if never written).
+func (d *SSD) ReadSector(sector uint64) []byte {
+	if b, ok := d.data[sector]; ok {
+		return b
+	}
+	return make([]byte, SectorSize)
+}
+
+// WriteSector stores 512 bytes at sector.
+func (d *SSD) WriteSector(sector uint64, b []byte) {
+	buf := make([]byte, SectorSize)
+	copy(buf, b)
+	d.data[sector] = buf
+}
+
+// Ring slot encoding for block requests/responses (little-endian):
+//
+// request:  op u8 | sectors u8 | gref u32 (offset 4) | sector u64 (offset 8) | id u16 (offset 16)
+// response: id u16 | status u8
+const (
+	opRead  = 0
+	opWrite = 1
+
+	bOffOp     = 0
+	bOffCount  = 1
+	bOffGref   = 4
+	bOffSector = 8
+	bOffID     = 16
+	bOffStatus = 2
+)
+
+// EncodeReq writes a block request into a ring slot.
+func EncodeReq(s *cstruct.View, write bool, sectors uint8, gref uint32, sector uint64, id uint16) {
+	op := uint8(opRead)
+	if write {
+		op = opWrite
+	}
+	s.PutU8(bOffOp, op)
+	s.PutU8(bOffCount, sectors)
+	s.PutLE32(bOffGref, gref)
+	s.PutLE64(bOffSector, sector)
+	s.PutLE16(bOffID, id)
+}
+
+// DecodeReq reads a block request.
+func DecodeReq(s *cstruct.View) (write bool, sectors uint8, gref uint32, sector uint64, id uint16) {
+	return s.U8(bOffOp) == opWrite, s.U8(bOffCount), s.LE32(bOffGref), s.LE64(bOffSector), s.LE16(bOffID)
+}
+
+// EncodeRsp writes a block response.
+func EncodeRsp(s *cstruct.View, id uint16, ok bool) {
+	s.PutLE16(bOffID, id)
+	if ok {
+		s.PutU8(bOffStatus, 1)
+	} else {
+		s.PutU8(bOffStatus, 0)
+	}
+}
+
+// DecodeRsp reads a block response.
+func DecodeRsp(s *cstruct.View) (id uint16, ok bool) {
+	return s.LE16(bOffID), s.U8(bOffStatus) == 1
+}
+
+// VBD is the backend half of a virtual block device for one guest.
+type VBD struct {
+	ssd   *SSD
+	guest *hypervisor.Domain
+	back  *ring.Back
+	port  *hypervisor.Port
+
+	// Requests counts ring requests served.
+	Requests int
+	Errors   int
+}
+
+// NewVBD attaches a backend over the guest's shared ring page and spawns
+// its worker.
+func NewVBD(ssd *SSD, guest *hypervisor.Domain, ringPage *cstruct.View, port *hypervisor.Port) *VBD {
+	v := &VBD{ssd: ssd, guest: guest, back: ring.NewBack(ringPage), port: port}
+	ssd.K.SpawnDaemon(fmt.Sprintf("blkback-dom%d", guest.ID), v.worker)
+	return v
+}
+
+// worker drains request batches and submits them all to the device before
+// any completes, so requests in the ring overlap on the SSD's channels.
+// Responses are pushed (possibly out of request order) as the device
+// finishes each one.
+func (v *VBD) worker(p *sim.Proc) {
+	for {
+		progressed := false
+		for {
+			var write bool
+			var sectors uint8
+			var gref uint32
+			var sector uint64
+			var id uint16
+			if !v.back.PopRequest(func(s *cstruct.View) {
+				write, sectors, gref, sector, id = DecodeReq(s)
+			}) {
+				break
+			}
+			progressed = true
+			v.Requests++
+			v.submit(write, sectors, gref, sector, id)
+		}
+		if !progressed {
+			if raced := v.back.EnableRequestEvents(); raced {
+				continue
+			}
+			p.Wait(v.port.Sig)
+		}
+	}
+}
+
+// submit performs the data movement, books device time, and schedules the
+// ring response at the device completion instant.
+func (v *VBD) submit(write bool, sectors uint8, gref uint32, sector uint64, id uint16) {
+	ok := int(sectors) > 0 && int(sectors) <= SectorsPerPage
+	var done sim.Time
+	if ok {
+		n := int(sectors) * SectorSize
+		done = v.ssd.Submit(sector, n, write)
+		page, err := v.guest.Grants.Map(grant.Ref(gref))
+		if err != nil {
+			ok = false
+		} else {
+			if write {
+				for i := 0; i < int(sectors); i++ {
+					v.ssd.WriteSector(sector+uint64(i), page.Slice(i*SectorSize, SectorSize))
+				}
+			} else {
+				for i := 0; i < int(sectors); i++ {
+					page.PutBytes(i*SectorSize, v.ssd.ReadSector(sector+uint64(i)))
+				}
+			}
+			v.guest.Grants.Unmap(grant.Ref(gref), page)
+		}
+	}
+	if !ok {
+		v.Errors++
+		done = v.ssd.K.Now()
+	}
+	v.ssd.K.At(done, func() {
+		v.back.PushResponse(func(s *cstruct.View) { EncodeRsp(s, id, ok) })
+		if v.back.PushResponses() {
+			v.port.NotifyAsync()
+		}
+	})
+}

@@ -1,0 +1,113 @@
+package blkback
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/cstruct"
+	"repro/internal/sim"
+)
+
+func TestSSDChannelParallelism(t *testing.T) {
+	k := sim.NewKernel(1)
+	p := DefaultSSDParams()
+	ssd := NewSSD(k, p)
+	// Channels-many small requests at once complete together; one more
+	// queues behind.
+	var last sim.Time
+	for i := 0; i < p.Channels; i++ {
+		last = ssd.Submit(uint64(i*8), 4096, false)
+	}
+	if last != sim.Time(p.ReadLatency) {
+		t.Errorf("parallel batch completes at %v, want %v", last, p.ReadLatency)
+	}
+	if extra := ssd.Submit(999, 4096, false); extra != sim.Time(2*p.ReadLatency) {
+		t.Errorf("queued request completes at %v, want %v", extra, 2*p.ReadLatency)
+	}
+}
+
+func TestSSDBusBoundsLargeTransfers(t *testing.T) {
+	k := sim.NewKernel(1)
+	p := DefaultSSDParams()
+	ssd := NewSSD(k, p)
+	n := 16 << 20 // 16 MiB: bus time dominates channel latency
+	done := ssd.Submit(0, n, false)
+	wantBus := time.Duration(float64(n) / p.BusGBps)
+	if d := done.Sub(0); d < wantBus {
+		t.Errorf("16 MiB read finished in %v, faster than the %v bus allows", d, wantBus)
+	}
+}
+
+func TestSectorStorageRoundTrip(t *testing.T) {
+	k := sim.NewKernel(1)
+	ssd := NewSSD(k, DefaultSSDParams())
+	data := make([]byte, SectorSize)
+	copy(data, "sector contents")
+	ssd.WriteSector(42, data)
+	got := ssd.ReadSector(42)
+	if string(got[:15]) != "sector contents" {
+		t.Error("sector corrupted")
+	}
+	// Unwritten sectors read zero.
+	for _, b := range ssd.ReadSector(43) {
+		if b != 0 {
+			t.Fatal("unwritten sector not zero")
+		}
+	}
+}
+
+func TestWriteSectorCopiesInput(t *testing.T) {
+	k := sim.NewKernel(1)
+	ssd := NewSSD(k, DefaultSSDParams())
+	buf := make([]byte, SectorSize)
+	buf[0] = 'A'
+	ssd.WriteSector(1, buf)
+	buf[0] = 'B'
+	if ssd.ReadSector(1)[0] != 'A' {
+		t.Error("device aliased the caller's buffer")
+	}
+}
+
+func TestReqRspSlotRoundTrip(t *testing.T) {
+	s := cstruct.Make(64)
+	EncodeReq(s, true, 8, 1234, 0xDEADBEEF00, 42)
+	write, sectors, gref, sector, id := DecodeReq(s)
+	if !write || sectors != 8 || gref != 1234 || sector != 0xDEADBEEF00 || id != 42 {
+		t.Errorf("req round trip: %v %d %d %#x %d", write, sectors, gref, sector, id)
+	}
+	EncodeRsp(s, 42, true)
+	rid, ok := DecodeRsp(s)
+	if rid != 42 || !ok {
+		t.Errorf("rsp round trip: %d %v", rid, ok)
+	}
+	EncodeRsp(s, 43, false)
+	if _, ok := DecodeRsp(s); ok {
+		t.Error("error status lost")
+	}
+}
+
+// Property: SSD busy accounting — completion times never precede issue
+// time plus minimum latency, and are monotone per channel count.
+func TestPropSubmitNeverBeatsLatency(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		k := sim.NewKernel(2)
+		p := DefaultSSDParams()
+		ssd := NewSSD(k, p)
+		for _, sz := range sizes {
+			n := int(sz)%65536 + 1
+			done := ssd.Submit(0, n, sz%2 == 0)
+			min := p.ReadLatency
+			if sz%2 == 0 {
+				min = p.WriteLatency
+			}
+			if done.Sub(k.Now()) < min {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package blkif is the guest block frontend driver (paper §3.5.2): block
+// devices share the same Ring abstraction as network devices and the same
+// I/O pages, with filesystems and caching provided as libraries above.
+// Reads and writes are always direct — there is no buffer cache on this
+// path — and complete via promises on the lwt scheduler.
+package blkif
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/blkback"
+	"repro/internal/cstruct"
+	"repro/internal/grant"
+	"repro/internal/hypervisor"
+	"repro/internal/lwt"
+	"repro/internal/pvboot"
+	"repro/internal/ring"
+	"repro/internal/xenstore"
+)
+
+// SectorSize re-exports the device sector size.
+const SectorSize = blkback.SectorSize
+
+// SectorsPerPage re-exports the page capacity in sectors.
+const SectorsPerPage = blkback.SectorsPerPage
+
+// Blkif is a connected guest block device.
+type Blkif struct {
+	vm    *pvboot.VM
+	front *ring.Front
+	port  *hypervisor.Port
+
+	nextID   uint16
+	inflight map[uint16]*op
+	queue    []*op
+
+	// Stats
+	Reads, Writes int
+}
+
+type op struct {
+	write   bool
+	sectors uint8
+	sector  uint64
+	page    *cstruct.View
+	gref    grant.Ref
+	pr      *lwt.Promise[*cstruct.View]
+}
+
+// Attach creates and connects a block device for vm against ssd, with the
+// xenstore handshake under /local/domain/<id>/device/vbd/0.
+func Attach(vm *pvboot.VM, ssd *blkback.SSD, dom0 *hypervisor.Domain, st *xenstore.Store) (*Blkif, error) {
+	d := vm.Dom
+	ringPage := d.Pool.Get()
+	b := &Blkif{
+		vm:       vm,
+		front:    ring.NewFront(ringPage),
+		inflight: map[uint16]*op{},
+	}
+	gref := d.Grants.Grant(ringPage, false)
+	gport, bport := hypervisor.Connect(d, dom0)
+	b.port = gport
+
+	path := fmt.Sprintf("/local/domain/%d/device/vbd/0", d.ID)
+	if err := st.Write(path+"/ring-ref", strconv.Itoa(int(gref))); err != nil {
+		return nil, err
+	}
+	st.Write(path+"/event-channel", strconv.Itoa(gport.Index))
+	st.Write(path+"/state", "3")
+
+	refStr, err := st.Read(path + "/ring-ref")
+	if err != nil {
+		return nil, err
+	}
+	refVal, _ := strconv.Atoi(refStr)
+	backPage, err := d.Grants.Map(grant.Ref(refVal))
+	if err != nil {
+		return nil, err
+	}
+	blkback.NewVBD(ssd, d, backPage, bport)
+	st.Write(path+"/state", "4")
+
+	vm.WatchPort(gport, b.onEvent)
+	return b, nil
+}
+
+// Read reads sectors (1..8) starting at sector into a fresh I/O page and
+// resolves with a view of the data. The caller owns the view.
+func (b *Blkif) Read(sector uint64, sectors int) *lwt.Promise[*cstruct.View] {
+	return b.submit(false, sector, sectors, nil)
+}
+
+// Write writes data (at most one page, sector-aligned length) at sector.
+// The promise resolves with nil once the device acknowledges — writes are
+// direct, so resolution means persistence (§3.5.2).
+func (b *Blkif) Write(sector uint64, data []byte) *lwt.Promise[*cstruct.View] {
+	sectors := (len(data) + SectorSize - 1) / SectorSize
+	return b.submit(true, sector, sectors, data)
+}
+
+func (b *Blkif) submit(write bool, sector uint64, sectors int, data []byte) *lwt.Promise[*cstruct.View] {
+	pr := lwt.NewPromise[*cstruct.View](b.vm.S)
+	if sectors <= 0 || sectors > SectorsPerPage {
+		pr.Fail(fmt.Errorf("blkif: bad request size %d sectors", sectors))
+		return pr
+	}
+	page := b.vm.Dom.Pool.Get()
+	if write {
+		page.PutBytes(0, data)
+		b.Writes++
+	} else {
+		b.Reads++
+	}
+	o := &op{
+		write:   write,
+		sectors: uint8(sectors),
+		sector:  sector,
+		page:    page,
+		gref:    b.vm.Dom.Grants.Grant(page, false),
+		pr:      pr,
+	}
+	if b.front.Free() == 0 {
+		b.queue = append(b.queue, o)
+		return pr
+	}
+	b.push(o, true)
+	return pr
+}
+
+func (b *Blkif) push(o *op, notify bool) {
+	b.nextID++
+	id := b.nextID
+	b.inflight[id] = o
+	b.front.PushRequest(func(s *cstruct.View) {
+		blkback.EncodeReq(s, o.write, o.sectors, uint32(o.gref), o.sector, id)
+	})
+	if b.front.PushRequests() && notify {
+		b.port.NotifyAsync()
+	}
+}
+
+// onEvent drains completions inside the scheduler run loop.
+func (b *Blkif) onEvent() {
+	for {
+		for {
+			var id uint16
+			var ok bool
+			if !b.front.PopResponse(func(s *cstruct.View) { id, ok = blkback.DecodeRsp(s) }) {
+				break
+			}
+			o := b.inflight[id]
+			if o == nil {
+				continue
+			}
+			delete(b.inflight, id)
+			b.vm.Dom.Grants.End(o.gref)
+			if !ok {
+				o.page.Release()
+				o.pr.Fail(fmt.Errorf("blkif: device error"))
+			} else if o.write {
+				o.page.Release()
+				o.pr.Resolve(nil)
+			} else {
+				o.pr.Resolve(o.page.Sub(0, int(o.sectors)*SectorSize))
+				o.page.Release()
+			}
+		}
+		for len(b.queue) > 0 && b.front.Free() > 0 {
+			o := b.queue[0]
+			b.queue = b.queue[1:]
+			b.push(o, true)
+		}
+		if raced := b.front.EnableResponseEvents(); !raced {
+			return
+		}
+	}
+}
+
+// InFlight returns the number of outstanding requests.
+func (b *Blkif) InFlight() int { return len(b.inflight) + len(b.queue) }
+
+// ReadAt is a convenience: read n bytes at byte offset off (must be
+// sector-aligned ranges internally; n <= one page).
+func (b *Blkif) ReadAt(off uint64, n int) *lwt.Promise[*cstruct.View] {
+	if off%SectorSize != 0 {
+		pr := lwt.NewPromise[*cstruct.View](b.vm.S)
+		pr.Fail(fmt.Errorf("blkif: unaligned offset %d", off))
+		return pr
+	}
+	sectors := (n + SectorSize - 1) / SectorSize
+	res := b.Read(off/SectorSize, sectors)
+	return lwt.Map(res, func(v *cstruct.View) *cstruct.View {
+		if v.Len() > n {
+			out := v.Sub(0, n)
+			v.Release()
+			return out
+		}
+		return v
+	})
+}

@@ -1,0 +1,146 @@
+package conventional
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestBootProfilesOrdering(t *testing.T) {
+	mem := uint64(512 << 20)
+	mirage := MirageBoot().GuestBootTime(mem)
+	minimal := MinimalLinuxBoot().GuestBootTime(mem)
+	apache := DebianApacheBoot().GuestBootTime(mem)
+	if !(mirage < minimal && minimal < apache) {
+		t.Errorf("boot ordering: mirage=%v minimal=%v apache=%v", mirage, minimal, apache)
+	}
+	if mirage > 50*time.Millisecond {
+		t.Errorf("mirage guest boot = %v, paper says under 50ms", mirage)
+	}
+}
+
+func TestBootGrowsWithMemory(t *testing.T) {
+	p := MinimalLinuxBoot()
+	if p.GuestBootTime(2048<<20) <= p.GuestBootTime(64<<20) {
+		t.Error("linux boot does not grow with memory")
+	}
+}
+
+func TestPVParamsCostMoreThanNative(t *testing.T) {
+	n, pv := LinuxNative(), LinuxPV()
+	if pv.SyscallCost <= n.SyscallCost || pv.PVExtra == 0 {
+		t.Error("PV not more expensive than native")
+	}
+	if pv.WakeupJitterMax <= n.WakeupJitterMax {
+		t.Error("PV jitter not wider than native")
+	}
+}
+
+func TestThreadConfigsOrdering(t *testing.T) {
+	cfgs := ThreadConfigs()
+	if len(cfgs) != 4 {
+		t.Fatalf("got %d configs, want 4", len(cfgs))
+	}
+	names := []string{"linux-pv", "linux-native", "mirage-malloc", "mirage-extent"}
+	for i, want := range names {
+		if cfgs[i].Name != want {
+			t.Errorf("config %d = %s, want %s", i, cfgs[i].Name, want)
+		}
+	}
+	// Syscall cost strictly decreasing pv -> native -> mirage.
+	if !(cfgs[0].Heap.SyscallCost > cfgs[1].Heap.SyscallCost && cfgs[1].Heap.SyscallCost > cfgs[2].Heap.SyscallCost) {
+		t.Error("syscall cost ordering violated")
+	}
+}
+
+func TestJitterSampleWithinBounds(t *testing.T) {
+	p := LinuxPV()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		j := JitterSample(p, rng)
+		if j < p.WakeupBase || j > p.WakeupBase+p.WakeupJitterMax {
+			t.Fatalf("sample %v outside [%v, %v]", j, p.WakeupBase, p.WakeupBase+p.WakeupJitterMax)
+		}
+	}
+}
+
+func TestNetProfilesEncodeThePaperAsymmetry(t *testing.T) {
+	l, m := LinuxNetProfile(), MirageNetProfile()
+	if !(m.RxPerKB < l.RxPerKB) {
+		t.Error("Mirage receive not cheaper (zero-copy)")
+	}
+	if !(m.TxPerKB > l.TxPerKB) {
+		t.Error("Mirage transmit not dearer (type-safe tx)")
+	}
+}
+
+func TestBufferCacheCapsThroughput(t *testing.T) {
+	p := DefaultBufferCacheParams()
+	// Implied throughput at large blocks = 1KB / PerKB.
+	mbps := 1.0 / p.PerKB.Seconds() / (1 << 10) // KB/s -> ~MB/s
+	if mbps < 200 || mbps > 420 {
+		t.Errorf("buffer cache implies %.0f MB/s, want ~300", mbps)
+	}
+	if p.BufferCacheCost(8192) <= p.BufferCacheCost(1024) {
+		t.Error("cache cost not growing with size")
+	}
+}
+
+func TestDNSProfilesMatchPaperRates(t *testing.T) {
+	check := func(name string, cost time.Duration, loK, hiK float64) {
+		qps := 1.0 / cost.Seconds() / 1e3
+		if qps < loK || qps > hiK {
+			t.Errorf("%s = %.0f kq/s, want [%v, %v]", name, qps, loK, hiK)
+		}
+	}
+	check("bind", Bind9Profile().CostPerQuery(1000), 45, 65)
+	check("nsd", NSDProfile().CostPerQuery(1000), 60, 80)
+	check("minios", NSDMiniOSProfile(false).CostPerQuery(1000), 2, 15)
+	if NSDMiniOSProfile(true).CostPerQuery(0) >= NSDMiniOSProfile(false).CostPerQuery(0) {
+		t.Error("-O3 not faster than -O")
+	}
+	// BIND small-zone anomaly (paper fn.6).
+	if Bind9Profile().CostPerQuery(100) <= Bind9Profile().CostPerQuery(1000) {
+		t.Error("BIND small-zone penalty missing")
+	}
+}
+
+func TestOFProfilesOrdering(t *testing.T) {
+	ps := OFProfiles()
+	by := map[string]OFProfile{}
+	for _, p := range ps {
+		by[p.Name] = p
+	}
+	if !(by["nox-destiny-fast"].PerMsg < by["mirage"].PerMsg && by["mirage"].PerMsg < by["maestro"].PerMsg) {
+		t.Error("per-message cost ordering violated")
+	}
+	if by["maestro"].SingleExtra < 5*by["nox-destiny-fast"].SingleExtra {
+		t.Error("Maestro single-mode penalty not dominant")
+	}
+}
+
+func TestWebThroughputScaling(t *testing.T) {
+	ap := ApacheStaticWeb()
+	if ap.Throughput(6) >= 6*ap.Throughput(1) {
+		t.Error("Apache scales perfectly; ScaleExp ineffective")
+	}
+	mg := MirageStaticWeb()
+	if 6*mg.Throughput(1) <= ap.Throughput(6) {
+		t.Error("6 unikernels do not beat 6-vCPU Apache")
+	}
+}
+
+func TestGuestCharging(t *testing.T) {
+	k := sim.NewKernel(1)
+	g := NewGuest(k, "vm", LinuxPV())
+	g.Syscall()
+	at := g.CopyToUser(64 << 10)
+	if at.Sub(0) < g.OS.SyscallCost {
+		t.Error("charges not serialised on the guest CPU")
+	}
+	if g.CPU.BusyTime() == 0 {
+		t.Error("no busy time recorded")
+	}
+}

@@ -1,0 +1,220 @@
+// Package core is the public face of the unikernel library: it ties the
+// build toolchain, the simulated Xen platform, guest start-of-day and the
+// protocol stacks into the paper's workflow (§5.4) — configure an
+// appliance, specialise it at compile time, and boot the resulting image
+// on a host.
+//
+// A typical appliance:
+//
+//	pl := core.NewPlatform(42)
+//	pl.Deploy(core.Unikernel{
+//		Build:  build.DNSAppliance(zone),
+//		Memory: 64 << 20,
+//		Main: func(env *core.Env) int {
+//			// ... use env.Net, env.Blk, env.VM.S ...
+//			return 0
+//		},
+//	}, core.DeployOpts{Net: &netstack.Config{...}})
+//	pl.Run()
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/blkback"
+	"repro/internal/blkif"
+	"repro/internal/build"
+	"repro/internal/ethernet"
+	"repro/internal/hypervisor"
+	"repro/internal/netback"
+	"repro/internal/netif"
+	"repro/internal/netstack"
+	"repro/internal/pvboot"
+	"repro/internal/sim"
+	"repro/internal/xenstore"
+)
+
+// Platform is a deployment target: a simulated host with hypervisor,
+// control domain, software bridge, SSD and xenstore.
+type Platform struct {
+	K      *sim.Kernel
+	Host   *hypervisor.Host
+	Bridge *netback.Bridge
+	SSD    *blkback.SSD
+	Store  *xenstore.Store
+	Dom0   *hypervisor.Domain
+
+	dom0Ready   *sim.Signal
+	deployments []*Deployment
+}
+
+// NewPlatform creates a host (with 4 physical CPUs for guests) and its
+// control domain.
+func NewPlatform(seed int64) *Platform {
+	k := sim.NewKernel(seed)
+	pl := &Platform{
+		K:      k,
+		Host:   hypervisor.NewHost(k, 4),
+		Bridge: netback.NewBridge(k, netback.DefaultParams()),
+		SSD:    blkback.NewSSD(k, blkback.DefaultSSDParams()),
+		Store:  xenstore.New(),
+	}
+	pl.dom0Ready = k.NewSignal("dom0-ready")
+	k.Spawn("dom0-init", func(p *sim.Proc) {
+		pl.Dom0 = pl.Host.Create(p, hypervisor.Config{Name: "dom0", Memory: 512 << 20, NoSpawn: true})
+		pl.dom0Ready.Set()
+	})
+	return pl
+}
+
+// Env is the environment handed to an appliance's main function.
+type Env struct {
+	VM    *pvboot.VM
+	P     *sim.Proc
+	Net   *netstack.Stack // nil unless DeployOpts.Net was given
+	Blk   *blkif.Blkif    // nil unless DeployOpts.Block was set
+	Image *build.Image
+}
+
+// Console writes to the domain console.
+func (e *Env) Console(msg string) { e.VM.Dom.Console(msg) }
+
+// Unikernel describes an appliance: its build configuration and its main
+// function. The VM shuts down when Main returns, with Main's return value
+// as the exit code (§3.3).
+type Unikernel struct {
+	Build  build.Config
+	Memory uint64 // default 64 MiB
+	Main   func(env *Env) int
+}
+
+// DeployOpts control deployment of one unikernel.
+type DeployOpts struct {
+	// Net attaches a network interface with this configuration.
+	Net *netstack.Config
+	// Block attaches a virtual block device over the platform SSD.
+	Block bool
+	// BuildOpts configure the toolchain; when nil, dead-code elimination
+	// is on and each deployment gets a fresh ASR seed (every deployment
+	// is relinked with a fresh layout, §2.3.4).
+	BuildOpts *build.Options
+	// NoSeal skips the seal hypercall (Mirage runs on unmodified Xen
+	// without it, losing one defence layer, §2.3.3).
+	NoSeal bool
+	// ParallelToolstack builds the domain on a private toolstack CPU
+	// (Figure 6) instead of serialising on dom0.
+	ParallelToolstack bool
+	// Delay postpones the start of domain construction.
+	Delay time.Duration
+}
+
+// Deployment is one deployed appliance.
+type Deployment struct {
+	Name   string
+	Image  *build.Image
+	Domain *hypervisor.Domain // nil until the domain is built
+	Err    error
+
+	created *sim.Signal
+}
+
+// Deploy builds the image and schedules domain creation. The returned
+// Deployment is populated as the simulation runs.
+func (pl *Platform) Deploy(u Unikernel, opts DeployOpts) *Deployment {
+	dep := &Deployment{Name: u.Build.Name, created: pl.K.NewSignal(u.Build.Name + "-created")}
+	pl.deployments = append(pl.deployments, dep)
+
+	bopts := build.Options{DeadCodeElim: true, ASRSeed: int64(len(pl.deployments))*7919 + 1}
+	if opts.BuildOpts != nil {
+		bopts = *opts.BuildOpts
+	}
+	img, err := build.Build(u.Build, bopts)
+	if err != nil {
+		dep.Err = err
+		return dep
+	}
+	dep.Image = img
+
+	mem := u.Memory
+	if mem == 0 {
+		mem = 64 << 20
+	}
+	entry := func(d *hypervisor.Domain, p *sim.Proc) int {
+		vm, err := pvboot.Boot(d, p, pvboot.Options{
+			BinarySize: uint64(img.SizeKB) << 10,
+			Seal:       !opts.NoSeal,
+		})
+		if err != nil {
+			dep.Err = err
+			return 1
+		}
+		env := &Env{VM: vm, P: p, Image: img}
+		if opts.Net != nil {
+			cfg := *opts.Net
+			nic, err := netif.Attach(vm, pl.Bridge, pl.Dom0, pl.Store, netback.MAC(cfg.MAC))
+			if err != nil {
+				dep.Err = err
+				return 1
+			}
+			env.Net = netstack.New(vm, nic, cfg)
+		}
+		if opts.Block {
+			blk, err := blkif.Attach(vm, pl.SSD, pl.Dom0, pl.Store)
+			if err != nil {
+				dep.Err = err
+				return 1
+			}
+			env.Blk = blk
+		}
+		if u.Main == nil {
+			d.SignalReady()
+			return 0
+		}
+		return u.Main(env)
+	}
+
+	pl.K.Spawn("deploy-"+u.Build.Name, func(p *sim.Proc) {
+		if opts.Delay > 0 {
+			p.Sleep(opts.Delay)
+		}
+		if pl.Dom0 == nil {
+			p.Wait(pl.dom0Ready)
+		}
+		cfg := hypervisor.Config{Name: u.Build.Name, Memory: mem, Entry: entry}
+		if opts.ParallelToolstack {
+			dep.Domain = pl.Host.CreateParallel(p, cfg)
+		} else {
+			dep.Domain = pl.Host.Create(p, cfg)
+		}
+		dep.created.Set()
+	})
+	return dep
+}
+
+// WaitCreated blocks p until the deployment's domain exists.
+func (d *Deployment) WaitCreated(p *sim.Proc) *hypervisor.Domain {
+	if d.Domain == nil {
+		p.Wait(d.created)
+	}
+	return d.Domain
+}
+
+// Run drives the simulation to completion.
+func (pl *Platform) Run() (sim.Time, error) { return pl.K.Run() }
+
+// RunFor drives the simulation for d of virtual time.
+func (pl *Platform) RunFor(d time.Duration) (sim.Time, error) { return pl.K.RunFor(d) }
+
+// MAC is a convenience MAC constructor in the Xen OUI.
+func MAC(last byte) ethernet.MAC { return ethernet.MAC{0x00, 0x16, 0x3e, 0x00, 0x00, last} }
+
+// Check returns an error if any deployment failed.
+func (pl *Platform) Check() error {
+	for _, d := range pl.deployments {
+		if d.Err != nil {
+			return fmt.Errorf("core: deployment %s: %w", d.Name, d.Err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package dhcp
+
+import (
+	"testing"
+
+	"repro/internal/cstruct"
+	"repro/internal/ethernet"
+	"repro/internal/ipv4"
+)
+
+var (
+	clientHW = ethernet.MAC{0, 0x16, 0x3e, 0, 0, 5}
+	serverIP = ipv4.AddrFrom4(10, 0, 0, 1)
+	mask     = ipv4.AddrFrom4(255, 255, 255, 0)
+	gw       = ipv4.AddrFrom4(10, 0, 0, 254)
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	v := cstruct.Make(1024)
+	in := Message{Type: Offer, XID: 0xABCD, ClientHW: clientHW,
+		YourIP: ipv4.AddrFrom4(10, 0, 0, 100), ServerIP: serverIP, Netmask: mask, Gateway: gw}
+	n := Encode(v, in)
+	out, err := Parse(v.Sub(0, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestParseRejectsBadMagic(t *testing.T) {
+	v := cstruct.Make(1024)
+	n := Encode(v, Message{Type: Discover, XID: 1, ClientHW: clientHW})
+	v.PutU8(236, 0)
+	if _, err := Parse(v.Sub(0, n)); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+// wire runs a client/server exchange through direct message passing.
+func wire(t *testing.T, srv *Server, c *Client) {
+	t.Helper()
+	srv.Send = func(m Message) { c.Input(m) }
+	c.Send = func(m Message) { srv.Input(m) }
+}
+
+func TestFullHandshakeAssignsLease(t *testing.T) {
+	srv := &Server{ServerIP: serverIP, Netmask: mask, Gateway: gw,
+		Pool: []ipv4.Addr{ipv4.AddrFrom4(10, 0, 0, 100), ipv4.AddrFrom4(10, 0, 0, 101)}}
+	var lease Lease
+	c := &Client{HW: clientHW, XID: 7}
+	c.OnLease = func(l Lease) { lease = l }
+	wire(t, srv, c)
+	c.Start()
+	if lease.IP != ipv4.AddrFrom4(10, 0, 0, 100) || lease.Netmask != mask || lease.Gateway != gw {
+		t.Fatalf("lease = %+v", lease)
+	}
+}
+
+func TestServerGivesStableLeasePerMAC(t *testing.T) {
+	srv := &Server{ServerIP: serverIP, Netmask: mask,
+		Pool: []ipv4.Addr{ipv4.AddrFrom4(10, 0, 0, 100), ipv4.AddrFrom4(10, 0, 0, 101)}}
+	var offers []ipv4.Addr
+	srv.Send = func(m Message) {
+		if m.Type == Offer {
+			offers = append(offers, m.YourIP)
+		}
+	}
+	srv.Input(Message{Type: Discover, XID: 1, ClientHW: clientHW})
+	srv.Input(Message{Type: Discover, XID: 2, ClientHW: clientHW})
+	if len(offers) != 2 || offers[0] != offers[1] {
+		t.Errorf("same MAC got different offers: %v", offers)
+	}
+}
+
+func TestServerPoolExhaustion(t *testing.T) {
+	srv := &Server{ServerIP: serverIP, Pool: []ipv4.Addr{ipv4.AddrFrom4(10, 0, 0, 100)}}
+	sent := 0
+	srv.Send = func(Message) { sent++ }
+	srv.Input(Message{Type: Discover, XID: 1, ClientHW: ethernet.MAC{1}})
+	srv.Input(Message{Type: Discover, XID: 2, ClientHW: ethernet.MAC{2}})
+	if sent != 1 {
+		t.Errorf("server answered %d discovers with a 1-address pool", sent)
+	}
+}
+
+func TestServerNaksUnknownRequest(t *testing.T) {
+	srv := &Server{ServerIP: serverIP, Pool: []ipv4.Addr{ipv4.AddrFrom4(10, 0, 0, 100)}}
+	var last Message
+	srv.Send = func(m Message) { last = m }
+	srv.Input(Message{Type: Request, XID: 3, ClientHW: clientHW, ReqIP: ipv4.AddrFrom4(10, 9, 9, 9)})
+	if last.Type != Nak {
+		t.Errorf("reply = %+v, want NAK", last)
+	}
+}
+
+func TestClientIgnoresWrongXID(t *testing.T) {
+	c := &Client{HW: clientHW, XID: 5}
+	leased := false
+	c.OnLease = func(Lease) { leased = true }
+	c.Send = func(Message) {}
+	c.Start()
+	c.Input(Message{Type: Offer, XID: 999, YourIP: ipv4.AddrFrom4(1, 1, 1, 1)})
+	if c.state != Discover {
+		t.Error("client advanced on foreign XID")
+	}
+	if leased {
+		t.Error("leased from foreign XID")
+	}
+}
+
+func TestClientRestartsOnNak(t *testing.T) {
+	c := &Client{HW: clientHW, XID: 5}
+	var sent []uint8
+	c.Send = func(m Message) { sent = append(sent, m.Type) }
+	c.Start()
+	c.Input(Message{Type: Offer, XID: 5, YourIP: ipv4.AddrFrom4(10, 0, 0, 100), ServerIP: serverIP})
+	c.Input(Message{Type: Nak, XID: 5})
+	// Discover, Request, Discover (after NAK).
+	if len(sent) != 3 || sent[0] != Discover || sent[1] != Request || sent[2] != Discover {
+		t.Errorf("client messages = %v", sent)
+	}
+}

@@ -1,0 +1,136 @@
+package dns
+
+// Label compression needs a map from previously-seen name suffixes to
+// message offsets. The paper (§4.2) describes replacing a naive mutable
+// hashtable with a functional map using a customised ordering that
+// compares label lengths before contents — about 20% faster on zone
+// workloads (relative to OCaml's Hashtbl; Go's runtime map is faster than
+// this tree, see BenchmarkDNSLabelCompression) and immune to the
+// hash-collision denial of service where clients craft colliding names.
+
+// Compressor tracks name-suffix offsets within one message.
+type Compressor interface {
+	Lookup(name string) (offset int, ok bool)
+	Store(name string, offset int)
+}
+
+// HashCompressor is the naive mutable hashtable strategy.
+type HashCompressor struct {
+	m map[string]int
+	// Collisions approximates pathological probing work: Go's map hides
+	// real collisions, so adversarial inputs are modelled by the cost
+	// constants in the server parameters, not here.
+}
+
+// NewHashCompressor returns an empty hashtable compressor.
+func NewHashCompressor() *HashCompressor { return &HashCompressor{m: map[string]int{}} }
+
+// Lookup implements Compressor.
+func (h *HashCompressor) Lookup(name string) (int, bool) {
+	off, ok := h.m[name]
+	return off, ok
+}
+
+// Store implements Compressor.
+func (h *HashCompressor) Store(name string, off int) { h.m[name] = off }
+
+// sizeFirstLess orders names by length first, then contents — the paper's
+// customised ordering: most comparisons are decided by the cheap length
+// test without touching the bytes.
+func sizeFirstLess(a, b string) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	return a < b
+}
+
+// TreeCompressor is the functional-map strategy: an immutable binary
+// search tree under the size-first ordering. Inserts share structure with
+// the previous version, as the OCaml Map would.
+type TreeCompressor struct {
+	root *tnode
+	// Comparisons counts ordering tests, exposing the algorithmic
+	// advantage of the size-first ordering in benchmarks.
+	Comparisons int
+}
+
+type tnode struct {
+	name        string
+	off         int
+	left, right *tnode
+	h           int
+}
+
+// NewTreeCompressor returns an empty functional-map compressor.
+func NewTreeCompressor() *TreeCompressor { return &TreeCompressor{} }
+
+// Lookup implements Compressor.
+func (t *TreeCompressor) Lookup(name string) (int, bool) {
+	n := t.root
+	for n != nil {
+		t.Comparisons++
+		switch {
+		case sizeFirstLess(name, n.name):
+			n = n.left
+		case sizeFirstLess(n.name, name):
+			n = n.right
+		default:
+			return n.off, true
+		}
+	}
+	return 0, false
+}
+
+// Store implements Compressor (persistent AVL insert; earlier offsets win,
+// matching RFC 1035 pointer semantics).
+func (t *TreeCompressor) Store(name string, off int) {
+	t.root = t.insert(t.root, name, off)
+}
+
+func height(n *tnode) int {
+	if n == nil {
+		return 0
+	}
+	return n.h
+}
+
+func mk(name string, off int, l, r *tnode) *tnode {
+	h := height(l)
+	if hr := height(r); hr > h {
+		h = hr
+	}
+	return &tnode{name: name, off: off, left: l, right: r, h: h + 1}
+}
+
+func balance(name string, off int, l, r *tnode) *tnode {
+	if height(l) > height(r)+1 {
+		if height(l.left) >= height(l.right) {
+			return mk(l.name, l.off, l.left, mk(name, off, l.right, r))
+		}
+		lr := l.right
+		return mk(lr.name, lr.off, mk(l.name, l.off, l.left, lr.left), mk(name, off, lr.right, r))
+	}
+	if height(r) > height(l)+1 {
+		if height(r.right) >= height(r.left) {
+			return mk(r.name, r.off, mk(name, off, l, r.left), r.right)
+		}
+		rl := r.left
+		return mk(rl.name, rl.off, mk(name, off, l, rl.left), mk(r.name, r.off, rl.right, r.right))
+	}
+	return mk(name, off, l, r)
+}
+
+func (t *TreeCompressor) insert(n *tnode, name string, off int) *tnode {
+	if n == nil {
+		return mk(name, off, nil, nil)
+	}
+	t.Comparisons++
+	switch {
+	case sizeFirstLess(name, n.name):
+		return balance(n.name, n.off, t.insert(n.left, name, off), n.right)
+	case sizeFirstLess(n.name, name):
+		return balance(n.name, n.off, n.left, t.insert(n.right, name, off))
+	default:
+		return n // keep the earlier (smaller) offset
+	}
+}

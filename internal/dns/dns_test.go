@@ -1,0 +1,250 @@
+package dns
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMessageRoundTripUncompressed(t *testing.T) {
+	in := Message{
+		ID:        0x1234,
+		Flags:     FlagResponse | FlagAuthoritative,
+		Questions: []Question{{Name: "www.example.org", Type: TypeA, Class: ClassIN}},
+		Answers:   []RR{{Name: "www.example.org", Type: TypeA, Class: ClassIN, TTL: 300, Data: "10.1.2.3"}},
+		Authority: []RR{{Name: "example.org", Type: TypeNS, Class: ClassIN, TTL: 300, Data: "ns0.example.org"}},
+	}
+	out, err := ParseMessage(EncodeMessage(in, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || out.Flags != in.Flags {
+		t.Errorf("header mismatch: %+v", out)
+	}
+	if len(out.Answers) != 1 || out.Answers[0].Data != "10.1.2.3" {
+		t.Errorf("answers = %+v", out.Answers)
+	}
+	if out.Authority[0].Data != "ns0.example.org" {
+		t.Errorf("authority = %+v", out.Authority)
+	}
+}
+
+func TestCompressionShrinksAndStaysParseable(t *testing.T) {
+	m := Message{
+		ID:        7,
+		Flags:     FlagResponse,
+		Questions: []Question{{Name: "a.very.long.subdomain.example.org", Type: TypeA, Class: ClassIN}},
+	}
+	for i := 0; i < 10; i++ {
+		m.Answers = append(m.Answers, RR{
+			Name: "a.very.long.subdomain.example.org", Type: TypeA, Class: ClassIN,
+			TTL: 60, Data: fmt.Sprintf("10.0.0.%d", i),
+		})
+	}
+	plain := EncodeMessage(m, nil)
+	hash := EncodeMessage(m, NewHashCompressor())
+	tree := EncodeMessage(m, NewTreeCompressor())
+	if len(hash) >= len(plain) {
+		t.Errorf("hash compression did not shrink: %d vs %d", len(hash), len(plain))
+	}
+	if len(tree) != len(hash) {
+		t.Errorf("strategies disagree on size: tree=%d hash=%d", len(tree), len(hash))
+	}
+	for _, enc := range [][]byte{hash, tree} {
+		out, err := ParseMessage(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out.Answers) != 10 || out.Answers[9].Name != "a.very.long.subdomain.example.org" {
+			t.Errorf("compressed message lost answers: %+v", out.Answers)
+		}
+	}
+}
+
+func TestCompressionPointerLoopRejected(t *testing.T) {
+	// 12-byte header + a name that points at itself.
+	b := make([]byte, 16)
+	b[4], b[5] = 0, 1 // one question
+	b[12] = 0xC0
+	b[13] = 12 // pointer to itself
+	if _, err := ParseMessage(b); err == nil {
+		t.Error("self-referential compression pointer accepted")
+	}
+}
+
+func TestZoneParseBindFormat(t *testing.T) {
+	z, err := ParseZone(`
+$ORIGIN example.org.
+$TTL 600
+@       IN SOA ns0.example.org. hostmaster.example.org. 1 2 3 4 5
+@       IN NS  ns0
+ns0     IN A   10.0.0.53
+www 300 IN A   10.0.0.80
+alias   IN CNAME www.example.org.
+txt     IN TXT "hello world"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Origin != "example.org" {
+		t.Errorf("origin = %q", z.Origin)
+	}
+	if rr := z.Lookup("www.example.org", TypeA); len(rr) != 1 || rr[0].Data != "10.0.0.80" || rr[0].TTL != 300 {
+		t.Errorf("www lookup = %+v", rr)
+	}
+	if rr := z.Lookup("ns0.example.org", TypeA); len(rr) != 1 {
+		t.Errorf("relative name not qualified: %+v", rr)
+	}
+	if rr := z.Lookup("alias.example.org", TypeCNAME); len(rr) != 1 || rr[0].Data != "www.example.org" {
+		t.Errorf("cname = %+v", rr)
+	}
+	if rr := z.Lookup("txt.example.org", TypeTXT); len(rr) != 1 || rr[0].Data != "hello world" {
+		t.Errorf("txt = %+v", rr)
+	}
+	if rr := z.Lookup("example.org", TypeNS); len(rr) != 1 || rr[0].TTL != 600 {
+		t.Errorf("NS with default TTL = %+v", rr)
+	}
+}
+
+func TestZoneParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"$TTL abc",
+		"www IN FROB data",
+		"www IN",
+	} {
+		if _, err := ParseZone(bad); err == nil {
+			t.Errorf("ParseZone(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestServerAnswersQuery(t *testing.T) {
+	z := SyntheticZone("example.org", 100)
+	s := NewServer(z, false)
+	q := EncodeQuery(42, "host-17.example.org", TypeA)
+	resp, cost := s.Handle(q)
+	if cost <= 0 {
+		t.Error("no cost accrued")
+	}
+	m, err := ParseMessage(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ID != 42 {
+		t.Errorf("response ID = %d, want 42", m.ID)
+	}
+	if m.Flags&FlagResponse == 0 || m.Flags&FlagAuthoritative == 0 {
+		t.Errorf("flags = %#x", m.Flags)
+	}
+	if len(m.Answers) != 1 || m.Answers[0].Data != "10.0.0.17" {
+		t.Errorf("answers = %+v", m.Answers)
+	}
+	if len(m.Authority) == 0 || len(m.Additional) == 0 {
+		t.Error("missing authority/additional sections")
+	}
+}
+
+func TestServerNameError(t *testing.T) {
+	s := NewServer(SyntheticZone("example.org", 10), false)
+	resp, _ := s.Handle(EncodeQuery(1, "nope.example.org", TypeA))
+	m, err := ParseMessage(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Flags&0xF != RcodeNameError {
+		t.Errorf("rcode = %d, want NXDOMAIN", m.Flags&0xF)
+	}
+}
+
+func TestServerCNAMEChase(t *testing.T) {
+	z := NewZone("example.org")
+	z.Add(RR{Name: "www.example.org", Type: TypeA, Data: "10.0.0.80"})
+	z.Add(RR{Name: "alias.example.org", Type: TypeCNAME, Data: "www.example.org"})
+	s := NewServer(z, false)
+	resp, _ := s.Handle(EncodeQuery(1, "alias.example.org", TypeA))
+	m, _ := ParseMessage(resp)
+	if len(m.Answers) != 2 {
+		t.Fatalf("answers = %+v, want CNAME + A", m.Answers)
+	}
+	if m.Answers[0].Type != TypeCNAME || m.Answers[1].Data != "10.0.0.80" {
+		t.Errorf("chase failed: %+v", m.Answers)
+	}
+}
+
+func TestMemoizationReducesCostAndPatchesID(t *testing.T) {
+	s := NewServer(SyntheticZone("example.org", 1000), true)
+	q1 := EncodeQuery(100, "host-5.example.org", TypeA)
+	q2 := EncodeQuery(200, "host-5.example.org", TypeA)
+	_, cold := s.Handle(q1)
+	resp, warm := s.Handle(q2)
+	if warm >= cold {
+		t.Errorf("memo hit cost %v >= cold cost %v", warm, cold)
+	}
+	m, err := ParseMessage(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ID != 200 {
+		t.Errorf("cached response ID = %d, want 200 (ID must be patched)", m.ID)
+	}
+	if s.Memo.Hits != 1 || s.Memo.Misses != 1 {
+		t.Errorf("memo hits/misses = %d/%d", s.Memo.Hits, s.Memo.Misses)
+	}
+}
+
+func TestTreeCompressorMatchesHashSemantics(t *testing.T) {
+	// Property: both strategies produce byte-identical messages.
+	f := func(hosts []uint8) bool {
+		m := Message{ID: 1, Flags: FlagResponse}
+		for _, h := range hosts {
+			name := fmt.Sprintf("host-%d.sub.example.org", h%32)
+			m.Answers = append(m.Answers, RR{Name: name, Type: TypeA, Class: ClassIN, TTL: 60, Data: "10.0.0.1"})
+		}
+		a := EncodeMessage(m, NewHashCompressor())
+		b := EncodeMessage(m, NewTreeCompressor())
+		return string(a) == string(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizeFirstOrderingAvoidsContentComparisons(t *testing.T) {
+	// With many same-suffix names of distinct lengths, most ordering
+	// tests are decided by length alone; the counter just proves the
+	// custom ordering is exercised.
+	tc := NewTreeCompressor()
+	for i := 0; i < 100; i++ {
+		tc.Store(strings.Repeat("a", i+1)+".example.org", i)
+	}
+	if tc.Comparisons == 0 {
+		t.Error("no comparisons recorded")
+	}
+	if _, ok := tc.Lookup("aaa.example.org"); !ok {
+		t.Error("stored name not found")
+	}
+	if _, ok := tc.Lookup("zzz.example.org"); ok {
+		t.Error("absent name found")
+	}
+}
+
+// Property: any query against a synthetic zone parses, and A queries for
+// present hosts return exactly their address.
+func TestPropSyntheticZoneLookups(t *testing.T) {
+	z := SyntheticZone("bench.local", 4096)
+	s := NewServer(z, false)
+	f := func(h uint16) bool {
+		i := int(h) % 4096
+		resp, _ := s.Handle(EncodeQuery(h, fmt.Sprintf("host-%d.bench.local", i), TypeA))
+		m, err := ParseMessage(resp)
+		if err != nil || len(m.Answers) != 1 {
+			return false
+		}
+		want := fmt.Sprintf("10.%d.%d.%d", (i>>16)&255, (i>>8)&255, i&255)
+		return m.Answers[0].Data == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

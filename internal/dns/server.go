@@ -1,0 +1,143 @@
+package dns
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// CompressorKind selects the label-compression strategy.
+type CompressorKind int
+
+// Compression strategies.
+const (
+	CompressHash CompressorKind = iota // naive mutable hashtable
+	CompressTree                       // size-first functional map (§4.2)
+)
+
+// Params are the server's per-query virtual-CPU costs, calibrated against
+// Figure 10 (Mirage no-memo ≈ 40 kq/s; with memoization 75–80 kq/s).
+// The handler also does the work for real; these constants translate it
+// into simulated time.
+type Params struct {
+	ParseCost   time.Duration // wire parse of the query
+	LookupCost  time.Duration // zone lookup
+	EncodeCost  time.Duration // response construction + label compression
+	MemoHitCost time.Duration // memo probe + cached response reuse
+}
+
+// DefaultParams returns the calibrated costs.
+func DefaultParams() Params {
+	return Params{
+		ParseCost:   4 * time.Microsecond,
+		LookupCost:  5 * time.Microsecond,
+		EncodeCost:  15 * time.Microsecond,
+		MemoHitCost: 9 * time.Microsecond,
+	}
+}
+
+// Server is an authoritative DNS server over a zone.
+type Server struct {
+	Zone    *Zone
+	Params  Params
+	Kind    CompressorKind
+	Memo    *storage.Memo // nil disables memoization
+	Queries int
+	Errors  int
+}
+
+// NewServer creates a server; memoize enables the response cache.
+func NewServer(z *Zone, memoize bool) *Server {
+	s := &Server{Zone: z, Params: DefaultParams(), Kind: CompressTree}
+	if memoize {
+		s.Memo = storage.NewMemo(0)
+	}
+	return s
+}
+
+func (s *Server) compressor() Compressor {
+	if s.Kind == CompressHash {
+		return NewHashCompressor()
+	}
+	return NewTreeCompressor()
+}
+
+// Handle processes one query datagram and returns the response bytes plus
+// the virtual CPU cost of producing it.
+func (s *Server) Handle(query []byte) ([]byte, time.Duration) {
+	s.Queries++
+	cost := s.Params.ParseCost
+	m, err := ParseMessage(query)
+	if err != nil || len(m.Questions) == 0 {
+		s.Errors++
+		return nil, cost
+	}
+	q := m.Questions[0]
+
+	if s.Memo != nil {
+		memoKey := q.Name + "|" + strconv.Itoa(int(q.Type))
+		hitsBefore := s.Memo.Hits
+		body := s.Memo.Get(memoKey, func() []byte {
+			resp, c := s.answer(q)
+			cost += c
+			return resp
+		})
+		if s.Memo.Hits > hitsBefore {
+			cost += s.Params.MemoHitCost
+		}
+		// Patch the transaction ID into (a copy of) the cached response.
+		out := append([]byte(nil), body...)
+		if len(out) >= 2 {
+			out[0], out[1] = query[0], query[1]
+		}
+		return out, cost
+	}
+	resp, c := s.answer(q)
+	cost += c
+	out := append([]byte(nil), resp...)
+	if len(out) >= 2 {
+		out[0], out[1] = query[0], query[1]
+	}
+	return out, cost
+}
+
+// answer builds the authoritative response (with zero ID; Handle patches
+// the real one in).
+func (s *Server) answer(q Question) ([]byte, time.Duration) {
+	cost := s.Params.LookupCost
+	resp := Message{
+		Flags:     FlagResponse | FlagAuthoritative,
+		Questions: []Question{q},
+	}
+	rrs := s.Zone.Lookup(q.Name, q.Type)
+	if len(rrs) == 0 {
+		// CNAME chase (one level).
+		if cn := s.Zone.Lookup(q.Name, TypeCNAME); len(cn) > 0 {
+			resp.Answers = append(resp.Answers, cn...)
+			rrs = s.Zone.Lookup(cn[0].Data, q.Type)
+			cost += s.Params.LookupCost
+		}
+	}
+	resp.Answers = append(resp.Answers, rrs...)
+	if len(resp.Answers) == 0 && !s.Zone.Exists(q.Name) {
+		resp.Flags |= RcodeNameError
+	}
+	// NS records in the authority section, as BIND would return.
+	if ns := s.Zone.Lookup(s.Zone.Origin, TypeNS); len(ns) > 0 {
+		resp.Authority = append(resp.Authority, ns...)
+		for _, n := range ns {
+			resp.Additional = append(resp.Additional, s.Zone.Lookup(n.Data, TypeA)...)
+		}
+	}
+	cost += s.Params.EncodeCost
+	return EncodeMessage(resp, s.compressor()), cost
+}
+
+// EncodeQuery builds a query datagram for name/type.
+func EncodeQuery(id uint16, name string, typ uint16) []byte {
+	return EncodeMessage(Message{
+		ID:        id,
+		Questions: []Question{{Name: name, Type: typ, Class: ClassIN}},
+	}, nil)
+}

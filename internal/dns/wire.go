@@ -1,0 +1,259 @@
+// Package dns implements an authoritative DNS server library (paper §4.2):
+// wire-format encoding and parsing, Bind9-master-format zone files, label
+// compression with two interchangeable strategies (a naive mutable
+// hashtable and the size-first ordered functional map that gave a ~20%
+// speedup and resists hash-collision denial of service), and optional
+// memoization of responses — the 20-line change that took the Mirage DNS
+// appliance from ~40 k to 75–80 k queries/s.
+package dns
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Record types.
+const (
+	TypeA     uint16 = 1
+	TypeNS    uint16 = 2
+	TypeCNAME uint16 = 5
+	TypeSOA   uint16 = 6
+	TypeTXT   uint16 = 16
+)
+
+// ClassIN is the Internet class.
+const ClassIN uint16 = 1
+
+// Flags in the header's second 16-bit word.
+const (
+	FlagResponse      uint16 = 1 << 15
+	FlagAuthoritative uint16 = 1 << 10
+	RcodeNameError    uint16 = 3
+)
+
+// Question is one DNS question.
+type Question struct {
+	Name  string // fully qualified, lower case, no trailing dot
+	Type  uint16
+	Class uint16
+}
+
+// RR is a resource record.
+type RR struct {
+	Name  string
+	Type  uint16
+	Class uint16
+	TTL   uint32
+	// Data holds the record value: an IPv4 string for A, a domain name
+	// for NS/CNAME, text for TXT.
+	Data string
+}
+
+// Message is a DNS message.
+type Message struct {
+	ID         uint16
+	Flags      uint16
+	Questions  []Question
+	Answers    []RR
+	Authority  []RR
+	Additional []RR
+}
+
+// ParseMessage decodes a wire-format message.
+func ParseMessage(b []byte) (Message, error) {
+	if len(b) < 12 {
+		return Message{}, fmt.Errorf("dns: message too short")
+	}
+	var m Message
+	m.ID = be16(b, 0)
+	m.Flags = be16(b, 2)
+	qd, an, ns, ar := int(be16(b, 4)), int(be16(b, 6)), int(be16(b, 8)), int(be16(b, 10))
+	off := 12
+	var err error
+	for i := 0; i < qd; i++ {
+		var q Question
+		q.Name, off, err = parseName(b, off)
+		if err != nil {
+			return Message{}, err
+		}
+		if off+4 > len(b) {
+			return Message{}, fmt.Errorf("dns: truncated question")
+		}
+		q.Type, q.Class = be16(b, off), be16(b, off+2)
+		off += 4
+		m.Questions = append(m.Questions, q)
+	}
+	for _, sec := range []struct {
+		n   int
+		dst *[]RR
+	}{{an, &m.Answers}, {ns, &m.Authority}, {ar, &m.Additional}} {
+		for i := 0; i < sec.n; i++ {
+			var rr RR
+			rr, off, err = parseRR(b, off)
+			if err != nil {
+				return Message{}, err
+			}
+			*sec.dst = append(*sec.dst, rr)
+		}
+	}
+	return m, nil
+}
+
+func be16(b []byte, i int) uint16 { return uint16(b[i])<<8 | uint16(b[i+1]) }
+
+// parseName decodes a possibly-compressed domain name.
+func parseName(b []byte, off int) (string, int, error) {
+	var parts []string
+	jumped := false
+	end := off
+	for hops := 0; ; hops++ {
+		if hops > 64 {
+			return "", 0, fmt.Errorf("dns: compression loop")
+		}
+		if off >= len(b) {
+			return "", 0, fmt.Errorf("dns: truncated name")
+		}
+		l := int(b[off])
+		switch {
+		case l == 0:
+			if !jumped {
+				end = off + 1
+			}
+			return strings.Join(parts, "."), end, nil
+		case l&0xC0 == 0xC0:
+			if off+1 >= len(b) {
+				return "", 0, fmt.Errorf("dns: truncated pointer")
+			}
+			ptr := (l&0x3F)<<8 | int(b[off+1])
+			if !jumped {
+				end = off + 2
+				jumped = true
+			}
+			if ptr >= off {
+				return "", 0, fmt.Errorf("dns: forward pointer")
+			}
+			off = ptr
+		default:
+			if off+1+l > len(b) {
+				return "", 0, fmt.Errorf("dns: label overruns message")
+			}
+			parts = append(parts, strings.ToLower(string(b[off+1:off+1+l])))
+			off += 1 + l
+		}
+	}
+}
+
+func parseRR(b []byte, off int) (RR, int, error) {
+	var rr RR
+	var err error
+	rr.Name, off, err = parseName(b, off)
+	if err != nil {
+		return rr, 0, err
+	}
+	if off+10 > len(b) {
+		return rr, 0, fmt.Errorf("dns: truncated RR")
+	}
+	rr.Type = be16(b, off)
+	rr.Class = be16(b, off+2)
+	rr.TTL = uint32(be16(b, off+4))<<16 | uint32(be16(b, off+6))
+	rdlen := int(be16(b, off+8))
+	off += 10
+	if off+rdlen > len(b) {
+		return rr, 0, fmt.Errorf("dns: rdata overruns message")
+	}
+	switch rr.Type {
+	case TypeA:
+		if rdlen != 4 {
+			return rr, 0, fmt.Errorf("dns: bad A rdata")
+		}
+		rr.Data = fmt.Sprintf("%d.%d.%d.%d", b[off], b[off+1], b[off+2], b[off+3])
+		off += 4
+	case TypeNS, TypeCNAME:
+		var name string
+		name, _, err = parseName(b, off)
+		if err != nil {
+			return rr, 0, err
+		}
+		rr.Data = name
+		off += rdlen
+	default:
+		rr.Data = string(b[off : off+rdlen])
+		off += rdlen
+	}
+	return rr, off, nil
+}
+
+// EncodeMessage serialises a message using the given label-compression
+// strategy (nil disables compression).
+func EncodeMessage(m Message, comp Compressor) []byte {
+	b := make([]byte, 12, 512)
+	put16 := func(i int, v uint16) { b[i], b[i+1] = byte(v>>8), byte(v) }
+	put16(0, m.ID)
+	put16(2, m.Flags)
+	put16(4, uint16(len(m.Questions)))
+	put16(6, uint16(len(m.Answers)))
+	put16(8, uint16(len(m.Authority)))
+	put16(10, uint16(len(m.Additional)))
+	for _, q := range m.Questions {
+		b = appendName(b, q.Name, comp)
+		b = append16(b, q.Type)
+		b = append16(b, q.Class)
+	}
+	for _, sec := range [][]RR{m.Answers, m.Authority, m.Additional} {
+		for _, rr := range sec {
+			b = appendRR(b, rr, comp)
+		}
+	}
+	return b
+}
+
+func append16(b []byte, v uint16) []byte { return append(b, byte(v>>8), byte(v)) }
+
+func appendName(b []byte, name string, comp Compressor) []byte {
+	name = strings.ToLower(strings.TrimSuffix(name, "."))
+	for name != "" {
+		if comp != nil {
+			if ptr, ok := comp.Lookup(name); ok {
+				return append(b, byte(0xC0|ptr>>8), byte(ptr))
+			}
+			if len(b) < 0x3FFF {
+				comp.Store(name, len(b))
+			}
+		}
+		i := strings.IndexByte(name, '.')
+		label := name
+		if i >= 0 {
+			label, name = name[:i], name[i+1:]
+		} else {
+			name = ""
+		}
+		b = append(b, byte(len(label)))
+		b = append(b, label...)
+	}
+	return append(b, 0)
+}
+
+func appendRR(b []byte, rr RR, comp Compressor) []byte {
+	b = appendName(b, rr.Name, comp)
+	b = append16(b, rr.Type)
+	b = append16(b, rr.Class)
+	b = append(b, byte(rr.TTL>>24), byte(rr.TTL>>16), byte(rr.TTL>>8), byte(rr.TTL))
+	switch rr.Type {
+	case TypeA:
+		b = append16(b, 4)
+		var o [4]byte
+		fmt.Sscanf(rr.Data, "%d.%d.%d.%d", &o[0], &o[1], &o[2], &o[3])
+		b = append(b, o[:]...)
+	case TypeNS, TypeCNAME:
+		lenAt := len(b)
+		b = append16(b, 0)
+		start := len(b)
+		b = appendName(b, rr.Data, comp)
+		rd := len(b) - start
+		b[lenAt], b[lenAt+1] = byte(rd>>8), byte(rd)
+	default:
+		b = append16(b, uint16(len(rr.Data)))
+		b = append(b, rr.Data...)
+	}
+	return b
+}

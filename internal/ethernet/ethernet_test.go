@@ -1,0 +1,58 @@
+package ethernet
+
+import (
+	"testing"
+
+	"repro/internal/cstruct"
+)
+
+func TestEncodeParseRoundTrip(t *testing.T) {
+	v := cstruct.Make(64)
+	dst := MAC{1, 2, 3, 4, 5, 6}
+	src := MAC{7, 8, 9, 10, 11, 12}
+	Encode(v, dst, src, TypeIPv4)
+	v.PutBytes(HeaderLen, []byte("payload!"))
+	f, err := Parse(v.Sub(0, HeaderLen+8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Dst != dst || f.Src != src || f.Type != TypeIPv4 {
+		t.Errorf("frame = %+v", f)
+	}
+	if f.Payload.String(0, 8) != "payload!" {
+		t.Error("payload corrupted")
+	}
+	f.Payload.Release()
+}
+
+func TestParseShortFrameRejected(t *testing.T) {
+	if _, err := Parse(cstruct.Make(10)); err == nil {
+		t.Error("short frame accepted")
+	}
+}
+
+func TestParsePayloadIsZeroCopy(t *testing.T) {
+	pool := cstruct.NewPool()
+	page := pool.Get()
+	Encode(page, Broadcast, MAC{1}, TypeARP)
+	f, err := Parse(page.Sub(0, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	page.Release()
+	// Page still alive via the payload view.
+	if pool.InUse != 1 {
+		t.Errorf("InUse = %d, want 1 (payload holds the page)", pool.InUse)
+	}
+	f.Payload.Release()
+	if pool.InUse != 0 {
+		t.Errorf("InUse = %d after releasing payload", pool.InUse)
+	}
+}
+
+func TestMACString(t *testing.T) {
+	m := MAC{0x00, 0x16, 0x3e, 0xaa, 0xbb, 0xcc}
+	if m.String() != "00:16:3e:aa:bb:cc" {
+		t.Errorf("String = %q", m.String())
+	}
+}

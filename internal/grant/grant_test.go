@@ -1,0 +1,215 @@
+package grant
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cstruct"
+)
+
+func TestGrantMapSharesStorage(t *testing.T) {
+	tbl := NewTable()
+	v := cstruct.Make(64)
+	r := tbl.Grant(v, false)
+	m, err := tbl.Map(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.PutBE32(0, 0xFEEDFACE)
+	if v.BE32(0) != 0xFEEDFACE {
+		t.Error("mapped grant is not zero-copy")
+	}
+	if err := tbl.Unmap(r, m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrantCopyDetaches(t *testing.T) {
+	tbl := NewTable()
+	v := cstruct.Make(16)
+	v.PutBE32(0, 7)
+	r := tbl.Grant(v, true)
+	c, err := tbl.Copy(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.PutBE32(0, 8)
+	if c.BE32(0) != 7 {
+		t.Error("grant copy shares storage")
+	}
+	if tbl.CopyLen != 16 {
+		t.Errorf("CopyLen = %d, want 16", tbl.CopyLen)
+	}
+}
+
+func TestEndWhileMappedRefused(t *testing.T) {
+	tbl := NewTable()
+	v := cstruct.Make(16)
+	r := tbl.Grant(v, false)
+	m, _ := tbl.Map(r)
+	if err := tbl.End(r); err == nil {
+		t.Fatal("revoking a mapped grant succeeded (XSA-39 class bug)")
+	}
+	if tbl.Leaked != 1 {
+		t.Errorf("Leaked = %d, want 1", tbl.Leaked)
+	}
+	tbl.Unmap(r, m)
+	if err := tbl.End(r); err != nil {
+		t.Fatalf("End after unmap failed: %v", err)
+	}
+	if tbl.Active() != 0 {
+		t.Errorf("Active = %d, want 0", tbl.Active())
+	}
+}
+
+func TestBadReferenceErrors(t *testing.T) {
+	tbl := NewTable()
+	if _, err := tbl.Map(42); err == nil {
+		t.Error("Map of bad ref succeeded")
+	}
+	if err := tbl.End(42); err == nil {
+		t.Error("End of bad ref succeeded")
+	}
+	if _, err := tbl.Copy(42); err == nil {
+		t.Error("Copy of bad ref succeeded")
+	}
+}
+
+func TestUnmapWithoutMapErrors(t *testing.T) {
+	tbl := NewTable()
+	v := cstruct.Make(8)
+	r := tbl.Grant(v, false)
+	if err := tbl.Unmap(r, v); err == nil {
+		t.Error("Unmap of never-mapped ref succeeded")
+	}
+}
+
+func TestWithReleasesOnSuccess(t *testing.T) {
+	tbl := NewTable()
+	v := cstruct.Make(8)
+	var seen Ref
+	err := tbl.With(v, false, func(r Ref) error {
+		seen = r
+		if _, err := tbl.Map(r); err != nil {
+			return err
+		}
+		m, _ := tbl.Map(r) // second mapping
+		tbl.Unmap(r, m)
+		m2 := v // first mapping view is v-shaped; unmap via table
+		_ = m2
+		return tbl.Unmap(r, v)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen == 0 {
+		t.Fatal("fn never ran")
+	}
+	if tbl.Active() != 0 {
+		t.Errorf("grant leaked after With: Active = %d", tbl.Active())
+	}
+}
+
+func TestWithReleasesOnError(t *testing.T) {
+	tbl := NewTable()
+	v := cstruct.Make(8)
+	sentinel := errors.New("boom")
+	err := tbl.With(v, false, func(r Ref) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want sentinel", err)
+	}
+	if tbl.Active() != 0 {
+		t.Errorf("grant leaked after failing With: Active = %d", tbl.Active())
+	}
+}
+
+func TestWithReleasesOnPanic(t *testing.T) {
+	tbl := NewTable()
+	v := cstruct.Make(8)
+	func() {
+		defer func() { recover() }()
+		tbl.With(v, false, func(r Ref) error { panic("die") })
+	}()
+	if tbl.Active() != 0 {
+		t.Errorf("grant leaked after panicking With: Active = %d", tbl.Active())
+	}
+}
+
+// Property: any sequence of grant/map/unmap/end operations conserves the
+// invariant Active == grants issued - grants successfully ended, and a
+// pooled page is recycled only when every grant and mapping is gone.
+func TestPropGrantLifecycle(t *testing.T) {
+	f := func(ops []uint8) bool {
+		tbl := NewTable()
+		pool := cstruct.NewPool()
+		type liveGrant struct {
+			r    Ref
+			maps []*cstruct.View
+			v    *cstruct.View
+		}
+		var live []*liveGrant
+		ended := 0
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				v := pool.Get()
+				live = append(live, &liveGrant{r: tbl.Grant(v, false), v: v})
+			case 1:
+				if len(live) > 0 {
+					g := live[int(op)%len(live)]
+					m, err := tbl.Map(g.r)
+					if err != nil {
+						return false
+					}
+					g.maps = append(g.maps, m)
+				}
+			case 2:
+				if len(live) > 0 {
+					g := live[int(op)%len(live)]
+					if len(g.maps) > 0 {
+						m := g.maps[len(g.maps)-1]
+						g.maps = g.maps[:len(g.maps)-1]
+						if err := tbl.Unmap(g.r, m); err != nil {
+							return false
+						}
+					}
+				}
+			case 3:
+				if len(live) > 0 {
+					i := int(op) % len(live)
+					g := live[i]
+					err := tbl.End(g.r)
+					if len(g.maps) > 0 {
+						if err == nil {
+							return false // must refuse while mapped
+						}
+					} else if err != nil {
+						return false
+					} else {
+						g.v.Release()
+						ended++
+						live = append(live[:i], live[i+1:]...)
+					}
+				}
+			}
+		}
+		if tbl.Active() != tbl.Grants-ended {
+			return false
+		}
+		// Drain everything; afterwards the pool must be fully recycled.
+		for _, g := range live {
+			for _, m := range g.maps {
+				tbl.Unmap(g.r, m)
+			}
+			if tbl.End(g.r) != nil {
+				return false
+			}
+			g.v.Release()
+		}
+		return pool.InUse == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,359 @@
+// Package httpd implements an HTTP/1.1 server and client library over the
+// clean-slate TCP stack (paper Table 1, §4.4): request parsing from the
+// byte stream, keep-alive connections, and Content-Length bodies. Like
+// everything in a unikernel it is a library linked with the application;
+// the handler runs in the same address space with no userspace copy.
+package httpd
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/ipv4"
+	"repro/internal/lwt"
+	"repro/internal/tcp"
+)
+
+// Request is a parsed HTTP request.
+type Request struct {
+	Method  string
+	Path    string
+	Proto   string
+	Headers map[string]string
+	Body    []byte
+}
+
+// KeepAlive reports whether the connection should persist.
+func (r *Request) KeepAlive() bool {
+	c := strings.ToLower(r.Headers["connection"])
+	if r.Proto == "HTTP/1.0" {
+		return c == "keep-alive"
+	}
+	return c != "close"
+}
+
+// Response is an HTTP response.
+type Response struct {
+	Status  int
+	Headers map[string]string
+	Body    []byte
+}
+
+// statusText covers the statuses the appliances use.
+var statusText = map[int]string{
+	200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found", 500: "Internal Server Error",
+}
+
+// Encode serialises the response.
+func (r *Response) Encode() []byte {
+	txt := statusText[r.Status]
+	if txt == "" {
+		txt = "Status"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", r.Status, txt)
+	fmt.Fprintf(&b, "Content-Length: %d\r\n", len(r.Body))
+	for k, v := range r.Headers {
+		fmt.Fprintf(&b, "%s: %s\r\n", k, v)
+	}
+	b.WriteString("\r\n")
+	return append([]byte(b.String()), r.Body...)
+}
+
+// Handler produces a response for a request.
+type Handler func(*Request) *Response
+
+// AsyncHandler produces a response via a promise — for handlers that touch
+// storage or other appliances (the §4.4 dynamic web appliance reads its
+// B-tree through the block API).
+type AsyncHandler func(*Request) *lwt.Promise[*Response]
+
+// Params are the server's per-request virtual-CPU costs (calibrated for
+// §4.4: the unikernel appliance becomes CPU-bound around 800 requests/s
+// only because of its application logic; the HTTP layer itself is cheap).
+type Params struct {
+	ParseCost   time.Duration
+	RespondCost time.Duration
+}
+
+// DefaultParams returns the unikernel HTTP costs.
+func DefaultParams() Params {
+	return Params{ParseCost: 8 * time.Microsecond, RespondCost: 10 * time.Microsecond}
+}
+
+// Server serves HTTP over TCP listeners. Exactly one of Handler or
+// HandlerAsync must be set.
+type Server struct {
+	S            *lwt.Scheduler
+	Handler      Handler
+	HandlerAsync AsyncHandler
+	Params       Params
+	// Charge books per-request CPU cost (wired to the domain's vCPU).
+	Charge func(time.Duration)
+
+	Requests    int
+	ConnsServed int
+	Errors      int
+}
+
+// NewServer creates a server with the given handler.
+func NewServer(s *lwt.Scheduler, h Handler) *Server {
+	return &Server{S: s, Handler: h, Params: DefaultParams()}
+}
+
+func (srv *Server) charge(d time.Duration) {
+	if srv.Charge != nil {
+		srv.Charge(d)
+	}
+}
+
+// Serve accepts connections forever. The returned promise only fails.
+func (srv *Server) Serve(l *tcp.Listener) *lwt.Promise[struct{}] {
+	out := lwt.NewPromise[struct{}](srv.S)
+	var acceptLoop func()
+	acceptLoop = func() {
+		lwt.Map(l.Accept(), func(c *tcp.Conn) struct{} {
+			srv.ConnsServed++
+			srv.serveConn(c)
+			acceptLoop()
+			return struct{}{}
+		})
+	}
+	acceptLoop()
+	return out
+}
+
+// serveConn runs the request/response loop on one connection.
+func (srv *Server) serveConn(c *tcp.Conn) {
+	var buf []byte
+	var next func()
+	next = func() {
+		lwt.Map(srv.readRequest(c, &buf), func(req *Request) struct{} {
+			if req == nil { // EOF or parse failure
+				c.Close()
+				return struct{}{}
+			}
+			srv.Requests++
+			srv.charge(srv.Params.ParseCost)
+			respond := func(resp *Response) {
+				if resp == nil {
+					resp = &Response{Status: 500}
+				}
+				srv.charge(srv.Params.RespondCost)
+				lwt.Map(c.Write(resp.Encode()), func(int) struct{} {
+					if req.KeepAlive() {
+						next()
+					} else {
+						c.Close()
+					}
+					return struct{}{}
+				})
+			}
+			if srv.HandlerAsync != nil {
+				pr := srv.HandlerAsync(req)
+				lwt.Always(pr, func() {
+					if pr.Failed() != nil {
+						respond(&Response{Status: 500})
+					} else {
+						respond(pr.Value())
+					}
+				})
+			} else {
+				respond(srv.Handler(req))
+			}
+			return struct{}{}
+		})
+	}
+	next()
+}
+
+// readRequest accumulates bytes until a full request (headers + body) is
+// available; resolves nil on EOF or malformed input.
+func (srv *Server) readRequest(c *tcp.Conn, buf *[]byte) *lwt.Promise[*Request] {
+	out := lwt.NewPromise[*Request](srv.S)
+	var step func()
+	step = func() {
+		if req, n, err := tryParseRequest(*buf); err != nil {
+			srv.Errors++
+			out.Resolve(nil)
+			return
+		} else if req != nil {
+			*buf = (*buf)[n:]
+			out.Resolve(req)
+			return
+		}
+		rd := c.Read(64 << 10)
+		lwt.Always(rd, func() {
+			if rd.Failed() != nil {
+				out.Resolve(nil) // reset mid-request
+				return
+			}
+			data := rd.Value()
+			if len(data) == 0 {
+				out.Resolve(nil) // EOF
+				return
+			}
+			*buf = append(*buf, data...)
+			step()
+		})
+	}
+	step()
+	return out
+}
+
+// tryParseRequest parses a complete request from b, returning (req, bytes
+// consumed). It returns (nil, 0, nil) when more data is needed.
+func tryParseRequest(b []byte) (*Request, int, error) {
+	head := strings.Index(string(b), "\r\n\r\n")
+	if head < 0 {
+		if len(b) > 64<<10 {
+			return nil, 0, fmt.Errorf("httpd: header section too large")
+		}
+		return nil, 0, nil
+	}
+	lines := strings.Split(string(b[:head]), "\r\n")
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") {
+		return nil, 0, fmt.Errorf("httpd: bad request line %q", lines[0])
+	}
+	req := &Request{Method: parts[0], Path: parts[1], Proto: parts[2], Headers: map[string]string{}}
+	for _, l := range lines[1:] {
+		i := strings.IndexByte(l, ':')
+		if i < 0 {
+			return nil, 0, fmt.Errorf("httpd: bad header %q", l)
+		}
+		req.Headers[strings.ToLower(strings.TrimSpace(l[:i]))] = strings.TrimSpace(l[i+1:])
+	}
+	bodyLen := 0
+	if cl := req.Headers["content-length"]; cl != "" {
+		n, err := strconv.Atoi(cl)
+		if err != nil || n < 0 {
+			return nil, 0, fmt.Errorf("httpd: bad content-length %q", cl)
+		}
+		bodyLen = n
+	}
+	total := head + 4 + bodyLen
+	if len(b) < total {
+		return nil, 0, nil // need the rest of the body
+	}
+	req.Body = append([]byte(nil), b[head+4:total]...)
+	return req, total, nil
+}
+
+// --- Client ---
+
+// EncodeRequest serialises a request.
+func EncodeRequest(r *Request) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\n", r.Method, r.Path)
+	fmt.Fprintf(&b, "Content-Length: %d\r\n", len(r.Body))
+	for k, v := range r.Headers {
+		fmt.Fprintf(&b, "%s: %s\r\n", k, v)
+	}
+	b.WriteString("\r\n")
+	return append([]byte(b.String()), r.Body...)
+}
+
+// tryParseResponse mirrors tryParseRequest for the client side.
+func tryParseResponse(b []byte) (*Response, int, error) {
+	head := strings.Index(string(b), "\r\n\r\n")
+	if head < 0 {
+		return nil, 0, nil
+	}
+	lines := strings.Split(string(b[:head]), "\r\n")
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) < 2 {
+		return nil, 0, fmt.Errorf("httpd: bad status line %q", lines[0])
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, 0, fmt.Errorf("httpd: bad status %q", parts[1])
+	}
+	resp := &Response{Status: status, Headers: map[string]string{}}
+	bodyLen := 0
+	for _, l := range lines[1:] {
+		i := strings.IndexByte(l, ':')
+		if i < 0 {
+			continue
+		}
+		k := strings.ToLower(strings.TrimSpace(l[:i]))
+		v := strings.TrimSpace(l[i+1:])
+		resp.Headers[k] = v
+		if k == "content-length" {
+			bodyLen, _ = strconv.Atoi(v)
+		}
+	}
+	total := head + 4 + bodyLen
+	if len(b) < total {
+		return nil, 0, nil
+	}
+	resp.Body = append([]byte(nil), b[head+4:total]...)
+	return resp, total, nil
+}
+
+// Session issues reqs sequentially over one connection and resolves with
+// the responses (the httperf session shape of §4.4).
+func Session(s *lwt.Scheduler, stack *tcp.Stack, addr ipv4.Addr, port uint16, reqs []*Request) *lwt.Promise[[]*Response] {
+	out := lwt.NewPromise[[]*Response](s)
+	cn := stack.Connect(addr, port)
+	lwt.Always(cn, func() {
+		if err := cn.Failed(); err != nil {
+			out.Fail(err)
+		}
+	})
+	lwt.Map(cn, func(c *tcp.Conn) struct{} {
+		var responses []*Response
+		var buf []byte
+		var issue func(i int)
+		readResp := func(done func(*Response)) {
+			var step func()
+			step = func() {
+				if resp, n, err := tryParseResponse(buf); err != nil {
+					done(nil)
+					return
+				} else if resp != nil {
+					buf = buf[n:]
+					done(resp)
+					return
+				}
+				rd := c.Read(64 << 10)
+				lwt.Always(rd, func() {
+					if rd.Failed() != nil || len(rd.Value()) == 0 {
+						done(nil)
+						return
+					}
+					buf = append(buf, rd.Value()...)
+					step()
+				})
+			}
+			step()
+		}
+		issue = func(i int) {
+			if i == len(reqs) {
+				c.Close()
+				out.Resolve(responses)
+				return
+			}
+			lwt.Map(c.Write(EncodeRequest(reqs[i])), func(int) struct{} {
+				readResp(func(resp *Response) {
+					if resp == nil {
+						c.Close()
+						if !out.Completed() {
+							out.Fail(fmt.Errorf("httpd: session aborted at request %d", i))
+						}
+						return
+					}
+					responses = append(responses, resp)
+					issue(i + 1)
+				})
+				return struct{}{}
+			})
+			return
+		}
+		issue(0)
+		return struct{}{}
+	})
+	return out
+}

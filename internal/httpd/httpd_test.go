@@ -1,0 +1,211 @@
+package httpd
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/ipv4"
+	"repro/internal/lwt"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// twoHosts wires two TCP stacks over an in-memory pipe (as in the tcp
+// package tests) and runs the server on b.
+func twoHosts(t *testing.T, handler Handler) (*sim.Kernel, *lwt.Scheduler, *tcp.Stack, *Server, ipv4.Addr) {
+	t.Helper()
+	k := sim.NewKernel(9)
+	mk := func(name string, ip ipv4.Addr) (*lwt.Scheduler, *tcp.Stack, *sim.Signal) {
+		s := lwt.NewScheduler(k)
+		sig := k.NewSignal(name + "-rx")
+		st := tcp.NewStack(s, ip, tcp.DefaultParams())
+		s.OnSignal(sig, func() {})
+		return s, st, sig
+	}
+	ipA, ipB := ipv4.AddrFrom4(10, 0, 0, 1), ipv4.AddrFrom4(10, 0, 0, 2)
+	sa, sta, sigA := mk("client", ipA)
+	sb, stb, sigB := mk("server", ipB)
+	pipe := func(from *tcp.Stack, to *tcp.Stack, sig *sim.Signal) {
+		from.Output = func(dst ipv4.Addr, seg tcp.Segment) {
+			k.After(200*time.Microsecond, func() {
+				to.Input(from.LocalIP, seg)
+				sig.Set()
+			})
+		}
+	}
+	pipe(sta, stb, sigB)
+	pipe(stb, sta, sigA)
+
+	srv := NewServer(sb, handler)
+	k.SpawnDaemon("server", func(p *sim.Proc) {
+		l, err := stb.Listen(80)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		sb.Run(p, srv.Serve(l))
+	})
+	return k, sa, sta, srv, ipB
+}
+
+func TestGetRequestRoundTrip(t *testing.T) {
+	k, sa, sta, _, serverIP := twoHosts(t, func(req *Request) *Response {
+		if req.Method != "GET" || req.Path != "/hello" {
+			return &Response{Status: 404}
+		}
+		return &Response{Status: 200, Body: []byte("hi there")}
+	})
+	var got *Response
+	k.Spawn("client", func(p *sim.Proc) {
+		main := lwt.Map(Session(sa, sta, serverIP, 80, []*Request{
+			{Method: "GET", Path: "/hello"},
+		}), func(rs []*Response) struct{} {
+			got = rs[0]
+			return struct{}{}
+		})
+		if err := sa.Run(p, main); err != nil {
+			t.Errorf("client: %v", err)
+		}
+	})
+	if _, err := k.RunFor(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Status != 200 || string(got.Body) != "hi there" {
+		t.Fatalf("response = %+v", got)
+	}
+}
+
+func TestKeepAliveSessionMultipleRequests(t *testing.T) {
+	k, sa, sta, srv, serverIP := twoHosts(t, func(req *Request) *Response {
+		return &Response{Status: 200, Body: []byte("resp:" + req.Path)}
+	})
+	var got []*Response
+	k.Spawn("client", func(p *sim.Proc) {
+		var reqs []*Request
+		for i := 0; i < 10; i++ {
+			reqs = append(reqs, &Request{Method: "GET", Path: fmt.Sprintf("/r%d", i)})
+		}
+		main := lwt.Map(Session(sa, sta, serverIP, 80, reqs), func(rs []*Response) struct{} {
+			got = rs
+			return struct{}{}
+		})
+		if err := sa.Run(p, main); err != nil {
+			t.Errorf("client: %v", err)
+		}
+	})
+	if _, err := k.RunFor(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("responses = %d, want 10", len(got))
+	}
+	for i, r := range got {
+		if string(r.Body) != fmt.Sprintf("resp:/r%d", i) {
+			t.Errorf("response %d = %q", i, r.Body)
+		}
+	}
+	if srv.ConnsServed != 1 {
+		t.Errorf("ConnsServed = %d, want 1 (keep-alive)", srv.ConnsServed)
+	}
+	if srv.Requests != 10 {
+		t.Errorf("Requests = %d, want 10", srv.Requests)
+	}
+}
+
+func TestPostBodyDelivered(t *testing.T) {
+	var seenBody string
+	k, sa, sta, _, serverIP := twoHosts(t, func(req *Request) *Response {
+		seenBody = string(req.Body)
+		return &Response{Status: 201}
+	})
+	k.Spawn("client", func(p *sim.Proc) {
+		main := Session(sa, sta, serverIP, 80, []*Request{
+			{Method: "POST", Path: "/tweet", Body: []byte("hello world tweet")},
+		})
+		if err := sa.Run(p, main); err != nil {
+			t.Errorf("client: %v", err)
+		}
+	})
+	if _, err := k.RunFor(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if seenBody != "hello world tweet" {
+		t.Fatalf("body = %q", seenBody)
+	}
+}
+
+func TestConnectionCloseHonoured(t *testing.T) {
+	k, sa, sta, srv, serverIP := twoHosts(t, func(req *Request) *Response {
+		return &Response{Status: 200}
+	})
+	k.Spawn("client", func(p *sim.Proc) {
+		main := Session(sa, sta, serverIP, 80, []*Request{
+			{Method: "GET", Path: "/", Headers: map[string]string{"Connection": "close"}},
+		})
+		sa.Run(p, main)
+	})
+	if _, err := k.RunFor(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Requests != 1 {
+		t.Errorf("Requests = %d", srv.Requests)
+	}
+}
+
+func TestParseRequestIncremental(t *testing.T) {
+	full := []byte("POST /x HTTP/1.1\r\ncontent-length: 5\r\nHost: a\r\n\r\nhello")
+	for cut := 0; cut < len(full); cut++ {
+		req, n, err := tryParseRequest(full[:cut])
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if req != nil {
+			t.Fatalf("cut %d: complete request from partial input", cut)
+		}
+		_ = n
+	}
+	req, n, err := tryParseRequest(full)
+	if err != nil || req == nil {
+		t.Fatal(err)
+	}
+	if n != len(full) || string(req.Body) != "hello" || req.Headers["host"] != "a" {
+		t.Errorf("req = %+v n=%d", req, n)
+	}
+}
+
+func TestParseRequestRejectsGarbage(t *testing.T) {
+	if _, _, err := tryParseRequest([]byte("NOT-HTTP\r\n\r\n")); err == nil {
+		t.Error("garbage request line accepted")
+	}
+	if _, _, err := tryParseRequest([]byte("GET / HTTP/1.1\r\ncontent-length: -5\r\n\r\n")); err == nil {
+		t.Error("negative content-length accepted")
+	}
+}
+
+func TestResponseEncodeParseRoundTrip(t *testing.T) {
+	in := &Response{Status: 404, Headers: map[string]string{"X-Test": "1"}, Body: []byte("missing")}
+	out, n, err := tryParseResponse(in.Encode())
+	if err != nil || out == nil {
+		t.Fatal(err)
+	}
+	if n != len(in.Encode()) || out.Status != 404 || string(out.Body) != "missing" || out.Headers["x-test"] != "1" {
+		t.Errorf("round trip = %+v", out)
+	}
+}
+
+func TestSessionToDeadPortFails(t *testing.T) {
+	k, sa, sta, _, serverIP := twoHosts(t, func(*Request) *Response { return &Response{Status: 200} })
+	var sawErr error
+	k.Spawn("client", func(p *sim.Proc) {
+		pr := Session(sa, sta, serverIP, 81, []*Request{{Method: "GET", Path: "/"}})
+		sa.Run(p, pr)
+		sawErr = pr.Failed()
+	})
+	if _, err := k.RunFor(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if sawErr == nil {
+		t.Error("session to closed port did not fail")
+	}
+}

@@ -1,0 +1,375 @@
+// Package hypervisor models the Xen platform a unikernel targets (paper §2):
+// a host with physical CPUs, a domain builder (toolstack), and per-domain
+// virtual CPUs, event channels, grant tables and page tables. It implements
+// the paper's hypervisor extension — the seal hypercall of §2.3.3 that
+// freezes a W^X memory access policy at start of day — plus synchronous and
+// parallel domain construction (the toolstack change behind Figure 6).
+//
+// All timing flows through the sim kernel: hypercalls, event-channel
+// notification latency and domain-build work consume virtual time from
+// explicit, documented cost parameters.
+package hypervisor
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cstruct"
+	"repro/internal/grant"
+	"repro/internal/sim"
+)
+
+// Params are the hypervisor's cost constants. They are calibrated so that
+// the macro results land in the paper's ranges; see EXPERIMENTS.md.
+type Params struct {
+	HypercallCost time.Duration // CPU cost of any hypercall
+	EventLatency  time.Duration // event-channel notification delivery latency
+	// Domain construction: the toolstack builds page tables and scrubs
+	// memory, so build time grows with the memory reservation (Figure 5's
+	// upward slope, ~60% of Mirage boot at 3 GiB).
+	BuildBase   time.Duration // fixed toolstack overhead per domain
+	BuildPerMiB time.Duration // added per MiB of memory reservation
+	SealCost    time.Duration // one-off cost of the seal hypercall
+}
+
+// DefaultParams returns the calibrated cost constants.
+func DefaultParams() Params {
+	return Params{
+		HypercallCost: 300 * time.Nanosecond,
+		EventLatency:  2 * time.Microsecond,
+		BuildBase:     12 * time.Millisecond,
+		BuildPerMiB:   180 * time.Microsecond,
+		SealCost:      50 * time.Microsecond,
+	}
+}
+
+// Host is a physical machine running the hypervisor.
+type Host struct {
+	K       *sim.Kernel
+	Params  Params
+	PCPUs   []*sim.CPU
+	Dom0CPU *sim.CPU // toolstack/control-domain CPU (synchronous builds serialize here)
+
+	domains []*Domain
+	nextID  int
+}
+
+// NewHost creates a host with ncpu physical CPUs plus a dom0 control CPU.
+func NewHost(k *sim.Kernel, ncpu int) *Host {
+	h := &Host{K: k, Params: DefaultParams()}
+	for i := 0; i < ncpu; i++ {
+		h.PCPUs = append(h.PCPUs, k.NewCPU(fmt.Sprintf("pcpu%d", i)))
+	}
+	h.Dom0CPU = k.NewCPU("pcpu-dom0")
+	return h
+}
+
+// Domains returns all domains ever created on the host.
+func (h *Host) Domains() []*Domain { return h.domains }
+
+// PageFlags describe a page-table entry's permissions.
+type PageFlags uint8
+
+// Page permission bits.
+const (
+	PageR PageFlags = 1 << iota
+	PageW
+	PageX
+	PageIO // I/O mapping (grant-mapped page); may be added after sealing
+)
+
+// PageTable models a domain's page-table permissions, enough to enforce the
+// sealing policy of §2.3.3: once sealed, no modification is allowed except
+// new I/O mappings that are non-executable and do not replace existing
+// entries.
+type PageTable struct {
+	pages    map[uint64]PageFlags
+	sealed   bool
+	Attempts int // post-seal modification attempts refused
+}
+
+// NewPageTable returns an empty page table.
+func NewPageTable() *PageTable { return &PageTable{pages: map[uint64]PageFlags{}} }
+
+// Sealed reports whether the seal hypercall has been issued.
+func (pt *PageTable) Sealed() bool { return pt.sealed }
+
+// Lookup returns the flags for page, if mapped.
+func (pt *PageTable) Lookup(page uint64) (PageFlags, bool) {
+	f, ok := pt.pages[page]
+	return f, ok
+}
+
+// Map installs or replaces a page-table entry. After sealing, only fresh,
+// non-executable I/O mappings are allowed.
+func (pt *PageTable) Map(page uint64, f PageFlags) error {
+	if pt.sealed {
+		_, exists := pt.pages[page]
+		if f&PageIO == 0 || f&PageX != 0 || exists {
+			pt.Attempts++
+			return fmt.Errorf("hypervisor: page table sealed (page %#x flags %b)", page, f)
+		}
+	}
+	pt.pages[page] = f
+	return nil
+}
+
+// Unmap removes an entry. Refused after sealing except for I/O mappings.
+func (pt *PageTable) Unmap(page uint64) error {
+	f, ok := pt.pages[page]
+	if !ok {
+		return fmt.Errorf("hypervisor: unmap of unmapped page %#x", page)
+	}
+	if pt.sealed && f&PageIO == 0 {
+		pt.Attempts++
+		return fmt.Errorf("hypervisor: page table sealed")
+	}
+	delete(pt.pages, page)
+	return nil
+}
+
+// Seal verifies that no page is both writable and executable, then freezes
+// the table. The policy in effect when the VM is sealed is preserved until
+// it terminates.
+func (pt *PageTable) Seal() error {
+	for page, f := range pt.pages {
+		if f&PageW != 0 && f&PageX != 0 {
+			return fmt.Errorf("hypervisor: seal refused: page %#x is W+X", page)
+		}
+	}
+	pt.sealed = true
+	return nil
+}
+
+// Port is one end of an event channel (paper §3.2: Xen event channels).
+type Port struct {
+	Dom   *Domain
+	Index int
+	Sig   *sim.Signal
+	peer  *Port
+
+	Sends    int // notifications sent from this end
+	Receives int // notifications delivered to this end
+}
+
+// Notify sends an event to the peer end. It is a hypercall: the caller's
+// vCPU pays the hypercall cost and delivery happens after the event latency.
+func (pt *Port) Notify(p *sim.Proc) {
+	h := pt.Dom.Host
+	pt.Sends++
+	p.Use(pt.Dom.VCPU, h.Params.HypercallCost)
+	peer := pt.peer
+	h.K.After(h.Params.EventLatency, func() {
+		peer.Receives++
+		peer.Sig.Set()
+	})
+}
+
+// NotifyAsync sends an event without charging a proc (used by host-side
+// device models running in kernel context).
+func (pt *Port) NotifyAsync() {
+	h := pt.Dom.Host
+	pt.Sends++
+	peer := pt.peer
+	h.K.After(h.Params.EventLatency, func() {
+		peer.Receives++
+		peer.Sig.Set()
+	})
+}
+
+// Peer returns the other end of the channel.
+func (pt *Port) Peer() *Port { return pt.peer }
+
+// ShutdownReason describes why a domain stopped.
+type ShutdownReason int
+
+// Shutdown reasons.
+const (
+	ShutdownPoweroff ShutdownReason = iota
+	ShutdownCrash
+	ShutdownSealViolation
+)
+
+// Domain is a VM instance. Unikernels use a single vCPU (§3.1, multikernel
+// philosophy); the conventional baselines may use several.
+type Domain struct {
+	Host     *Host
+	ID       int
+	Name     string
+	MemBytes uint64
+	VCPU     *sim.CPU
+	VCPUs    []*sim.CPU
+	Grants   *grant.Table
+	PT       *PageTable
+	Pool     *cstruct.Pool // I/O page pool (grant-shareable pages)
+
+	ports []*Port
+
+	CreatedAt sim.Time // when the toolstack finished building the domain
+	BootedAt  sim.Time // when guest code signalled readiness (SignalReady)
+	Dead      bool
+	ExitCode  int
+	Reason    ShutdownReason
+
+	console []string
+	ready   *sim.Signal
+}
+
+// Config describes a domain to create.
+type Config struct {
+	Name     string
+	Memory   uint64 // memory reservation in bytes
+	VCPUs    int    // default 1
+	PCPU     int    // index into host PCPUs to pin vCPU 0 to; -1 allocates a fresh pCPU
+	Entry    func(d *Domain, p *sim.Proc) int
+	NoSpawn  bool // build only; do not start guest code (used by boot benches)
+	SpeedMul float64
+}
+
+// build performs the toolstack work of constructing a domain on the given
+// CPU and returns the built (not yet running) domain.
+func (h *Host) build(p *sim.Proc, cpu *sim.CPU, cfg Config) *Domain {
+	cost := h.Params.BuildBase + time.Duration(cfg.Memory>>20)*h.Params.BuildPerMiB
+	p.Use(cpu, cost)
+	h.nextID++
+	d := &Domain{
+		Host:     h,
+		ID:       h.nextID,
+		Name:     cfg.Name,
+		MemBytes: cfg.Memory,
+		Grants:   grant.NewTable(),
+		PT:       NewPageTable(),
+		Pool:     cstruct.NewPool(),
+	}
+	nv := cfg.VCPUs
+	if nv <= 0 {
+		nv = 1
+	}
+	for i := 0; i < nv; i++ {
+		var c *sim.CPU
+		if i == 0 && cfg.PCPU >= 0 && cfg.PCPU < len(h.PCPUs) {
+			c = h.PCPUs[cfg.PCPU]
+		} else {
+			c = h.K.NewCPU(fmt.Sprintf("%s-vcpu%d", cfg.Name, i))
+			h.PCPUs = append(h.PCPUs, c)
+		}
+		if cfg.SpeedMul > 0 {
+			c.SetSpeed(cfg.SpeedMul)
+		}
+		d.VCPUs = append(d.VCPUs, c)
+	}
+	d.VCPU = d.VCPUs[0]
+	d.ready = h.K.NewSignal(cfg.Name + "-ready")
+	d.CreatedAt = h.K.Now()
+	h.domains = append(h.domains, d)
+	return d
+}
+
+// Create builds a domain synchronously on the control-domain toolstack CPU
+// (the stock Xen toolstack of Figure 5: concurrent Creates serialize) and
+// starts its guest entry function.
+func (h *Host) Create(p *sim.Proc, cfg Config) *Domain {
+	d := h.build(p, h.Dom0CPU, cfg)
+	d.start(cfg)
+	return d
+}
+
+// CreateParallel builds a domain on a private toolstack CPU, modelling the
+// modified parallel toolstack of Figure 6 (domain construction no longer
+// serializes), then starts the guest.
+func (h *Host) CreateParallel(p *sim.Proc, cfg Config) *Domain {
+	cpu := h.K.NewCPU(cfg.Name + "-builder")
+	d := h.build(p, cpu, cfg)
+	d.start(cfg)
+	return d
+}
+
+func (d *Domain) start(cfg Config) {
+	if cfg.NoSpawn || cfg.Entry == nil {
+		return
+	}
+	d.Host.K.Spawn(cfg.Name, func(p *sim.Proc) {
+		code := cfg.Entry(d, p)
+		if !d.Dead {
+			d.Shutdown(code, ShutdownPoweroff)
+		}
+	})
+}
+
+// SignalReady marks the instant guest boot completed (e.g. first packet
+// transmitted); boot-time experiments read BootTime afterwards.
+func (d *Domain) SignalReady() {
+	if d.BootedAt == 0 {
+		d.BootedAt = d.Host.K.Now()
+		d.ready.Set()
+	}
+}
+
+// WaitReady blocks p until the domain signals readiness.
+func (d *Domain) WaitReady(p *sim.Proc) {
+	if d.BootedAt != 0 {
+		return
+	}
+	p.Wait(d.ready)
+}
+
+// BootTime is the elapsed virtual time from the start of domain
+// construction to readiness. It is only meaningful after SignalReady.
+func (d *Domain) BootTime() time.Duration { return d.BootedAt.Sub(0) }
+
+// Shutdown stops the domain; the VM exit code matches the main thread's
+// return value (§3.3).
+func (d *Domain) Shutdown(code int, reason ShutdownReason) {
+	d.Dead = true
+	d.ExitCode = code
+	d.Reason = reason
+}
+
+// Console appends a line to the domain's console ring.
+func (d *Domain) Console(msg string) {
+	d.console = append(d.console, fmt.Sprintf("[%8.3fs] %s", d.Host.K.Now().Seconds(), msg))
+}
+
+// ConsoleLines returns the console contents.
+func (d *Domain) ConsoleLines() []string { return d.console }
+
+// AllocPort allocates an unbound event-channel port on d.
+func (d *Domain) AllocPort() *Port {
+	pt := &Port{Dom: d, Index: len(d.ports)}
+	pt.Sig = d.Host.K.NewSignal(fmt.Sprintf("%s-evtchn%d", d.Name, pt.Index))
+	d.ports = append(d.ports, pt)
+	return pt
+}
+
+// Connect binds a fresh pair of ports between domains a and b, returning
+// (a's end, b's end). This stands in for the xenstore-mediated interdomain
+// bind.
+func Connect(a, b *Domain) (*Port, *Port) {
+	pa, pb := a.AllocPort(), b.AllocPort()
+	pa.peer, pb.peer = pb, pa
+	return pa, pb
+}
+
+// Seal issues the seal hypercall (§2.3.3): the domain's page tables are
+// verified W^X and frozen. The hypervisor change is deliberately tiny —
+// the paper's patch was under 50 lines.
+func (d *Domain) Seal(p *sim.Proc) error {
+	p.Use(d.VCPU, d.Host.Params.HypercallCost+d.Host.Params.SealCost)
+	return d.PT.Seal()
+}
+
+// Hypercall charges one generic hypercall's cost to the domain's vCPU.
+func (d *Domain) Hypercall(p *sim.Proc) {
+	p.Use(d.VCPU, d.Host.Params.HypercallCost)
+}
+
+// Poll blocks the domain on a set of event channels and a timeout — the
+// PVBoot domainpoll primitive (§3.2). It returns the index of the port that
+// fired, or -1 on timeout.
+func (d *Domain) Poll(p *sim.Proc, timeout time.Duration, ports ...*Port) int {
+	sigs := make([]*sim.Signal, len(ports))
+	for i, pt := range ports {
+		sigs[i] = pt.Sig
+	}
+	return p.WaitAny(timeout, sigs...)
+}

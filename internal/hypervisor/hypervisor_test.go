@@ -1,0 +1,240 @@
+package hypervisor
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func newHost(t *testing.T) (*sim.Kernel, *Host) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	return k, NewHost(k, 2)
+}
+
+func TestDomainBuildTimeScalesWithMemory(t *testing.T) {
+	k, h := newHost(t)
+	var small, large time.Duration
+	k.Spawn("toolstack", func(p *sim.Proc) {
+		t0 := p.Now()
+		h.Create(p, Config{Name: "small", Memory: 64 << 20, NoSpawn: true})
+		small = p.Now().Sub(t0)
+		t1 := p.Now()
+		h.Create(p, Config{Name: "large", Memory: 2048 << 20, NoSpawn: true})
+		large = p.Now().Sub(t1)
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if large <= small {
+		t.Errorf("build(2048MiB)=%v <= build(64MiB)=%v; want growth with memory", large, small)
+	}
+}
+
+func TestSynchronousToolstackSerializes(t *testing.T) {
+	k, h := newHost(t)
+	var done [2]sim.Time
+	for i := 0; i < 2; i++ {
+		i := i
+		k.Spawn("creator", func(p *sim.Proc) {
+			h.Create(p, Config{Name: "d", Memory: 256 << 20, NoSpawn: true})
+			done[i] = p.Now()
+		})
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done[0] == done[1] {
+		t.Error("synchronous builds completed simultaneously; should serialize on dom0 CPU")
+	}
+}
+
+func TestParallelToolstackOverlaps(t *testing.T) {
+	k, h := newHost(t)
+	var done [2]sim.Time
+	for i := 0; i < 2; i++ {
+		i := i
+		k.Spawn("creator", func(p *sim.Proc) {
+			h.CreateParallel(p, Config{Name: "d", Memory: 256 << 20, NoSpawn: true})
+			done[i] = p.Now()
+		})
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done[0] != done[1] {
+		t.Errorf("parallel builds finished at %v and %v; want simultaneous", done[0], done[1])
+	}
+}
+
+func TestGuestEntryRunsAndExitCodePropagates(t *testing.T) {
+	k, h := newHost(t)
+	k.Spawn("toolstack", func(p *sim.Proc) {
+		h.Create(p, Config{Name: "guest", Memory: 32 << 20, Entry: func(d *Domain, p *sim.Proc) int {
+			d.Console("hello")
+			return 42
+		}})
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	d := h.Domains()[0]
+	if !d.Dead || d.ExitCode != 42 {
+		t.Errorf("domain dead=%v code=%d, want dead with code 42", d.Dead, d.ExitCode)
+	}
+	if len(d.ConsoleLines()) != 1 {
+		t.Errorf("console lines = %d, want 1", len(d.ConsoleLines()))
+	}
+}
+
+func TestEventChannelDelivery(t *testing.T) {
+	k, h := newHost(t)
+	var gotAt sim.Time
+	k.Spawn("toolstack", func(p *sim.Proc) {
+		a := h.Create(p, Config{Name: "a", Memory: 32 << 20, NoSpawn: true})
+		b := h.Create(p, Config{Name: "b", Memory: 32 << 20, NoSpawn: true})
+		pa, pb := Connect(a, b)
+		k.Spawn("receiver", func(rp *sim.Proc) {
+			if idx := b.Poll(rp, 0, pb); idx != 0 {
+				t.Errorf("Poll = %d, want 0", idx)
+			}
+			gotAt = rp.Now()
+		})
+		k.Spawn("sender", func(sp *sim.Proc) {
+			sp.Sleep(time.Millisecond)
+			pa.Notify(sp)
+		})
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotAt == 0 {
+		t.Fatal("event never delivered")
+	}
+	if d := gotAt.Sub(0); d < time.Millisecond {
+		t.Errorf("delivered at %v, before send", d)
+	}
+}
+
+func TestPollTimeout(t *testing.T) {
+	k, h := newHost(t)
+	k.Spawn("toolstack", func(p *sim.Proc) {
+		a := h.Create(p, Config{Name: "a", Memory: 32 << 20, NoSpawn: true})
+		b := h.Create(p, Config{Name: "b", Memory: 32 << 20, NoSpawn: true})
+		_, pb := Connect(a, b)
+		if idx := b.Poll(p, 5*time.Millisecond, pb); idx != -1 {
+			t.Errorf("Poll = %d, want -1 (timeout)", idx)
+		}
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSealEnforcesWxorX(t *testing.T) {
+	pt := NewPageTable()
+	pt.Map(0x1000, PageR|PageX)       // text
+	pt.Map(0x2000, PageR|PageW)       // data
+	pt.Map(0x3000, PageR|PageW|PageX) // violation
+	if err := pt.Seal(); err == nil {
+		t.Fatal("seal accepted a W+X page")
+	}
+	pt.Unmap(0x3000)
+	if err := pt.Seal(); err != nil {
+		t.Fatalf("seal refused a W^X table: %v", err)
+	}
+}
+
+func TestSealedTableRefusesModification(t *testing.T) {
+	pt := NewPageTable()
+	pt.Map(0x1000, PageR|PageX)
+	pt.Map(0x2000, PageR|PageW)
+	if err := pt.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Map(0x4000, PageR|PageW|PageX); err == nil {
+		t.Error("sealed table accepted an executable mapping")
+	}
+	if err := pt.Map(0x2000, PageR|PageW|PageIO); err == nil {
+		t.Error("sealed table allowed replacing an existing entry")
+	}
+	if err := pt.Unmap(0x1000); err == nil {
+		t.Error("sealed table allowed unmapping text")
+	}
+	if pt.Attempts != 3 {
+		t.Errorf("Attempts = %d, want 3", pt.Attempts)
+	}
+}
+
+func TestSealedTableAllowsFreshNonExecIOMappings(t *testing.T) {
+	pt := NewPageTable()
+	pt.Map(0x1000, PageR|PageX)
+	if err := pt.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Map(0x9000, PageR|PageW|PageIO); err != nil {
+		t.Errorf("sealed table refused a fresh non-exec I/O mapping: %v", err)
+	}
+	if err := pt.Unmap(0x9000); err != nil {
+		t.Errorf("sealed table refused unmapping an I/O page: %v", err)
+	}
+}
+
+func TestSealHypercallOnDomain(t *testing.T) {
+	k, h := newHost(t)
+	k.Spawn("toolstack", func(p *sim.Proc) {
+		d := h.Create(p, Config{Name: "g", Memory: 32 << 20, NoSpawn: true})
+		d.PT.Map(0x1000, PageR|PageX)
+		if err := d.Seal(p); err != nil {
+			t.Errorf("Seal: %v", err)
+		}
+		if !d.PT.Sealed() {
+			t.Error("domain not sealed after hypercall")
+		}
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignalReadyAndWaitReady(t *testing.T) {
+	k, h := newHost(t)
+	var bootSeen time.Duration
+	k.Spawn("toolstack", func(p *sim.Proc) {
+		d := h.Create(p, Config{Name: "g", Memory: 64 << 20, Entry: func(d *Domain, gp *sim.Proc) int {
+			gp.Sleep(7 * time.Millisecond) // guest boot work
+			d.SignalReady()
+			return 0
+		}})
+		d.WaitReady(p)
+		bootSeen = d.BootTime()
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if bootSeen < 7*time.Millisecond {
+		t.Errorf("BootTime = %v, want >= guest boot work", bootSeen)
+	}
+}
+
+// Property: seal succeeds iff no page is W+X, for arbitrary page tables.
+func TestPropSealIffWxorX(t *testing.T) {
+	f := func(flags []uint8) bool {
+		pt := NewPageTable()
+		hasWX := false
+		for i, fl := range flags {
+			f := PageFlags(fl) & (PageR | PageW | PageX)
+			if f&PageW != 0 && f&PageX != 0 {
+				hasWX = true
+			}
+			pt.Map(uint64(i)*0x1000, f)
+		}
+		err := pt.Seal()
+		return (err == nil) == !hasWX
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

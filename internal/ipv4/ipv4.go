@@ -1,0 +1,250 @@
+// Package ipv4 implements the IPv4 layer of the clean-slate stack (paper
+// Table 1): header encode/parse over cstruct views, the Internet checksum,
+// and fragmentation/reassembly.
+package ipv4
+
+import (
+	"fmt"
+
+	"repro/internal/cstruct"
+)
+
+// Addr is an IPv4 address.
+type Addr uint32
+
+// AddrFrom4 builds an address from octets.
+func AddrFrom4(a, b, c, d byte) Addr {
+	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// Broadcast is the limited broadcast address 255.255.255.255.
+const Broadcast Addr = 0xffffffff
+
+// Protocol numbers.
+const (
+	ProtoICMP uint8 = 1
+	ProtoTCP  uint8 = 6
+	ProtoUDP  uint8 = 17
+)
+
+// HeaderLen is the size of a header without options.
+const HeaderLen = 20
+
+// Header is a parsed IPv4 header.
+type Header struct {
+	TotalLen   int
+	ID         uint16
+	DontFrag   bool
+	MoreFrags  bool
+	FragOffset int // byte offset of this fragment
+	TTL        uint8
+	Proto      uint8
+	Src, Dst   Addr
+}
+
+// Checksum computes the Internet checksum (RFC 1071) over b.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// PseudoHeaderChecksum starts a transport checksum with the IPv4
+// pseudo-header for src/dst/proto and the transport length.
+func PseudoHeaderChecksum(src, dst Addr, proto uint8, length int) uint32 {
+	var sum uint32
+	sum += uint32(src >> 16)
+	sum += uint32(src & 0xffff)
+	sum += uint32(dst >> 16)
+	sum += uint32(dst & 0xffff)
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}
+
+// FinishChecksum folds a running sum (with payload added) into a checksum.
+func FinishChecksum(sum uint32, b []byte) uint16 {
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// Parse validates the header in v and returns it plus the payload as a
+// zero-copy sub-view; v's reference transfers to the payload.
+func Parse(v *cstruct.View) (Header, *cstruct.View, error) {
+	if v.Len() < HeaderLen {
+		return Header{}, nil, fmt.Errorf("ipv4: packet too short")
+	}
+	vihl := v.U8(0)
+	if vihl>>4 != 4 {
+		return Header{}, nil, fmt.Errorf("ipv4: bad version %d", vihl>>4)
+	}
+	ihl := int(vihl&0xf) * 4
+	if ihl < HeaderLen || v.Len() < ihl {
+		return Header{}, nil, fmt.Errorf("ipv4: bad IHL %d", ihl)
+	}
+	if Checksum(v.Slice(0, ihl)) != 0 {
+		return Header{}, nil, fmt.Errorf("ipv4: header checksum mismatch")
+	}
+	var h Header
+	h.TotalLen = int(v.BE16(2))
+	h.ID = v.BE16(4)
+	fl := v.BE16(6)
+	h.DontFrag = fl&0x4000 != 0
+	h.MoreFrags = fl&0x2000 != 0
+	h.FragOffset = int(fl&0x1fff) * 8
+	h.TTL = v.U8(8)
+	h.Proto = v.U8(9)
+	h.Src = Addr(v.BE32(12))
+	h.Dst = Addr(v.BE32(16))
+	if h.TotalLen < ihl || h.TotalLen > v.Len() {
+		return Header{}, nil, fmt.Errorf("ipv4: bad total length %d (view %d)", h.TotalLen, v.Len())
+	}
+	payload := v.Sub(ihl, h.TotalLen-ihl)
+	v.Release()
+	return h, payload, nil
+}
+
+// Encode writes a 20-byte header (no options) into v with a correct
+// checksum. payloadLen is the transport payload length of this packet.
+func Encode(v *cstruct.View, h Header, payloadLen int) {
+	v.PutU8(0, 0x45)
+	v.PutU8(1, 0)
+	v.PutBE16(2, uint16(HeaderLen+payloadLen))
+	v.PutBE16(4, h.ID)
+	var fl uint16
+	if h.DontFrag {
+		fl |= 0x4000
+	}
+	if h.MoreFrags {
+		fl |= 0x2000
+	}
+	fl |= uint16(h.FragOffset/8) & 0x1fff
+	v.PutBE16(6, fl)
+	ttl := h.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	v.PutU8(8, ttl)
+	v.PutU8(9, h.Proto)
+	v.PutBE16(10, 0)
+	v.PutBE32(12, uint32(h.Src))
+	v.PutBE32(16, uint32(h.Dst))
+	v.PutBE16(10, Checksum(v.Slice(0, HeaderLen)))
+}
+
+// FragmentPlan describes one fragment of a payload split to fit an MTU.
+type FragmentPlan struct {
+	Offset int // byte offset into the transport payload
+	Len    int
+	More   bool
+}
+
+// PlanFragments splits payloadLen bytes into MTU-sized fragments (each
+// fragment's payload is a multiple of 8 except the last).
+func PlanFragments(payloadLen, mtu int) []FragmentPlan {
+	maxData := (mtu - HeaderLen) &^ 7
+	if maxData <= 0 {
+		panic("ipv4: MTU too small")
+	}
+	var out []FragmentPlan
+	for off := 0; ; {
+		n := payloadLen - off
+		more := false
+		if n > maxData {
+			n = maxData
+			more = true
+		}
+		out = append(out, FragmentPlan{Offset: off, Len: n, More: more})
+		off += n
+		if !more {
+			return out
+		}
+	}
+}
+
+// Reassembler collects fragments until a datagram completes.
+type Reassembler struct {
+	pending map[reasmKey]*reasmBuf
+	// Completed counts datagrams reassembled from >1 fragment.
+	Completed int
+}
+
+type reasmKey struct {
+	src, dst Addr
+	id       uint16
+	proto    uint8
+}
+
+type reasmBuf struct {
+	data    []byte
+	have    map[int]int // offset -> len received
+	total   int         // total length, known once the last fragment arrives
+	gotLast bool
+}
+
+// NewReassembler returns an empty reassembler.
+func NewReassembler() *Reassembler {
+	return &Reassembler{pending: map[reasmKey]*reasmBuf{}}
+}
+
+// Input processes one fragment (or whole datagram). If the datagram is
+// complete it returns (payload, true); the returned view is freshly
+// allocated for multi-fragment datagrams and the original view for
+// unfragmented ones.
+func (r *Reassembler) Input(h Header, payload *cstruct.View) (*cstruct.View, bool) {
+	if !h.MoreFrags && h.FragOffset == 0 {
+		return payload, true // common case: not fragmented
+	}
+	key := reasmKey{h.Src, h.Dst, h.ID, h.Proto}
+	buf := r.pending[key]
+	if buf == nil {
+		buf = &reasmBuf{have: map[int]int{}}
+		r.pending[key] = buf
+	}
+	end := h.FragOffset + payload.Len()
+	if end > len(buf.data) {
+		nd := make([]byte, end)
+		copy(nd, buf.data)
+		buf.data = nd
+	}
+	copy(buf.data[h.FragOffset:], payload.Bytes())
+	buf.have[h.FragOffset] = payload.Len()
+	payload.Release()
+	if !h.MoreFrags {
+		buf.gotLast = true
+		buf.total = end
+	}
+	if !buf.gotLast {
+		return nil, false
+	}
+	covered := 0
+	for _, n := range buf.have {
+		covered += n
+	}
+	if covered < buf.total {
+		return nil, false
+	}
+	delete(r.pending, key)
+	r.Completed++
+	return cstruct.Wrap(buf.data[:buf.total]), true
+}

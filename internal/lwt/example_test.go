@@ -1,0 +1,30 @@
+package lwt_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/lwt"
+	"repro/internal/sim"
+)
+
+// Example shows the promise style a unikernel application is written in:
+// straight-line composition of blocking points, evaluated by the scheduler
+// on virtual time.
+func Example() {
+	k := sim.NewKernel(1)
+	s := lwt.NewScheduler(k)
+	k.Spawn("main", func(p *sim.Proc) {
+		// Two concurrent sleeps; proceed when the first completes.
+		fast := s.Sleep(100 * time.Millisecond)
+		slow := s.Sleep(5 * time.Second)
+		main := lwt.Bind(lwt.Choose(s, fast, slow), func(idx int) *lwt.Promise[string] {
+			return lwt.Return(s, fmt.Sprintf("winner: thread %d at t=%v", idx, k.Now()))
+		})
+		if err := s.Run(p, main); err == nil {
+			fmt.Println(main.Value())
+		}
+	})
+	k.Run()
+	// Output: winner: thread 0 at t=100ms
+}

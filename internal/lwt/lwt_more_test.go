@@ -1,0 +1,112 @@
+package lwt
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestCancelPropagatesThroughBind(t *testing.T) {
+	run(t, func(p *sim.Proc, s *Scheduler) {
+		src := NewPromise[int](s)
+		downstream := Bind(src, func(int) *Promise[int] { return Return(s, 1) })
+		src.Cancel()
+		// Let the ready queue drain.
+		if err := s.Run(p, downstream); !errors.Is(err, ErrCanceled) {
+			t.Errorf("downstream err = %v, want ErrCanceled", err)
+		}
+	})
+}
+
+func TestAlwaysRunsOnBothOutcomes(t *testing.T) {
+	run(t, func(p *sim.Proc, s *Scheduler) {
+		okRan, failRan := false, false
+		ok := Return(s, 1)
+		Always(ok, func() { okRan = true })
+		bad := FailWith[int](s, errors.New("x"))
+		Always(bad, func() { failRan = true })
+		s.Run(p, Choose(s, ok))
+		if !okRan || !failRan {
+			t.Errorf("Always ran: ok=%v fail=%v", okRan, failRan)
+		}
+	})
+}
+
+func TestJoinEmptyResolvesImmediately(t *testing.T) {
+	run(t, func(p *sim.Proc, s *Scheduler) {
+		j := Join(s)
+		if !j.Completed() {
+			t.Error("empty Join not immediately resolved")
+		}
+	})
+}
+
+func TestTimersInterleaveWithSignals(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := NewScheduler(k)
+	sig := k.NewSignal("dev")
+	var order []string
+	k.Spawn("main", func(p *sim.Proc) {
+		done := NewPromise[struct{}](s)
+		Map(s.Sleep(10*time.Millisecond), func(struct{}) struct{} {
+			order = append(order, "timer10")
+			return struct{}{}
+		})
+		Map(s.Sleep(30*time.Millisecond), func(struct{}) struct{} {
+			order = append(order, "timer30")
+			done.Resolve(struct{}{})
+			return struct{}{}
+		})
+		s.OnSignal(sig, func() { order = append(order, "signal") })
+		s.Run(p, done)
+	})
+	k.At(sim.Time(20*time.Millisecond), func() { sig.Set() })
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"timer10", "signal", "timer30"}
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+}
+
+func TestLabelSurvives(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := NewScheduler(k)
+	pr := NewPromise[int](s)
+	pr.Label = "db-writer" // §3.3: threads tagged for debugging/statistics
+	if pr.Label != "db-writer" {
+		t.Error("label lost")
+	}
+}
+
+func TestSchedulerCreatedCounter(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := NewScheduler(k)
+	before := s.Created
+	for i := 0; i < 10; i++ {
+		NewPromise[int](s)
+	}
+	if s.Created != before+10 {
+		t.Errorf("Created = %d, want +10", s.Created-before)
+	}
+}
+
+func TestNestedBindDepthNoStackOverflow(t *testing.T) {
+	// Deep sequential chains must run iteratively via the ready queue.
+	run(t, func(p *sim.Proc, s *Scheduler) {
+		const depth = 100_000
+		chain := Return(s, 0)
+		for i := 0; i < depth; i++ {
+			chain = Bind(chain, func(x int) *Promise[int] { return Return(s, x+1) })
+		}
+		if err := s.Run(p, chain); err != nil {
+			t.Fatal(err)
+		}
+		if chain.Value() != depth {
+			t.Errorf("chain value = %d, want %d", chain.Value(), depth)
+		}
+	})
+}

@@ -1,0 +1,287 @@
+// Package memcache implements the memcache text protocol of paper Table 1
+// over the clean-slate TCP stack: a server library backed by the in-memory
+// KV store, and a client. Like every unikernel service it is linked with
+// the application — the cache and the network stack share one address
+// space, so a hit never crosses a copy boundary.
+package memcache
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/lwt"
+	"repro/internal/storage"
+	"repro/internal/tcp"
+)
+
+// Params price the per-command work.
+type Params struct {
+	GetCost time.Duration
+	SetCost time.Duration
+}
+
+// DefaultParams are the unikernel service costs.
+func DefaultParams() Params {
+	return Params{GetCost: 2 * time.Microsecond, SetCost: 3 * time.Microsecond}
+}
+
+// Server speaks the memcache text protocol (get/set/delete/quit subset).
+type Server struct {
+	S      *lwt.Scheduler
+	KV     *storage.KV
+	Params Params
+	// Charge books CPU cost (wired to the domain's vCPU).
+	Charge func(time.Duration)
+
+	Gets, Sets, Deletes, Hits, Misses int
+}
+
+// NewServer creates a server over a fresh store.
+func NewServer(s *lwt.Scheduler) *Server {
+	return &Server{S: s, KV: storage.NewKV(), Params: DefaultParams()}
+}
+
+func (srv *Server) charge(d time.Duration) {
+	if srv.Charge != nil {
+		srv.Charge(d)
+	}
+}
+
+// Serve accepts connections on l forever.
+func (srv *Server) Serve(l *tcp.Listener) {
+	var accept func()
+	accept = func() {
+		lwt.Map(l.Accept(), func(c *tcp.Conn) struct{} {
+			srv.serveConn(c)
+			accept()
+			return struct{}{}
+		})
+	}
+	accept()
+}
+
+// serveConn runs the command loop on one connection.
+func (srv *Server) serveConn(c *tcp.Conn) {
+	var buf []byte
+	var next func()
+	next = func() {
+		// A complete command is a line; set also needs its data block.
+		if out, n, ok := srv.tryHandle(buf); ok {
+			buf = buf[n:]
+			if out == nil { // quit
+				c.Close()
+				return
+			}
+			lwt.Map(c.Write(out), func(int) struct{} {
+				next()
+				return struct{}{}
+			})
+			return
+		}
+		rd := c.Read(16 << 10)
+		lwt.Always(rd, func() {
+			if rd.Failed() != nil || len(rd.Value()) == 0 {
+				c.Close()
+				return
+			}
+			buf = append(buf, rd.Value()...)
+			next()
+		})
+	}
+	next()
+}
+
+// tryHandle parses and executes one complete command from buf, returning
+// the reply, bytes consumed, and whether a complete command was present.
+// A nil reply with ok=true means quit.
+func (srv *Server) tryHandle(buf []byte) (reply []byte, consumed int, ok bool) {
+	line := strings.IndexByte(string(buf), '\n')
+	if line < 0 {
+		return nil, 0, false
+	}
+	cmd := strings.TrimRight(string(buf[:line]), "\r")
+	fields := strings.Fields(cmd)
+	if len(fields) == 0 {
+		return []byte("ERROR\r\n"), line + 1, true
+	}
+	switch fields[0] {
+	case "get":
+		if len(fields) != 2 {
+			return []byte("ERROR\r\n"), line + 1, true
+		}
+		srv.Gets++
+		srv.charge(srv.Params.GetCost)
+		v, hit := srv.KV.Get(fields[1])
+		if !hit {
+			srv.Misses++
+			return []byte("END\r\n"), line + 1, true
+		}
+		srv.Hits++
+		out := fmt.Sprintf("VALUE %s 0 %d\r\n", fields[1], len(v))
+		return append(append([]byte(out), v...), []byte("\r\nEND\r\n")...), line + 1, true
+
+	case "set":
+		// set <key> <flags> <exptime> <bytes>\r\n<data>\r\n
+		if len(fields) != 5 {
+			return []byte("CLIENT_ERROR bad command line\r\n"), line + 1, true
+		}
+		n, err := strconv.Atoi(fields[4])
+		if err != nil || n < 0 || n > 1<<20 {
+			return []byte("CLIENT_ERROR bad data chunk\r\n"), line + 1, true
+		}
+		need := line + 1 + n + 2 // data + CRLF
+		if len(buf) < need {
+			return nil, 0, false // wait for the data block
+		}
+		data := buf[line+1 : line+1+n]
+		srv.Sets++
+		srv.charge(srv.Params.SetCost)
+		srv.KV.Put(fields[1], data)
+		return []byte("STORED\r\n"), need, true
+
+	case "delete":
+		if len(fields) != 2 {
+			return []byte("ERROR\r\n"), line + 1, true
+		}
+		srv.Deletes++
+		if _, hit := srv.KV.Get(fields[1]); !hit {
+			return []byte("NOT_FOUND\r\n"), line + 1, true
+		}
+		srv.KV.Delete(fields[1])
+		return []byte("DELETED\r\n"), line + 1, true
+
+	case "quit":
+		return nil, line + 1, true
+
+	default:
+		return []byte("ERROR\r\n"), line + 1, true
+	}
+}
+
+// Client is a minimal memcache client over one connection.
+type Client struct {
+	S    *lwt.Scheduler
+	conn *tcp.Conn
+	buf  []byte
+}
+
+// NewClient wraps an established connection.
+func NewClient(s *lwt.Scheduler, c *tcp.Conn) *Client { return &Client{S: s, conn: c} }
+
+// readUntil resolves once pred finds a complete reply in the buffer,
+// returning it and consuming it.
+func (cl *Client) readUntil(pred func([]byte) int) *lwt.Promise[[]byte] {
+	out := lwt.NewPromise[[]byte](cl.S)
+	var step func()
+	step = func() {
+		if n := pred(cl.buf); n > 0 {
+			reply := append([]byte(nil), cl.buf[:n]...)
+			cl.buf = cl.buf[n:]
+			out.Resolve(reply)
+			return
+		}
+		rd := cl.conn.Read(16 << 10)
+		lwt.Always(rd, func() {
+			if rd.Failed() != nil || len(rd.Value()) == 0 {
+				out.Fail(fmt.Errorf("memcache: connection closed mid-reply"))
+				return
+			}
+			cl.buf = append(cl.buf, rd.Value()...)
+			step()
+		})
+	}
+	step()
+	return out
+}
+
+func lineReply(b []byte) int {
+	if i := strings.IndexByte(string(b), '\n'); i >= 0 {
+		return i + 1
+	}
+	return 0
+}
+
+// getReply frames a full get response: either "END\r\n" (miss) or a VALUE
+// header + exactly <bytes> of data + CRLF + "END\r\n". Framing by the
+// declared length keeps values containing "END" intact.
+func getReply(b []byte) int {
+	s := string(b)
+	if strings.HasPrefix(s, "END\r\n") {
+		return 5
+	}
+	if !strings.HasPrefix(s, "VALUE ") {
+		return 0
+	}
+	hdrEnd := strings.Index(s, "\r\n")
+	if hdrEnd < 0 {
+		return 0
+	}
+	fields := strings.Fields(s[:hdrEnd])
+	if len(fields) != 4 {
+		return 0
+	}
+	n, err := strconv.Atoi(fields[3])
+	if err != nil {
+		return 0
+	}
+	need := hdrEnd + 2 + n + 2 + 5
+	if len(b) >= need {
+		return need
+	}
+	return 0
+}
+
+// Set stores value under key.
+func (cl *Client) Set(key string, value []byte) *lwt.Promise[struct{}] {
+	cmd := fmt.Sprintf("set %s 0 0 %d\r\n", key, len(value))
+	payload := append(append([]byte(cmd), value...), '\r', '\n')
+	return lwt.Bind(cl.conn.Write(payload), func(int) *lwt.Promise[struct{}] {
+		return lwt.Bind(cl.readUntil(lineReply), func(reply []byte) *lwt.Promise[struct{}] {
+			if !strings.HasPrefix(string(reply), "STORED") {
+				return lwt.FailWith[struct{}](cl.S, fmt.Errorf("memcache: set failed: %q", reply))
+			}
+			return lwt.Return(cl.S, struct{}{})
+		})
+	})
+}
+
+// Get fetches key; resolves with nil on a miss.
+func (cl *Client) Get(key string) *lwt.Promise[[]byte] {
+	return lwt.Bind(cl.conn.Write([]byte("get "+key+"\r\n")), func(int) *lwt.Promise[[]byte] {
+		return lwt.Bind(cl.readUntil(getReply), func(reply []byte) *lwt.Promise[[]byte] {
+			s := string(reply)
+			if strings.HasPrefix(s, "END") {
+				return lwt.Return[[]byte](cl.S, nil)
+			}
+			// VALUE <key> <flags> <bytes>\r\n<data>\r\nEND\r\n
+			hdrEnd := strings.Index(s, "\r\n")
+			fields := strings.Fields(s[:hdrEnd])
+			if len(fields) != 4 || fields[0] != "VALUE" {
+				return lwt.FailWith[[]byte](cl.S, fmt.Errorf("memcache: bad reply %q", s))
+			}
+			n, err := strconv.Atoi(fields[3])
+			if err != nil || hdrEnd+2+n > len(reply) {
+				return lwt.FailWith[[]byte](cl.S, fmt.Errorf("memcache: bad value length"))
+			}
+			return lwt.Return(cl.S, reply[hdrEnd+2:hdrEnd+2+n])
+		})
+	})
+}
+
+// Delete removes key; resolves true if it existed.
+func (cl *Client) Delete(key string) *lwt.Promise[bool] {
+	return lwt.Bind(cl.conn.Write([]byte("delete "+key+"\r\n")), func(int) *lwt.Promise[bool] {
+		return lwt.Map(cl.readUntil(lineReply), func(reply []byte) bool {
+			return strings.HasPrefix(string(reply), "DELETED")
+		})
+	})
+}
+
+// Quit closes the session.
+func (cl *Client) Quit() *lwt.Promise[int] {
+	pr := cl.conn.Write([]byte("quit\r\n"))
+	cl.conn.Close()
+	return pr
+}

@@ -1,0 +1,167 @@
+package memcache
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/ipv4"
+	"repro/internal/lwt"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// rig wires a memcache server and client over an in-memory TCP pipe.
+func rig(t *testing.T, clientBody func(cl *Client, s *lwt.Scheduler) lwt.Waiter) *Server {
+	t.Helper()
+	k := sim.NewKernel(12)
+	mk := func(name string, ip ipv4.Addr) (*lwt.Scheduler, *tcp.Stack, *sim.Signal) {
+		s := lwt.NewScheduler(k)
+		sig := k.NewSignal(name)
+		st := tcp.NewStack(s, ip, tcp.DefaultParams())
+		s.OnSignal(sig, func() {})
+		return s, st, sig
+	}
+	sa, sta, sigA := mk("client", ipv4.AddrFrom4(10, 0, 0, 1))
+	sb, stb, sigB := mk("server", ipv4.AddrFrom4(10, 0, 0, 2))
+	pipe := func(from *tcp.Stack, to *tcp.Stack, sig *sim.Signal) {
+		from.Output = func(dst ipv4.Addr, seg tcp.Segment) {
+			k.After(100*time.Microsecond, func() {
+				to.Input(from.LocalIP, seg)
+				sig.Set()
+			})
+		}
+	}
+	pipe(sta, stb, sigB)
+	pipe(stb, sta, sigA)
+
+	srv := NewServer(sb)
+	k.SpawnDaemon("server", func(p *sim.Proc) {
+		l, _ := stb.Listen(11211)
+		srv.Serve(l)
+		sb.Run(p, lwt.NewPromise[struct{}](sb))
+	})
+	k.Spawn("client", func(p *sim.Proc) {
+		main := lwt.Bind(sta.Connect(stb.LocalIP, 11211), func(c *tcp.Conn) *lwt.Promise[struct{}] {
+			cl := NewClient(sa, c)
+			w := clientBody(cl, sa)
+			done := lwt.NewPromise[struct{}](sa)
+			lwt.Always(w, func() {
+				if err := w.Failed(); err != nil {
+					t.Errorf("client: %v", err)
+				}
+				done.Resolve(struct{}{})
+			})
+			return done
+		})
+		if err := sa.Run(p, main); err != nil {
+			t.Errorf("client run: %v", err)
+		}
+	})
+	if _, err := k.RunFor(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func TestSetGetDeleteRoundTrip(t *testing.T) {
+	srv := rig(t, func(cl *Client, s *lwt.Scheduler) lwt.Waiter {
+		return lwt.Bind(cl.Set("k1", []byte("value one")), func(struct{}) *lwt.Promise[struct{}] {
+			return lwt.Bind(cl.Get("k1"), func(v []byte) *lwt.Promise[struct{}] {
+				if string(v) != "value one" {
+					t.Errorf("Get = %q", v)
+				}
+				return lwt.Bind(cl.Delete("k1"), func(deleted bool) *lwt.Promise[struct{}] {
+					if !deleted {
+						t.Error("delete reported not found")
+					}
+					return lwt.Map(cl.Get("k1"), func(v []byte) struct{} {
+						if v != nil {
+							t.Errorf("Get after delete = %q", v)
+						}
+						return struct{}{}
+					})
+				})
+			})
+		})
+	})
+	if srv.Sets != 1 || srv.Gets != 2 || srv.Hits != 1 || srv.Misses != 1 {
+		t.Errorf("stats: %+v-ish sets=%d gets=%d hits=%d misses=%d", srv, srv.Sets, srv.Gets, srv.Hits, srv.Misses)
+	}
+}
+
+func TestValueContainingENDFramesCorrectly(t *testing.T) {
+	tricky := []byte("data with END\r\n inside it END\r\n really")
+	rig(t, func(cl *Client, s *lwt.Scheduler) lwt.Waiter {
+		return lwt.Bind(cl.Set("trap", tricky), func(struct{}) *lwt.Promise[struct{}] {
+			return lwt.Map(cl.Get("trap"), func(v []byte) struct{} {
+				if !bytes.Equal(v, tricky) {
+					t.Errorf("tricky value corrupted: %q", v)
+				}
+				return struct{}{}
+			})
+		})
+	})
+}
+
+func TestManyKeysPipelined(t *testing.T) {
+	const n = 50
+	srv := rig(t, func(cl *Client, s *lwt.Scheduler) lwt.Waiter {
+		chain := lwt.Return(s, struct{}{})
+		for i := 0; i < n; i++ {
+			i := i
+			chain = lwt.Bind(chain, func(struct{}) *lwt.Promise[struct{}] {
+				return cl.Set(fmt.Sprintf("key-%d", i), []byte(fmt.Sprintf("val-%d", i)))
+			})
+		}
+		for i := 0; i < n; i++ {
+			i := i
+			chain = lwt.Bind(chain, func(struct{}) *lwt.Promise[struct{}] {
+				return lwt.Map(cl.Get(fmt.Sprintf("key-%d", i)), func(v []byte) struct{} {
+					if string(v) != fmt.Sprintf("val-%d", i) {
+						t.Errorf("key-%d = %q", i, v)
+					}
+					return struct{}{}
+				})
+			})
+		}
+		return chain
+	})
+	if srv.KV.Len() != n {
+		t.Errorf("store has %d keys, want %d", srv.KV.Len(), n)
+	}
+}
+
+func TestTryHandlePartialCommands(t *testing.T) {
+	srv := NewServer(lwt.NewScheduler(sim.NewKernel(1)))
+	// Incomplete line.
+	if _, _, ok := srv.tryHandle([]byte("get ke")); ok {
+		t.Error("partial line handled")
+	}
+	// set with missing data block.
+	if _, _, ok := srv.tryHandle([]byte("set k 0 0 10\r\nabc")); ok {
+		t.Error("set handled before its data arrived")
+	}
+	// Bad command.
+	reply, _, ok := srv.tryHandle([]byte("frobnicate\r\n"))
+	if !ok || string(reply) != "ERROR\r\n" {
+		t.Errorf("bad command reply = %q", reply)
+	}
+	// Oversized set rejected.
+	reply, _, ok = srv.tryHandle([]byte("set k 0 0 99999999\r\n"))
+	if !ok || !bytes.HasPrefix(reply, []byte("CLIENT_ERROR")) {
+		t.Errorf("oversized set reply = %q", reply)
+	}
+}
+
+func TestDeleteMissingKey(t *testing.T) {
+	rig(t, func(cl *Client, s *lwt.Scheduler) lwt.Waiter {
+		return lwt.Map(cl.Delete("ghost"), func(deleted bool) struct{} {
+			if deleted {
+				t.Error("deleted a missing key")
+			}
+			return struct{}{}
+		})
+	})
+}

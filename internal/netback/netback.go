@@ -1,0 +1,338 @@
+// Package netback models the network backend of the driver domain (paper
+// §3.4): a software bridge that connects per-guest VIF backends and charges
+// realistic costs — per-packet backend CPU work on the control domain's
+// processor and per-byte serialisation on the link — before delivering
+// frames. Backends multiplex frontend requests exactly as Xen's netback
+// does: TX requests are grant-copied out of guest pages, RX frames are
+// copied into pages the guest posted in advance.
+package netback
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cstruct"
+	"repro/internal/grant"
+	"repro/internal/hypervisor"
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// MAC is an Ethernet hardware address.
+type MAC [6]byte
+
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Broadcast is the Ethernet broadcast address.
+var Broadcast = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// Endpoint is an attachment point on a bridge. Deliver is invoked in
+// simulation-kernel context when a frame arrives for the endpoint's MAC.
+type Endpoint interface {
+	MAC() MAC
+	Deliver(frame []byte)
+}
+
+// Params are the bridge cost constants.
+type Params struct {
+	PerPacketCost time.Duration // dom0 CPU work per forwarded frame
+	PerByteCost   time.Duration // link serialisation per byte (sets line rate)
+	Latency       time.Duration // propagation/notification latency
+}
+
+// DefaultParams model a host whose backend domain can switch slightly
+// above gigabit line rate, matching the paper's testbed (§4.1.3).
+func DefaultParams() Params {
+	return Params{
+		PerPacketCost: 2 * time.Microsecond,
+		PerByteCost:   4 * time.Nanosecond, // ~2 Gbit/s link ceiling
+		Latency:       10 * time.Microsecond,
+	}
+}
+
+// Bridge is the dom0 software bridge.
+type Bridge struct {
+	K      *sim.Kernel
+	CPU    *sim.CPU // backend packet-processing CPU
+	Link   *sim.CPU // serialisation resource (line rate)
+	Params Params
+
+	endpoints map[MAC]Endpoint
+
+	// Stats
+	Forwarded int
+	Flooded   int
+	NoRoute   int
+	Bytes     int
+}
+
+// NewBridge creates a bridge with its own backend CPU and link resources.
+func NewBridge(k *sim.Kernel, params Params) *Bridge {
+	return &Bridge{
+		K:         k,
+		CPU:       k.NewCPU("dom0-netback"),
+		Link:      k.NewCPU("bridge-link"),
+		Params:    params,
+		endpoints: map[MAC]Endpoint{},
+	}
+}
+
+// Attach connects an endpoint to the bridge.
+func (b *Bridge) Attach(e Endpoint) { b.endpoints[e.MAC()] = e }
+
+// Detach removes an endpoint.
+func (b *Bridge) Detach(e Endpoint) { delete(b.endpoints, e.MAC()) }
+
+// Transmit forwards a frame from src onto the bridge. The destination MAC
+// is read from the frame header (first six bytes); broadcast frames flood
+// to every endpoint except the source. The caller yields ownership of
+// frame.
+func (b *Bridge) Transmit(src MAC, frame []byte) {
+	if len(frame) < 14 {
+		return
+	}
+	var dst MAC
+	copy(dst[:], frame[0:6])
+
+	cpuDone := b.CPU.Reserve(b.Params.PerPacketCost)
+	linkDone := b.Link.Reserve(time.Duration(len(frame)) * b.Params.PerByteCost)
+	at := cpuDone
+	if linkDone > at {
+		at = linkDone
+	}
+	at = at.Add(b.Params.Latency)
+	b.Bytes += len(frame)
+
+	if dst == Broadcast {
+		b.Flooded++
+		for mac, e := range b.endpoints {
+			if mac == src {
+				continue
+			}
+			e := e
+			b.K.At(at, func() { e.Deliver(frame) })
+		}
+		return
+	}
+	e, ok := b.endpoints[dst]
+	if !ok {
+		b.NoRoute++
+		return
+	}
+	b.Forwarded++
+	b.K.At(at, func() { e.Deliver(frame) })
+}
+
+// TX/RX ring slot encodings (little-endian, within a 120-byte slot).
+//
+// TX request:  gref u32 | off u16 | len u16 | id u16 | flags u8 (bit0: more)
+// TX response: id u16 | status u8
+// RX request:  gref u32 | id u16
+// RX response: id u16 | len u16 | status u8
+const (
+	txFlagMore = 1 << 0
+
+	txOffGref  = 0
+	txOffOff   = 4
+	txOffLen   = 6
+	txOffID    = 8
+	txOffFlags = 10
+
+	rxOffGref = 0
+	rxOffID   = 4
+	rxOffLen  = 6
+	rxOffStat = 8
+)
+
+// EncodeTxReq writes a TX request into a ring slot.
+func EncodeTxReq(s *cstruct.View, gref uint32, off, length, id uint16, more bool) {
+	s.PutLE32(txOffGref, gref)
+	s.PutLE16(txOffOff, off)
+	s.PutLE16(txOffLen, length)
+	s.PutLE16(txOffID, id)
+	var f uint8
+	if more {
+		f = txFlagMore
+	}
+	s.PutU8(txOffFlags, f)
+}
+
+// DecodeTxReq reads a TX request from a ring slot.
+func DecodeTxReq(s *cstruct.View) (gref uint32, off, length, id uint16, more bool) {
+	return s.LE32(txOffGref), s.LE16(txOffOff), s.LE16(txOffLen), s.LE16(txOffID), s.U8(txOffFlags)&txFlagMore != 0
+}
+
+// EncodeTxRsp writes a TX response.
+func EncodeTxRsp(s *cstruct.View, id uint16, ok bool) {
+	s.PutLE16(txOffID, id)
+	if ok {
+		s.PutU8(txOffFlags, 1)
+	} else {
+		s.PutU8(txOffFlags, 0)
+	}
+}
+
+// DecodeTxRsp reads a TX response.
+func DecodeTxRsp(s *cstruct.View) (id uint16, ok bool) {
+	return s.LE16(txOffID), s.U8(txOffFlags) == 1
+}
+
+// EncodeRxReq writes an RX buffer post.
+func EncodeRxReq(s *cstruct.View, gref uint32, id uint16) {
+	s.PutLE32(rxOffGref, gref)
+	s.PutLE16(rxOffID, id)
+}
+
+// DecodeRxReq reads an RX buffer post.
+func DecodeRxReq(s *cstruct.View) (gref uint32, id uint16) {
+	return s.LE32(rxOffGref), s.LE16(rxOffID)
+}
+
+// EncodeRxRsp writes an RX completion.
+func EncodeRxRsp(s *cstruct.View, id, length uint16) {
+	s.PutLE16(rxOffID, id)
+	s.PutLE16(rxOffLen, length)
+	s.PutU8(rxOffStat, 1)
+}
+
+// DecodeRxRsp reads an RX completion.
+func DecodeRxRsp(s *cstruct.View) (id, length uint16) {
+	return s.LE16(rxOffID), s.LE16(rxOffLen)
+}
+
+// VIF is the backend half of a virtual interface: it drains the guest's TX
+// ring onto the bridge and fills the guest's posted RX buffers with
+// delivered frames.
+type VIF struct {
+	bridge *Bridge
+	mac    MAC
+	guest  *hypervisor.Domain
+
+	txBack *ring.Back
+	rxBack *ring.Back
+	port   *hypervisor.Port // backend end of the vif event channel
+
+	pendingRx []pendingRx // RX posts consumed from the ring, awaiting frames
+
+	// Stats
+	TxFrames int
+	RxFrames int
+	RxDrops  int // frames dropped because the guest posted no buffer
+}
+
+type pendingRx struct {
+	gref grant.Ref
+	id   uint16
+}
+
+// NewVIF attaches the backend: txPage/rxPage are the guest's shared ring
+// pages (already initialised by the frontend) and port is the backend end
+// of the event channel. The returned VIF is registered on the bridge and
+// its worker is spawned.
+func NewVIF(b *Bridge, guest *hypervisor.Domain, mac MAC, txPage, rxPage *cstruct.View, port *hypervisor.Port) *VIF {
+	v := &VIF{
+		bridge: b,
+		mac:    mac,
+		guest:  guest,
+		txBack: ring.NewBack(txPage),
+		rxBack: ring.NewBack(rxPage),
+		port:   port,
+	}
+	b.Attach(v)
+	b.K.SpawnDaemon("netback-"+mac.String(), v.worker)
+	return v
+}
+
+// MAC implements Endpoint.
+func (v *VIF) MAC() MAC { return v.mac }
+
+// Deliver implements Endpoint: an incoming frame is copied into a guest-
+// posted RX page; if none is available the frame is dropped, as hardware
+// would.
+func (v *VIF) Deliver(frame []byte) {
+	v.refillPending()
+	if len(v.pendingRx) == 0 {
+		v.RxDrops++
+		return
+	}
+	post := v.pendingRx[0]
+	v.pendingRx = v.pendingRx[1:]
+	page, err := v.guest.Grants.Map(post.gref)
+	if err != nil {
+		v.RxDrops++
+		return
+	}
+	n := len(frame)
+	if n > page.Len() {
+		n = page.Len()
+	}
+	page.PutBytes(0, frame[:n])
+	v.guest.Grants.Unmap(post.gref, page)
+	v.rxBack.PushResponse(func(s *cstruct.View) { EncodeRxRsp(s, post.id, uint16(n)) })
+	if v.rxBack.PushResponses() {
+		v.port.NotifyAsync()
+	}
+	v.RxFrames++
+}
+
+// refillPending consumes queued RX buffer posts from the ring.
+func (v *VIF) refillPending() {
+	for v.rxBack.PopRequest(func(s *cstruct.View) {
+		gref, id := DecodeRxReq(s)
+		v.pendingRx = append(v.pendingRx, pendingRx{grant.Ref(gref), id})
+	}) {
+	}
+}
+
+// worker is the backend event loop: it drains TX requests (grant-copying
+// frame fragments out of guest pages, assembling scatter-gather frames) and
+// acknowledges them. It runs as a daemon for the life of the simulation.
+func (v *VIF) worker(p *sim.Proc) {
+	var frame []byte
+	for {
+		progressed := false
+		for {
+			var gref uint32
+			var off, length, id uint16
+			var more bool
+			if !v.txBack.PopRequest(func(s *cstruct.View) {
+				gref, off, length, id, more = DecodeTxReq(s)
+			}) {
+				break
+			}
+			progressed = true
+			page, err := v.guest.Grants.Copy(grant.Ref(gref)) // netback grant-copies TX data
+			ok := err == nil
+			if ok {
+				end := int(off) + int(length)
+				if end > page.Len() {
+					ok = false
+				} else {
+					frame = append(frame, page.Slice(int(off), int(length))...)
+				}
+			}
+			if !more {
+				if ok && len(frame) >= 14 {
+					out := make([]byte, len(frame))
+					copy(out, frame)
+					v.bridge.Transmit(v.mac, out)
+					v.TxFrames++
+				}
+				frame = frame[:0]
+			}
+			v.txBack.PushResponse(func(s *cstruct.View) { EncodeTxRsp(s, id, ok) })
+		}
+		v.refillPending()
+		if v.txBack.PushResponses() {
+			v.port.NotifyAsync()
+		}
+		if !progressed {
+			if raced := v.txBack.EnableRequestEvents(); raced {
+				continue
+			}
+			p.Wait(v.port.Sig)
+		}
+	}
+}

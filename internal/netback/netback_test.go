@@ -1,0 +1,143 @@
+package netback
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cstruct"
+	"repro/internal/sim"
+)
+
+// stubEndpoint records delivered frames.
+type stubEndpoint struct {
+	mac    MAC
+	frames [][]byte
+}
+
+func (s *stubEndpoint) MAC() MAC         { return s.mac }
+func (s *stubEndpoint) Deliver(f []byte) { s.frames = append(s.frames, f) }
+
+func frame(dst, src MAC, n int) []byte {
+	f := make([]byte, 14+n)
+	copy(f[0:6], dst[:])
+	copy(f[6:12], src[:])
+	return f
+}
+
+func TestBridgeUnicastForwarding(t *testing.T) {
+	k := sim.NewKernel(1)
+	b := NewBridge(k, DefaultParams())
+	a := &stubEndpoint{mac: MAC{1}}
+	c := &stubEndpoint{mac: MAC{2}}
+	b.Attach(a)
+	b.Attach(c)
+	b.Transmit(a.mac, frame(c.mac, a.mac, 100))
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.frames) != 1 || len(a.frames) != 0 {
+		t.Errorf("frames: dst=%d src=%d", len(c.frames), len(a.frames))
+	}
+	if b.Forwarded != 1 {
+		t.Errorf("Forwarded = %d", b.Forwarded)
+	}
+}
+
+func TestBridgeBroadcastFloodsExceptSource(t *testing.T) {
+	k := sim.NewKernel(1)
+	b := NewBridge(k, DefaultParams())
+	eps := []*stubEndpoint{{mac: MAC{1}}, {mac: MAC{2}}, {mac: MAC{3}}}
+	for _, e := range eps {
+		b.Attach(e)
+	}
+	b.Transmit(eps[0].mac, frame(Broadcast, eps[0].mac, 50))
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(eps[0].frames) != 0 || len(eps[1].frames) != 1 || len(eps[2].frames) != 1 {
+		t.Error("broadcast delivery wrong")
+	}
+}
+
+func TestBridgeUnknownDestinationCounted(t *testing.T) {
+	k := sim.NewKernel(1)
+	b := NewBridge(k, DefaultParams())
+	b.Transmit(MAC{1}, frame(MAC{9}, MAC{1}, 10))
+	if b.NoRoute != 1 {
+		t.Errorf("NoRoute = %d", b.NoRoute)
+	}
+}
+
+func TestBridgeDeliveryDelayIncludesCosts(t *testing.T) {
+	k := sim.NewKernel(1)
+	p := DefaultParams()
+	b := NewBridge(k, p)
+	dst := &stubEndpoint{mac: MAC{2}}
+	b.Attach(dst)
+	var deliveredAt sim.Time
+	wrapped := &hookEndpoint{inner: dst, hook: func() { deliveredAt = k.Now() }}
+	b.Detach(dst)
+	b.Attach(wrapped)
+	b.Transmit(MAC{1}, frame(MAC{2}, MAC{1}, 1486))
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	min := p.Latency + p.PerPacketCost
+	if deliveredAt.Sub(0) < min {
+		t.Errorf("delivered after %v, want >= %v", deliveredAt.Sub(0), min)
+	}
+}
+
+type hookEndpoint struct {
+	inner *stubEndpoint
+	hook  func()
+}
+
+func (h *hookEndpoint) MAC() MAC         { return h.inner.mac }
+func (h *hookEndpoint) Deliver(f []byte) { h.hook(); h.inner.Deliver(f) }
+
+func TestBridgeLinkSerialisation(t *testing.T) {
+	// Many large frames at once: the link resource serialises them, so
+	// total time reflects the configured line rate.
+	k := sim.NewKernel(1)
+	p := DefaultParams()
+	b := NewBridge(k, p)
+	dst := &stubEndpoint{mac: MAC{2}}
+	b.Attach(dst)
+	const frames = 100
+	for i := 0; i < frames; i++ {
+		b.Transmit(MAC{1}, frame(MAC{2}, MAC{1}, 1486))
+	}
+	end, err := k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := time.Duration(frames*1500) * p.PerByteCost
+	if end.Sub(0) < wire {
+		t.Errorf("burst done in %v, faster than line rate %v", end.Sub(0), wire)
+	}
+	if len(dst.frames) != frames {
+		t.Errorf("delivered %d/%d", len(dst.frames), frames)
+	}
+}
+
+func TestTxRxSlotCodecs(t *testing.T) {
+	s := mkSlot()
+	EncodeTxReq(s, 77, 10, 1400, 5, true)
+	gref, off, l, id, more := DecodeTxReq(s)
+	if gref != 77 || off != 10 || l != 1400 || id != 5 || !more {
+		t.Error("tx req codec broken")
+	}
+	EncodeRxReq(s, 88, 9)
+	g2, id2 := DecodeRxReq(s)
+	if g2 != 88 || id2 != 9 {
+		t.Error("rx req codec broken")
+	}
+	EncodeRxRsp(s, 9, 1234)
+	id3, l3 := DecodeRxRsp(s)
+	if id3 != 9 || l3 != 1234 {
+		t.Error("rx rsp codec broken")
+	}
+}
+
+func mkSlot() *cstruct.View { return cstruct.Make(120) }

@@ -1,0 +1,273 @@
+// Package netif is the guest network frontend driver (paper §3.4): a pure
+// library over the shared-ring and grant abstractions that interoperates
+// with the netback backend. Transmit is scatter-gather — the stack passes a
+// header fragment plus payload sub-views and each fragment is granted to
+// the backend by reference (Figure 4). Receive pre-posts whole I/O pages;
+// arriving frames are handed to the stack as zero-copy sub-views of those
+// pages, which return to the pool once every view is released.
+//
+// The frontend/backend rendezvous happens through xenstore, as on real Xen:
+// the frontend writes its ring grant references, event channel and MAC
+// under its device path and moves the state entry through the XenbusState
+// values; the backend reads them and connects.
+package netif
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/cstruct"
+	"repro/internal/grant"
+	"repro/internal/hypervisor"
+	"repro/internal/netback"
+	"repro/internal/pvboot"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/xenstore"
+)
+
+// MTU is the Ethernet payload limit.
+const MTU = 1500
+
+// rxSlots is how many receive buffers the frontend keeps posted.
+const rxSlots = ring.Slots - 1
+
+// Netif is a connected guest network interface.
+type Netif struct {
+	vm   *pvboot.VM
+	mac  netback.MAC
+	port *hypervisor.Port
+
+	txFront *ring.Front
+	rxFront *ring.Front
+
+	recv func(*cstruct.View)
+
+	nextID     uint16
+	txInflight map[uint16][]txFrag
+	txQueue    [][]txFrag // waiting for ring slots
+	rxPosted   map[uint16]rxPost
+
+	// Stats
+	TxPackets int
+	RxPackets int
+	TxQueued  int
+}
+
+type txFrag struct {
+	gref grant.Ref
+	view *cstruct.View
+	more bool
+}
+
+type rxPost struct {
+	gref grant.Ref
+	page *cstruct.View
+}
+
+// Attach creates and connects a network interface for vm on bridge b, with
+// dom0 as the driver domain, performing the xenstore handshake under
+// /local/domain/<id>/device/vif/0.
+func Attach(vm *pvboot.VM, b *netback.Bridge, dom0 *hypervisor.Domain, st *xenstore.Store, mac netback.MAC) (*Netif, error) {
+	d := vm.Dom
+	txPage := d.Pool.Get()
+	rxPage := d.Pool.Get()
+	n := &Netif{
+		vm:         vm,
+		mac:        mac,
+		txFront:    ring.NewFront(txPage),
+		rxFront:    ring.NewFront(rxPage),
+		txInflight: map[uint16][]txFrag{},
+		rxPosted:   map[uint16]rxPost{},
+	}
+	txGref := d.Grants.Grant(txPage, false)
+	rxGref := d.Grants.Grant(rxPage, false)
+	gport, bport := hypervisor.Connect(d, dom0)
+	n.port = gport
+
+	path := fmt.Sprintf("/local/domain/%d/device/vif/0", d.ID)
+	for k, v := range map[string]string{
+		"/tx-ring-ref":   strconv.Itoa(int(txGref)),
+		"/rx-ring-ref":   strconv.Itoa(int(rxGref)),
+		"/event-channel": strconv.Itoa(gport.Index),
+		"/mac":           mac.String(),
+		"/state":         "3", // XenbusStateInitialised
+	} {
+		if err := st.Write(path+k, v); err != nil {
+			return nil, err
+		}
+	}
+
+	// Backend connects: it reads the refs, maps the ring pages and
+	// spawns its worker.
+	if err := connectBackend(st, path, d, b, bport, mac); err != nil {
+		return nil, err
+	}
+	st.Write(path+"/state", "4") // XenbusStateConnected
+
+	vm.WatchPort(gport, n.onEvent)
+	n.fillRx()
+	return n, nil
+}
+
+// connectBackend performs the backend half of the handshake.
+func connectBackend(st *xenstore.Store, path string, guest *hypervisor.Domain, b *netback.Bridge, bport *hypervisor.Port, mac netback.MAC) error {
+	readRef := func(key string) (grant.Ref, error) {
+		s, err := st.Read(path + key)
+		if err != nil {
+			return 0, err
+		}
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return 0, err
+		}
+		return grant.Ref(v), nil
+	}
+	txRef, err := readRef("/tx-ring-ref")
+	if err != nil {
+		return err
+	}
+	rxRef, err := readRef("/rx-ring-ref")
+	if err != nil {
+		return err
+	}
+	txPage, err := guest.Grants.Map(txRef)
+	if err != nil {
+		return err
+	}
+	rxPage, err := guest.Grants.Map(rxRef)
+	if err != nil {
+		return err
+	}
+	netback.NewVIF(b, guest, mac, txPage, rxPage, bport)
+	return nil
+}
+
+// MAC returns the interface's hardware address.
+func (n *Netif) MAC() netback.MAC { return n.mac }
+
+// SetReceiver installs the upcall invoked with each received frame view.
+// The receiver owns the view and must Release it (directly or through the
+// stack's zero-copy discipline).
+func (n *Netif) SetReceiver(fn func(*cstruct.View)) { n.recv = fn }
+
+// fillRx keeps rxSlots buffers posted.
+func (n *Netif) fillRx() {
+	for len(n.rxPosted) < rxSlots && n.rxFront.Free() > 0 {
+		page := n.vm.Dom.Pool.Get()
+		gref := n.vm.Dom.Grants.Grant(page, false)
+		n.nextID++
+		id := n.nextID
+		n.rxPosted[id] = rxPost{gref, page}
+		n.rxFront.PushRequest(func(s *cstruct.View) { netback.EncodeRxReq(s, uint32(gref), id) })
+	}
+	n.rxFront.PushRequests()
+}
+
+// Send transmits a frame made of one or more fragments (header page plus
+// payload sub-views, Figure 4). Ownership of the fragment views passes to
+// the driver; they are released when the backend acknowledges the frame.
+// If the ring is momentarily full the frame is queued.
+func (n *Netif) Send(p *sim.Proc, frags ...*cstruct.View) {
+	if len(frags) == 0 {
+		return
+	}
+	tf := make([]txFrag, len(frags))
+	for i, f := range frags {
+		tf[i] = txFrag{
+			gref: n.vm.Dom.Grants.Grant(f, true),
+			view: f,
+			more: i < len(frags)-1,
+		}
+	}
+	if n.txFront.Free() < len(tf) {
+		n.txQueue = append(n.txQueue, tf)
+		n.TxQueued++
+		return
+	}
+	n.pushTx(p, tf)
+}
+
+func (n *Netif) pushTx(p *sim.Proc, tf []txFrag) {
+	n.nextID++
+	id := n.nextID
+	n.txInflight[id] = tf
+	for _, f := range tf {
+		f := f
+		n.txFront.PushRequest(func(s *cstruct.View) {
+			netback.EncodeTxReq(s, uint32(f.gref), 0, uint16(f.view.Len()), id, f.more)
+		})
+	}
+	n.TxPackets++
+	if n.txFront.PushRequests() {
+		if p != nil {
+			n.port.Notify(p)
+		} else {
+			n.port.NotifyAsync() // from run-loop context, no proc to charge
+		}
+	}
+}
+
+// onEvent handles ring completions inside the scheduler run loop, using
+// the standard drain / re-arm / re-check protocol so no completion is lost.
+func (n *Netif) onEvent() {
+	for {
+		n.drainCompletions()
+		racedTx := n.txFront.EnableResponseEvents()
+		racedRx := n.rxFront.EnableResponseEvents()
+		if !racedTx && !racedRx {
+			return
+		}
+	}
+}
+
+func (n *Netif) drainCompletions() {
+	// TX completions: release grants and fragment views.
+	var doneIDs []uint16
+	for n.txFront.PopResponse(func(s *cstruct.View) {
+		id, _ := netback.DecodeTxRsp(s)
+		doneIDs = append(doneIDs, id)
+	}) {
+	}
+	seen := map[uint16]bool{}
+	for _, id := range doneIDs {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		for _, f := range n.txInflight[id] {
+			n.vm.Dom.Grants.End(f.gref)
+			f.view.Release()
+		}
+		delete(n.txInflight, id)
+	}
+	// Drain queued frames into freed slots.
+	for len(n.txQueue) > 0 && n.txFront.Free() >= len(n.txQueue[0]) {
+		tf := n.txQueue[0]
+		n.txQueue = n.txQueue[1:]
+		n.pushTx(nil, tf)
+	}
+
+	// RX completions: hand zero-copy sub-views to the stack and repost.
+	for {
+		var id, length uint16
+		if !n.rxFront.PopResponse(func(s *cstruct.View) { id, length = netback.DecodeRxRsp(s) }) {
+			break
+		}
+		post, ok := n.rxPosted[id]
+		if !ok {
+			continue
+		}
+		delete(n.rxPosted, id)
+		n.vm.Dom.Grants.End(post.gref)
+		frame := post.page.Sub(0, int(length))
+		post.page.Release() // stack sub-views now own the page
+		n.RxPackets++
+		if n.recv != nil {
+			n.recv(frame)
+		} else {
+			frame.Release()
+		}
+	}
+	n.fillRx()
+}

@@ -1,0 +1,129 @@
+// Package pvboot provides start-of-day support for a unikernel guest
+// (paper §3.2): it initialises a VM with one virtual CPU and event
+// channels, lays out the single 64-bit address space, installs W^X page
+// permissions, optionally issues the seal hypercall (§2.3.3), and hands
+// control to an entry function running over the lwt scheduler.
+//
+// Unlike a conventional OS there are no processes and no preemptive
+// threads: the VM is either executing OCaml-analogue code or blocked on
+// domainpoll, and it shuts down when the main thread returns.
+package pvboot
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hypervisor"
+	"repro/internal/lwt"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Options configure guest start-of-day.
+type Options struct {
+	// BinarySize is the unikernel image size (text+data) in bytes; it
+	// determines the layout and part of the boot cost.
+	BinarySize uint64
+	// Seal issues the seal hypercall after page tables are installed.
+	Seal bool
+	// HeapBackend selects extent (default) or malloc major-heap growth.
+	HeapBackend mem.GrowthBackend
+	// InitCost is guest-side runtime initialisation work; the default
+	// models Mirage's tiny start-of-day (the paper's sub-50 ms total
+	// boot is dominated by domain construction).
+	InitCost time.Duration
+	// WakeCost is the per-timer-wake dispatch cost for the scheduler.
+	WakeCost time.Duration
+}
+
+// VM is a booted unikernel guest: the runtime state an entry function works
+// with.
+type VM struct {
+	Dom    *hypervisor.Domain
+	S      *lwt.Scheduler
+	Layout *mem.Layout
+	Heap   *mem.Heap
+	Slab   *mem.Slab
+	Extent *mem.Extent
+}
+
+// defaultInitCost is the guest-side boot work (runtime init, driver
+// handshakes) of a Mirage unikernel.
+const defaultInitCost = 4 * time.Millisecond
+
+// Boot performs start-of-day initialisation for domain d in proc p and
+// returns the VM handle. The domain's page tables are populated with the
+// W^X layout of Figure 2 before any application code runs.
+func Boot(d *hypervisor.Domain, p *sim.Proc, opts Options) (*VM, error) {
+	if opts.InitCost == 0 {
+		opts.InitCost = defaultInitCost
+	}
+	if opts.BinarySize == 0 {
+		opts.BinarySize = 256 << 10
+	}
+	p.Use(d.VCPU, opts.InitCost)
+
+	layout, err := mem.NewLayout(d.MemBytes, opts.BinarySize)
+	if err != nil {
+		return nil, fmt.Errorf("pvboot: %w", err)
+	}
+	if err := layout.Validate(); err != nil {
+		return nil, fmt.Errorf("pvboot: %w", err)
+	}
+
+	// Install region-granularity page permissions: text executable but
+	// never writable, everything else writable but never executable.
+	pt := d.PT
+	entries := []struct {
+		base  uint64
+		flags hypervisor.PageFlags
+	}{
+		{layout.TextData.Base, hypervisor.PageR | hypervisor.PageX},
+		{layout.TextData.Base + layout.TextData.Size/2, hypervisor.PageR | hypervisor.PageW}, // data half
+		{layout.IOData.Base, hypervisor.PageR | hypervisor.PageW | hypervisor.PageIO},
+		{layout.MinorHeap.Base, hypervisor.PageR | hypervisor.PageW},
+		{layout.MajorHeap.Base, hypervisor.PageR | hypervisor.PageW},
+	}
+	for _, e := range entries {
+		if err := pt.Map(e.base, e.flags); err != nil {
+			return nil, fmt.Errorf("pvboot: mapping %#x: %w", e.base, err)
+		}
+	}
+	if opts.Seal {
+		if err := d.Seal(p); err != nil {
+			return nil, fmt.Errorf("pvboot: %w", err)
+		}
+	}
+
+	cfg := mem.DefaultHeapConfig()
+	cfg.Backend = opts.HeapBackend
+	if opts.HeapBackend == mem.GrowMalloc {
+		cfg.ChunkTrackCost = 50 * time.Nanosecond
+	}
+	heap := mem.NewHeap(cfg)
+
+	s := lwt.NewScheduler(d.Host.K)
+	s.Heap = heap
+	s.CPU = d.VCPU
+	s.WakeCost = opts.WakeCost
+
+	ext := mem.NewExtent(layout.MajorHeap)
+	return &VM{Dom: d, S: s, Layout: layout, Heap: heap, Slab: mem.NewSlab(), Extent: ext}, nil
+}
+
+// WatchPort wires an event-channel port into the scheduler's run loop: fn
+// runs whenever the port fires while the VM is blocked in domainpoll.
+func (vm *VM) WatchPort(pt *hypervisor.Port, fn func()) {
+	vm.S.OnSignal(pt.Sig, fn)
+}
+
+// Main runs the scheduler until main completes and returns the VM exit
+// code: 0 on success, 1 if the main thread failed (§3.3: the domain shuts
+// down with the exit code matching the thread return value).
+func (vm *VM) Main(p *sim.Proc, main lwt.Waiter) int {
+	if err := vm.S.Run(p, main); err != nil {
+		vm.Dom.Console("main thread failed: " + err.Error())
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,456 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel owns a virtual clock and an event queue. Simulated activities
+// run as Procs: goroutines that are strictly coroutine-scheduled so that at
+// most one of them (or the kernel itself) executes at any instant. Procs
+// park on timers, signals, or CPU resources; the kernel advances virtual
+// time to the next scheduled event whenever no proc is runnable.
+//
+// Determinism: the run queue is FIFO, timed events are ordered by
+// (time, insertion sequence), and all randomness flows through the kernel's
+// seeded RNG. Two runs of the same program observe identical virtual-time
+// traces.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Time is an instant of virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Add returns the instant d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and u (t - u).
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration converts t, interpreted as a span, into a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+func (h eventHeap) peek() *event { return h[0] }
+
+// Kernel is a discrete-event simulation kernel. Create one with NewKernel;
+// the zero value is not usable.
+type Kernel struct {
+	now     Time
+	events  eventHeap
+	runq    []*Proc
+	seq     uint64
+	rng     *rand.Rand
+	live    map[*Proc]struct{}
+	stopped bool
+	limit   Time // 0 means no limit
+	procSeq int
+
+	// parked receives the proc that just yielded control back to the
+	// kernel (or nil when it exited).
+	parked chan *Proc
+
+	panicVal any
+	panicked bool
+}
+
+// NewKernel returns a kernel with virtual time 0 and an RNG seeded with seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		rng:    rand.New(rand.NewSource(seed)),
+		live:   map[*Proc]struct{}{},
+		parked: make(chan *Proc),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// At schedules fn to run in kernel context at virtual time t. Times in the
+// past run at the current instant, after already-queued events.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current instant.
+func (k *Kernel) After(d time.Duration, fn func()) { k.At(k.now.Add(d), fn) }
+
+// Stop terminates the run loop after the currently executing step.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// StopAt sets a virtual-time limit: Run returns once the clock would pass t.
+func (k *Kernel) StopAt(t Time) { k.limit = t }
+
+// Proc is a simulated process: a goroutine coroutine-scheduled by the kernel.
+type Proc struct {
+	k      *Kernel
+	name   string
+	id     int
+	resume chan struct{}
+	ready  bool // already on the run queue or scheduled to wake
+	done   bool
+	daemon bool   // daemon procs may remain parked at simulation end
+	parkAt string // description of the current park site, for diagnostics
+}
+
+// Name returns the name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Spawn creates a process running fn and marks it runnable. fn starts
+// executing when the kernel next schedules it.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	k.procSeq++
+	p := &Proc{k: k, name: name, id: k.procSeq, resume: make(chan struct{})}
+	k.live[p] = struct{}{}
+	go func() {
+		<-p.resume
+		defer func() {
+			if v := recover(); v != nil {
+				k.panicVal = fmt.Sprintf("sim: proc %q panicked: %v", p.name, v)
+				k.panicked = true
+			}
+			p.done = true
+			k.parked <- nil
+		}()
+		fn(p)
+	}()
+	p.ready = true
+	k.runq = append(k.runq, p)
+	return p
+}
+
+// SpawnDaemon creates a process like Spawn, but the simulation is allowed
+// to end while it is still parked (device backends, servers).
+func (k *Kernel) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
+	p := k.Spawn(name, fn)
+	p.daemon = true
+	return p
+}
+
+// schedule marks p runnable at the current instant (idempotent).
+func (k *Kernel) schedule(p *Proc) {
+	if p.ready || p.done {
+		return
+	}
+	p.ready = true
+	k.runq = append(k.runq, p)
+}
+
+// step runs one runnable proc or advances the clock to the next event.
+// It reports whether any progress was made.
+func (k *Kernel) step() bool {
+	for len(k.runq) == 0 && len(k.events) > 0 {
+		e := k.events.peek()
+		if k.limit != 0 && e.at > k.limit {
+			return false
+		}
+		heap.Pop(&k.events)
+		k.now = e.at
+		e.fn() // may schedule procs or more events
+	}
+	if len(k.runq) == 0 {
+		return false
+	}
+	p := k.runq[0]
+	k.runq = k.runq[1:]
+	p.ready = false
+	if p.done {
+		return true
+	}
+	p.resume <- struct{}{}
+	<-k.parked
+	if p.done {
+		delete(k.live, p)
+	}
+	if k.panicked {
+		panic(k.panicVal)
+	}
+	return true
+}
+
+// Run executes the simulation until no proc is runnable and no event is
+// pending (or Stop/StopAt applies). It returns the final virtual time.
+// If live procs remain parked with nothing to wake them, Run returns an
+// error describing the deadlock.
+func (k *Kernel) Run() (Time, error) {
+	for !k.stopped {
+		if !k.step() {
+			break
+		}
+	}
+	nondaemon := 0
+	for p := range k.live {
+		if !p.daemon {
+			nondaemon++
+		}
+	}
+	if !k.stopped && (k.limit == 0 || len(k.events) == 0) && nondaemon > 0 {
+		return k.now, fmt.Errorf("sim: deadlock at %v: %d procs parked: %s", k.now, nondaemon, k.parkedProcs())
+	}
+	return k.now, nil
+}
+
+// RunFor advances the simulation by d of virtual time.
+func (k *Kernel) RunFor(d time.Duration) (Time, error) {
+	prev := k.limit
+	k.limit = k.now.Add(d)
+	t, err := k.Run()
+	if k.now < k.limit {
+		k.now = k.limit
+		t = k.now
+	}
+	k.limit = prev
+	k.stopped = false
+	return t, err
+}
+
+func (k *Kernel) parkedProcs() string {
+	var names []string
+	for p := range k.live {
+		names = append(names, fmt.Sprintf("%s@%s", p.name, p.parkAt))
+	}
+	sort.Strings(names)
+	if len(names) > 8 {
+		names = append(names[:8], "...")
+	}
+	return fmt.Sprint(names)
+}
+
+// park blocks p until the kernel resumes it. The caller must already have
+// arranged for a future schedule(p) (timer, signal, ...).
+func (p *Proc) park(site string) {
+	p.parkAt = site
+	p.k.parked <- p
+	<-p.resume
+	p.parkAt = ""
+}
+
+// Yield places p at the back of the run queue and lets other work run at
+// the same instant.
+func (p *Proc) Yield() {
+	p.ready = true
+	p.k.runq = append(p.k.runq, p)
+	p.park("yield")
+}
+
+// Sleep parks p for d of virtual time. Non-positive d yields.
+func (p *Proc) Sleep(d time.Duration) {
+	if d <= 0 {
+		p.Yield()
+		return
+	}
+	k := p.k
+	k.After(d, func() { k.schedule(p) })
+	p.park("sleep")
+}
+
+// SleepUntil parks p until virtual time t.
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.k.now {
+		p.Yield()
+		return
+	}
+	p.Sleep(t.Sub(p.k.now))
+}
+
+// Signal is a level-triggered wakeup source: Set marks it pending and wakes
+// every waiter; waiting on an already-pending signal returns immediately and
+// consumes the pending state.
+type Signal struct {
+	k       *Kernel
+	name    string
+	pending bool
+	waiters []*Proc
+	// Notify hooks run in kernel context on every Set; used by pollers
+	// that multiplex many signals without one proc per signal.
+	hooks []func()
+}
+
+// NewSignal creates a signal owned by k.
+func (k *Kernel) NewSignal(name string) *Signal { return &Signal{k: k, name: name} }
+
+// Name returns the signal's name.
+func (s *Signal) Name() string { return s.name }
+
+// Pending reports whether the signal has an unconsumed Set.
+func (s *Signal) Pending() bool { return s.pending }
+
+// Clear discards any pending state.
+func (s *Signal) Clear() { s.pending = false }
+
+// OnSet registers fn to run (in kernel context) each time the signal fires.
+func (s *Signal) OnSet(fn func()) { s.hooks = append(s.hooks, fn) }
+
+// Set marks the signal pending and wakes all current waiters at the current
+// instant. Safe to call from proc or kernel context.
+func (s *Signal) Set() {
+	s.pending = true
+	for _, w := range s.waiters {
+		s.k.schedule(w)
+	}
+	s.waiters = s.waiters[:0]
+	for _, h := range s.hooks {
+		h()
+	}
+}
+
+// Wait parks p until the signal fires (or returns immediately, consuming a
+// pending Set).
+func (p *Proc) Wait(s *Signal) {
+	if s.pending {
+		s.pending = false
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.park("wait:" + s.name)
+	s.pending = false
+}
+
+// WaitAny parks p until any of sigs fires or timeout elapses. It returns the
+// index of the signal that fired, or -1 on timeout. A timeout of 0 means no
+// timeout. Pending signals are consumed and returned immediately.
+func (p *Proc) WaitAny(timeout time.Duration, sigs ...*Signal) int {
+	for i, s := range sigs {
+		if s.pending {
+			s.pending = false
+			return i
+		}
+	}
+	for _, s := range sigs {
+		s.waiters = append(s.waiters, p)
+	}
+	done := false
+	if timeout > 0 {
+		p.k.After(timeout, func() {
+			if !done {
+				p.k.schedule(p)
+			}
+		})
+	}
+	p.park("waitany")
+	done = true
+	result := -1
+	for i, s := range sigs {
+		// Detect which signal fired and remove p from all waiter lists.
+		if s.pending && result == -1 {
+			s.pending = false
+			result = i
+		}
+		for j, w := range s.waiters {
+			if w == p {
+				s.waiters = append(s.waiters[:j], s.waiters[j+1:]...)
+				break
+			}
+		}
+	}
+	return result
+}
+
+// CPU models a serially-shared processing resource. Procs consume virtual
+// CPU time with Use; overlapping requests queue in call order, so a busy CPU
+// delays later work — this is how compute contention appears in benchmarks.
+type CPU struct {
+	k      *Kernel
+	name   string
+	freeAt Time
+	busy   time.Duration // total busy time accumulated
+	speed  float64       // relative speed multiplier (1.0 = nominal)
+}
+
+// NewCPU creates a CPU resource with relative speed 1.0.
+func (k *Kernel) NewCPU(name string) *CPU { return &CPU{k: k, name: name, speed: 1.0} }
+
+// SetSpeed sets the relative speed multiplier; work of nominal duration d
+// occupies d/speed.
+func (c *CPU) SetSpeed(s float64) {
+	if s <= 0 {
+		panic("sim: CPU speed must be positive")
+	}
+	c.speed = s
+}
+
+// Name returns the CPU's name.
+func (c *CPU) Name() string { return c.name }
+
+// BusyTime returns the total virtual time this CPU has spent executing work.
+func (c *CPU) BusyTime() time.Duration { return c.busy }
+
+// Utilization returns busy time divided by elapsed virtual time.
+func (c *CPU) Utilization() float64 {
+	if c.k.now == 0 {
+		return 0
+	}
+	return float64(c.busy) / float64(c.k.now)
+}
+
+// reserve books d of CPU time and returns the completion instant without
+// blocking. Exposed for asynchronous cost accounting (e.g. device models).
+func (c *CPU) reserve(d time.Duration) Time {
+	d = time.Duration(float64(d) / c.speed)
+	start := c.k.now
+	if c.freeAt > start {
+		start = c.freeAt
+	}
+	end := start.Add(d)
+	c.freeAt = end
+	c.busy += d
+	return end
+}
+
+// Reserve books d of CPU time asynchronously and returns the virtual instant
+// at which that work completes. Use it for device/backend cost accounting
+// where no proc should block.
+func (c *CPU) Reserve(d time.Duration) Time { return c.reserve(d) }
+
+// Use consumes d of CPU time on c, parking p until the work completes.
+func (p *Proc) Use(c *CPU, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	end := c.reserve(d)
+	p.SleepUntil(end)
+}

@@ -1,0 +1,419 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/cstruct"
+	"repro/internal/lwt"
+)
+
+// BTree is an append-only copy-on-write B-tree over the Block API — the
+// Baardskeerder port of §3.5.2/§4.4. Every update appends fresh node pages
+// and finishes by writing the superblock's root pointer, so old roots
+// remain intact on the device (historical snapshots) and a torn update is
+// invisible. Buffer management is explicit: the library keeps its own node
+// cache and the device path is always direct.
+type BTree struct {
+	s   *lwt.Scheduler
+	dev Device
+
+	cache    map[uint64]*bnode
+	root     uint64
+	nextPage uint64
+	pending  []lwt.Waiter // outstanding node writes for the current op
+
+	// Limits (bytes); keys and values beyond these are rejected.
+	MaxKey, MaxVal int
+
+	// Stats
+	NodesWritten int
+	CacheMisses  int
+	Sets, Gets   int
+}
+
+const (
+	maxLeafKeys     = 12
+	maxInternalKeys = 16
+	superMagic      = 0xBAA2D5EE
+)
+
+type bnode struct {
+	leaf bool
+	keys [][]byte
+	vals [][]byte // leaf only
+	kids []uint64 // internal only: len(keys)+1
+}
+
+func (n *bnode) full() bool {
+	if n.leaf {
+		return len(n.keys) >= maxLeafKeys
+	}
+	return len(n.keys) >= maxInternalKeys
+}
+
+func (n *bnode) clone() *bnode {
+	c := &bnode{leaf: n.leaf}
+	c.keys = append([][]byte(nil), n.keys...)
+	c.vals = append([][]byte(nil), n.vals...)
+	c.kids = append([]uint64(nil), n.kids...)
+	return c
+}
+
+// NewBTree creates an empty tree on dev (formatting page 0 and an empty
+// root). The returned promise resolves when the empty tree is durable.
+func NewBTree(s *lwt.Scheduler, dev Device) (*BTree, *lwt.Promise[struct{}]) {
+	t := &BTree{
+		s: s, dev: dev,
+		cache:  map[uint64]*bnode{},
+		MaxKey: 64, MaxVal: 256,
+		nextPage: 1,
+	}
+	t.root = t.appendNode(&bnode{leaf: true})
+	done := t.commit()
+	return t, done
+}
+
+// OpenBTree attaches to an existing tree by reading the superblock.
+func OpenBTree(s *lwt.Scheduler, dev Device) *lwt.Promise[*BTree] {
+	return lwt.Bind(dev.Read(0, PageSectors), func(v *cstruct.View) *lwt.Promise[*BTree] {
+		defer v.Release()
+		if v.BE32(0) != superMagic {
+			return lwt.FailWith[*BTree](s, fmt.Errorf("btree: bad superblock magic"))
+		}
+		t := &BTree{
+			s: s, dev: dev,
+			cache:  map[uint64]*bnode{},
+			MaxKey: 64, MaxVal: 256,
+			root:     v.BE64(4),
+			nextPage: v.BE64(12),
+		}
+		return lwt.Return(s, t)
+	})
+}
+
+// appendNode assigns a fresh page, caches the node, and issues the device
+// write (collected into pending for the current operation's durability).
+func (t *BTree) appendNode(n *bnode) uint64 {
+	pg := t.nextPage
+	t.nextPage++
+	t.cache[pg] = n
+	t.NodesWritten++
+	buf := encodeNode(n)
+	t.pending = append(t.pending, t.dev.Write(pg*PageSectors, buf))
+	return pg
+}
+
+// commit writes the superblock and returns a promise for full durability
+// of the operation (all appended nodes + the root pointer).
+func (t *BTree) commit() *lwt.Promise[struct{}] {
+	sb := make([]byte, SectorSize)
+	v := cstruct.Wrap(sb)
+	v.PutBE32(0, superMagic)
+	v.PutBE64(4, t.root)
+	v.PutBE64(12, t.nextPage)
+	writes := append(t.pending, t.dev.Write(0, sb))
+	t.pending = nil
+	return lwt.Join(t.s, writes...)
+}
+
+// load fetches a node through the cache.
+func (t *BTree) load(pg uint64) *lwt.Promise[*bnode] {
+	if n, ok := t.cache[pg]; ok {
+		return lwt.Return(t.s, n)
+	}
+	t.CacheMisses++
+	return lwt.Bind(t.dev.Read(pg*PageSectors, PageSectors), func(v *cstruct.View) *lwt.Promise[*bnode] {
+		defer v.Release()
+		n, err := decodeNode(v)
+		if err != nil {
+			return lwt.FailWith[*bnode](t.s, err)
+		}
+		t.cache[pg] = n
+		return lwt.Return(t.s, n)
+	})
+}
+
+// Root returns the current root page (usable with GetAt for snapshots).
+func (t *BTree) Root() uint64 { return t.root }
+
+// Set inserts or replaces key. The promise resolves when the update is
+// durable (new path pages and superblock written).
+func (t *BTree) Set(key, value []byte) *lwt.Promise[struct{}] {
+	t.Sets++
+	if len(key) == 0 || len(key) > t.MaxKey || len(value) > t.MaxVal {
+		return lwt.FailWith[struct{}](t.s, fmt.Errorf("btree: key/value size out of range (%d/%d)", len(key), len(value)))
+	}
+	k := append([]byte(nil), key...)
+	v := append([]byte(nil), value...)
+	return lwt.Bind(t.load(t.root), func(rn *bnode) *lwt.Promise[struct{}] {
+		rootPg := t.root
+		if rn.full() {
+			// Grow: split the root under a new internal root.
+			l, r, median := splitNode(rn)
+			lp, rp := t.appendNode(l), t.appendNode(r)
+			nr := &bnode{keys: [][]byte{median}, kids: []uint64{lp, rp}}
+			rootPg = t.appendNode(nr)
+		}
+		return lwt.Bind(t.insertNonFull(rootPg, k, v), func(newRoot uint64) *lwt.Promise[struct{}] {
+			t.root = newRoot
+			return t.commit()
+		})
+	})
+}
+
+// insertNonFull inserts into the subtree at pg (guaranteed not full) and
+// resolves with the subtree's new (copied) root page.
+func (t *BTree) insertNonFull(pg uint64, k, v []byte) *lwt.Promise[uint64] {
+	return lwt.Bind(t.load(pg), func(n *bnode) *lwt.Promise[uint64] {
+		n2 := n.clone()
+		if n2.leaf {
+			i := search(n2.keys, k)
+			if i < len(n2.keys) && bytes.Equal(n2.keys[i], k) {
+				n2.vals[i] = v
+			} else {
+				n2.keys = insertBytes(n2.keys, i, k)
+				n2.vals = insertBytes(n2.vals, i, v)
+			}
+			return lwt.Return(t.s, t.appendNode(n2))
+		}
+		i := search(n2.keys, k)
+		if i < len(n2.keys) && bytes.Equal(n2.keys[i], k) {
+			i++ // equal keys descend right
+		}
+		return lwt.Bind(t.load(n2.kids[i]), func(c *bnode) *lwt.Promise[uint64] {
+			if c.full() {
+				l, r, median := splitNode(c)
+				lp, rp := t.appendNode(l), t.appendNode(r)
+				n2.keys = insertBytes(n2.keys, i, median)
+				n2.kids = append(n2.kids[:i], append([]uint64{lp, rp}, n2.kids[i+1:]...)...)
+				if bytes.Compare(k, median) >= 0 {
+					i++
+				}
+			}
+			return lwt.Bind(t.insertNonFull(n2.kids[i], k, v), func(nk uint64) *lwt.Promise[uint64] {
+				n2.kids[i] = nk
+				return lwt.Return(t.s, t.appendNode(n2))
+			})
+		})
+	})
+}
+
+// Get resolves with the value for key, or nil if absent.
+func (t *BTree) Get(key []byte) *lwt.Promise[[]byte] {
+	t.Gets++
+	return t.getAt(t.root, key)
+}
+
+// GetAt reads from an arbitrary root page — an old root is a consistent
+// historical snapshot, a property of the append-only design.
+func (t *BTree) GetAt(root uint64, key []byte) *lwt.Promise[[]byte] {
+	return t.getAt(root, key)
+}
+
+func (t *BTree) getAt(pg uint64, k []byte) *lwt.Promise[[]byte] {
+	return lwt.Bind(t.load(pg), func(n *bnode) *lwt.Promise[[]byte] {
+		i := search(n.keys, k)
+		if n.leaf {
+			if i < len(n.keys) && bytes.Equal(n.keys[i], k) {
+				return lwt.Return(t.s, n.vals[i])
+			}
+			return lwt.Return[[]byte](t.s, nil)
+		}
+		if i < len(n.keys) && bytes.Equal(n.keys[i], k) {
+			i++
+		}
+		return t.getAt(n.kids[i], k)
+	})
+}
+
+// Delete removes key if present (copy-on-write path update; leaves may
+// become underfull, which an append-only tree tolerates and Baardskeerder
+// compacts offline).
+func (t *BTree) Delete(key []byte) *lwt.Promise[struct{}] {
+	return lwt.Bind(t.deleteAt(t.root, key), func(newRoot uint64) *lwt.Promise[struct{}] {
+		if newRoot == 0 { // not found; nothing changed
+			return lwt.Return(t.s, struct{}{})
+		}
+		t.root = newRoot
+		return t.commit()
+	})
+}
+
+// deleteAt resolves with the new subtree root page, or 0 if key was absent.
+func (t *BTree) deleteAt(pg uint64, k []byte) *lwt.Promise[uint64] {
+	return lwt.Bind(t.load(pg), func(n *bnode) *lwt.Promise[uint64] {
+		i := search(n.keys, k)
+		if n.leaf {
+			if i >= len(n.keys) || !bytes.Equal(n.keys[i], k) {
+				return lwt.Return[uint64](t.s, 0)
+			}
+			n2 := n.clone()
+			n2.keys = append(n2.keys[:i], n2.keys[i+1:]...)
+			n2.vals = append(n2.vals[:i], n2.vals[i+1:]...)
+			return lwt.Return(t.s, t.appendNode(n2))
+		}
+		if i < len(n.keys) && bytes.Equal(n.keys[i], k) {
+			i++
+		}
+		idx := i
+		return lwt.Bind(t.deleteAt(n.kids[idx], k), func(nk uint64) *lwt.Promise[uint64] {
+			if nk == 0 {
+				return lwt.Return[uint64](t.s, 0)
+			}
+			n2 := n.clone()
+			n2.kids[idx] = nk
+			return lwt.Return(t.s, t.appendNode(n2))
+		})
+	})
+}
+
+// Range calls fn for every key in [lo, hi) in order, resolving when the
+// scan completes. fn returning false stops early.
+func (t *BTree) Range(lo, hi []byte, fn func(k, v []byte) bool) *lwt.Promise[struct{}] {
+	stop := false
+	return t.rangeAt(t.root, lo, hi, fn, &stop)
+}
+
+func (t *BTree) rangeAt(pg uint64, lo, hi []byte, fn func(k, v []byte) bool, stop *bool) *lwt.Promise[struct{}] {
+	return lwt.Bind(t.load(pg), func(n *bnode) *lwt.Promise[struct{}] {
+		if n.leaf {
+			for i, k := range n.keys {
+				if *stop {
+					break
+				}
+				if bytes.Compare(k, lo) >= 0 && (hi == nil || bytes.Compare(k, hi) < 0) {
+					if !fn(k, n.vals[i]) {
+						*stop = true
+					}
+				}
+			}
+			return lwt.Return(t.s, struct{}{})
+		}
+		// Visit children whose range can intersect [lo, hi).
+		chain := lwt.Return(t.s, struct{}{})
+		for i := 0; i <= len(n.keys); i++ {
+			if *stop {
+				break
+			}
+			if i < len(n.keys) && bytes.Compare(n.keys[i], lo) < 0 {
+				continue
+			}
+			if i > 0 && hi != nil && bytes.Compare(n.keys[i-1], hi) >= 0 {
+				break
+			}
+			kid := n.kids[i]
+			chain = lwt.Bind(chain, func(struct{}) *lwt.Promise[struct{}] {
+				if *stop {
+					return lwt.Return(t.s, struct{}{})
+				}
+				return t.rangeAt(kid, lo, hi, fn, stop)
+			})
+		}
+		return chain
+	})
+}
+
+// --- helpers ---
+
+// search returns the first index i with keys[i] >= k.
+func search(keys [][]byte, k []byte) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(keys[mid], k) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func insertBytes(s [][]byte, i int, v []byte) [][]byte {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// splitNode halves a full node, returning left, right and the median key
+// that moves up.
+func splitNode(n *bnode) (l, r *bnode, median []byte) {
+	mid := len(n.keys) / 2
+	if n.leaf {
+		l = &bnode{leaf: true, keys: append([][]byte(nil), n.keys[:mid]...), vals: append([][]byte(nil), n.vals[:mid]...)}
+		r = &bnode{leaf: true, keys: append([][]byte(nil), n.keys[mid:]...), vals: append([][]byte(nil), n.vals[mid:]...)}
+		return l, r, r.keys[0]
+	}
+	median = n.keys[mid]
+	l = &bnode{keys: append([][]byte(nil), n.keys[:mid]...), kids: append([]uint64(nil), n.kids[:mid+1]...)}
+	r = &bnode{keys: append([][]byte(nil), n.keys[mid+1:]...), kids: append([]uint64(nil), n.kids[mid+1:]...)}
+	return l, r, median
+}
+
+// encodeNode serialises a node into one page.
+func encodeNode(n *bnode) []byte {
+	buf := make([]byte, cstruct.PageSize)
+	v := cstruct.Wrap(buf)
+	if n.leaf {
+		v.PutU8(0, 1)
+	}
+	v.PutBE16(1, uint16(len(n.keys)))
+	off := 3
+	if n.leaf {
+		for i, k := range n.keys {
+			v.PutBE16(off, uint16(len(k)))
+			v.PutBytes(off+2, k)
+			off += 2 + len(k)
+			val := n.vals[i]
+			v.PutBE16(off, uint16(len(val)))
+			v.PutBytes(off+2, val)
+			off += 2 + len(val)
+		}
+	} else {
+		for _, kid := range n.kids {
+			v.PutBE64(off, kid)
+			off += 8
+		}
+		for _, k := range n.keys {
+			v.PutBE16(off, uint16(len(k)))
+			v.PutBytes(off+2, k)
+			off += 2 + len(k)
+		}
+	}
+	return buf
+}
+
+// decodeNode parses a node page.
+func decodeNode(v *cstruct.View) (*bnode, error) {
+	if v.Len() < 3 {
+		return nil, fmt.Errorf("btree: short node page")
+	}
+	n := &bnode{leaf: v.U8(0) == 1}
+	nk := int(v.BE16(1))
+	off := 3
+	if n.leaf {
+		for i := 0; i < nk; i++ {
+			kl := int(v.BE16(off))
+			k := append([]byte(nil), v.Slice(off+2, kl)...)
+			off += 2 + kl
+			vl := int(v.BE16(off))
+			val := append([]byte(nil), v.Slice(off+2, vl)...)
+			off += 2 + vl
+			n.keys = append(n.keys, k)
+			n.vals = append(n.vals, val)
+		}
+	} else {
+		for i := 0; i <= nk; i++ {
+			n.kids = append(n.kids, v.BE64(off))
+			off += 8
+		}
+		for i := 0; i < nk; i++ {
+			kl := int(v.BE16(off))
+			n.keys = append(n.keys, append([]byte(nil), v.Slice(off+2, kl)...))
+			off += 2 + kl
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,76 @@
+// Package storage provides the unikernel storage libraries of paper
+// Table 1: a simple in-memory key-value store with a memoization wrapper,
+// an append-only copy-on-write B-tree ported over the Block API (the
+// Baardskeerder library of §3.5.2 and §4.4), and a FAT-32-style filesystem
+// whose reads return sector iterators.
+//
+// All of these are libraries linked with the application: caching policy
+// and buffer management are explicit and live inside each library, not in
+// a kernel buffer cache (§3.5.2).
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/cstruct"
+	"repro/internal/lwt"
+)
+
+// SectorSize matches the block device sector size.
+const SectorSize = 512
+
+// PageSectors is the number of sectors in one I/O page.
+const PageSectors = cstruct.PageSize / SectorSize
+
+// Device is the block API the storage libraries build on; blkif satisfies
+// it, and MemDevice provides an in-memory double for unit tests.
+type Device interface {
+	// Read returns a view of sectors*512 bytes starting at sector.
+	Read(sector uint64, sectors int) *lwt.Promise[*cstruct.View]
+	// Write persists data at sector; the promise resolves on durability.
+	Write(sector uint64, data []byte) *lwt.Promise[*cstruct.View]
+}
+
+// MemDevice is an in-memory Device with immediate completion, for tests
+// and for the posix-style development targets of §5 (the paper's
+// "posix-direct" debugging workflow).
+type MemDevice struct {
+	S       *lwt.Scheduler
+	sectors map[uint64][]byte
+
+	Reads, Writes int
+}
+
+// NewMemDevice creates an empty in-memory device.
+func NewMemDevice(s *lwt.Scheduler) *MemDevice {
+	return &MemDevice{S: s, sectors: map[uint64][]byte{}}
+}
+
+// Read implements Device.
+func (d *MemDevice) Read(sector uint64, sectors int) *lwt.Promise[*cstruct.View] {
+	d.Reads++
+	if sectors <= 0 || sectors > PageSectors {
+		return lwt.FailWith[*cstruct.View](d.S, fmt.Errorf("memdevice: bad read of %d sectors", sectors))
+	}
+	buf := make([]byte, sectors*SectorSize)
+	for i := 0; i < sectors; i++ {
+		if b, ok := d.sectors[sector+uint64(i)]; ok {
+			copy(buf[i*SectorSize:], b)
+		}
+	}
+	return lwt.Return(d.S, cstruct.Wrap(buf))
+}
+
+// Write implements Device.
+func (d *MemDevice) Write(sector uint64, data []byte) *lwt.Promise[*cstruct.View] {
+	d.Writes++
+	if len(data) > cstruct.PageSize {
+		return lwt.FailWith[*cstruct.View](d.S, fmt.Errorf("memdevice: write larger than a page"))
+	}
+	for i := 0; i*SectorSize < len(data); i++ {
+		b := make([]byte, SectorSize)
+		copy(b, data[i*SectorSize:])
+		d.sectors[sector+uint64(i)] = b
+	}
+	return lwt.Return[*cstruct.View](d.S, nil)
+}

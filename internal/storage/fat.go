@@ -1,0 +1,317 @@
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/cstruct"
+	"repro/internal/lwt"
+)
+
+// FAT is a FAT-32-style filesystem over the Block API (paper Table 1 and
+// §3.5.2): a file-allocation table of cluster chains, a flat root
+// directory, and page-sized clusters. The library implements its own
+// buffer management policy — the FAT and directory are cached
+// write-through, and data reads are returned as iterators supplying one
+// sector at a time while internally fetching whole clusters from the
+// block driver.
+type FAT struct {
+	s   *lwt.Scheduler
+	dev Device
+
+	clusters uint32
+	fat      []uint32 // 0 = free, fatEOC = end of chain, else next cluster
+	dir      []dirent
+
+	// Stats
+	ClustersRead, ClustersWritten int
+}
+
+const (
+	fatMagic = 0xFA7F5AAB
+	fatEOC   = 0xFFFFFFFF
+
+	direntSize = 32
+	nameLen    = 22
+	maxFiles   = cstruct.PageSize / direntSize
+
+	// Page layout: page 0 superblock, page 1 directory, pages 2..n FAT,
+	// then data clusters.
+	superPage = 0
+	dirPage   = 1
+	fatPage0  = 2
+)
+
+type dirent struct {
+	name    string
+	size    uint32
+	cluster uint32 // first cluster of the chain
+	used    bool
+}
+
+// fatPages returns how many pages the FAT occupies for n clusters.
+func fatPages(n uint32) uint32 {
+	per := uint32(cstruct.PageSize / 4)
+	return (n + per - 1) / per
+}
+
+// dataStart returns the first data page.
+func (f *FAT) dataStart() uint64 { return uint64(fatPage0 + fatPages(f.clusters)) }
+
+// FormatFAT initialises a filesystem with the given number of data
+// clusters and resolves with the mounted FAT once durable.
+func FormatFAT(s *lwt.Scheduler, dev Device, clusters uint32) *lwt.Promise[*FAT] {
+	f := &FAT{s: s, dev: dev, clusters: clusters,
+		fat: make([]uint32, clusters),
+		dir: make([]dirent, maxFiles),
+	}
+	var writes []lwt.Waiter
+	writes = append(writes, f.writeSuper(), f.writeDir())
+	for pg := uint32(0); pg < fatPages(clusters); pg++ {
+		writes = append(writes, f.writeFATPage(pg))
+	}
+	return lwt.Map(lwt.Join(s, writes...), func(struct{}) *FAT { return f })
+}
+
+// OpenFAT mounts an existing filesystem, loading the superblock, the
+// directory and the whole FAT into the library's cache.
+func OpenFAT(s *lwt.Scheduler, dev Device) *lwt.Promise[*FAT] {
+	return lwt.Bind(dev.Read(superPage*PageSectors, 1), func(v *cstruct.View) *lwt.Promise[*FAT] {
+		defer v.Release()
+		if v.BE32(0) != fatMagic {
+			return lwt.FailWith[*FAT](s, fmt.Errorf("fat: bad superblock"))
+		}
+		f := &FAT{s: s, dev: dev, clusters: v.BE32(4)}
+		f.fat = make([]uint32, f.clusters)
+		f.dir = make([]dirent, maxFiles)
+		loads := []lwt.Waiter{
+			lwt.Map(dev.Read(dirPage*PageSectors, PageSectors), func(dv *cstruct.View) struct{} {
+				defer dv.Release()
+				for i := 0; i < maxFiles; i++ {
+					off := i * direntSize
+					if dv.U8(off) == 0 {
+						continue
+					}
+					nl := int(dv.U8(off))
+					f.dir[i] = dirent{
+						name:    dv.String(off+1, nl),
+						size:    dv.BE32(off + 1 + nameLen),
+						cluster: dv.BE32(off + 5 + nameLen),
+						used:    true,
+					}
+				}
+				return struct{}{}
+			}),
+		}
+		for pg := uint32(0); pg < fatPages(f.clusters); pg++ {
+			pg := pg
+			loads = append(loads, lwt.Map(dev.Read(uint64(fatPage0+pg)*PageSectors, PageSectors), func(fv *cstruct.View) struct{} {
+				defer fv.Release()
+				per := uint32(cstruct.PageSize / 4)
+				for i := uint32(0); i < per && pg*per+i < f.clusters; i++ {
+					f.fat[pg*per+i] = fv.BE32(int(i) * 4)
+				}
+				return struct{}{}
+			}))
+		}
+		return lwt.Map(lwt.Join(s, loads...), func(struct{}) *FAT { return f })
+	})
+}
+
+func (f *FAT) writeSuper() *lwt.Promise[*cstruct.View] {
+	b := make([]byte, SectorSize)
+	v := cstruct.Wrap(b)
+	v.PutBE32(0, fatMagic)
+	v.PutBE32(4, f.clusters)
+	return f.dev.Write(superPage*PageSectors, b)
+}
+
+func (f *FAT) writeDir() *lwt.Promise[*cstruct.View] {
+	b := make([]byte, cstruct.PageSize)
+	v := cstruct.Wrap(b)
+	for i, e := range f.dir {
+		if !e.used {
+			continue
+		}
+		off := i * direntSize
+		v.PutU8(off, uint8(len(e.name)))
+		v.PutBytes(off+1, []byte(e.name))
+		v.PutBE32(off+1+nameLen, e.size)
+		v.PutBE32(off+5+nameLen, e.cluster)
+	}
+	return f.dev.Write(dirPage*PageSectors, b)
+}
+
+func (f *FAT) writeFATPage(pg uint32) *lwt.Promise[*cstruct.View] {
+	b := make([]byte, cstruct.PageSize)
+	v := cstruct.Wrap(b)
+	per := uint32(cstruct.PageSize / 4)
+	for i := uint32(0); i < per && pg*per+i < f.clusters; i++ {
+		v.PutBE32(int(i)*4, f.fat[pg*per+i])
+	}
+	return f.dev.Write(uint64(fatPage0+pg)*PageSectors, b)
+}
+
+// allocChain reserves n clusters and links them.
+func (f *FAT) allocChain(n int) (uint32, error) {
+	if n == 0 {
+		return fatEOC, nil
+	}
+	var chain []uint32
+	for c := uint32(0); c < f.clusters && len(chain) < n; c++ {
+		if f.fat[c] == 0 {
+			chain = append(chain, c)
+		}
+	}
+	if len(chain) < n {
+		return 0, fmt.Errorf("fat: no space (%d clusters wanted)", n)
+	}
+	for i := 0; i < n-1; i++ {
+		f.fat[chain[i]] = chain[i+1]
+	}
+	f.fat[chain[n-1]] = fatEOC
+	return chain[0], nil
+}
+
+// Create writes a new file with the given contents; the promise resolves
+// when data, FAT and directory are durable. Existing names are rejected.
+func (f *FAT) Create(name string, data []byte) *lwt.Promise[struct{}] {
+	if len(name) == 0 || len(name) > nameLen {
+		return lwt.FailWith[struct{}](f.s, fmt.Errorf("fat: bad name %q", name))
+	}
+	slot := -1
+	for i, e := range f.dir {
+		if e.used && e.name == name {
+			return lwt.FailWith[struct{}](f.s, fmt.Errorf("fat: %q exists", name))
+		}
+		if !e.used && slot < 0 {
+			slot = i
+		}
+	}
+	if slot < 0 {
+		return lwt.FailWith[struct{}](f.s, fmt.Errorf("fat: directory full"))
+	}
+	nclusters := (len(data) + cstruct.PageSize - 1) / cstruct.PageSize
+	first, err := f.allocChain(nclusters)
+	if err != nil {
+		return lwt.FailWith[struct{}](f.s, err)
+	}
+	f.dir[slot] = dirent{name: name, size: uint32(len(data)), cluster: first, used: true}
+
+	var writes []lwt.Waiter
+	c := first
+	for i := 0; i < nclusters; i++ {
+		end := (i + 1) * cstruct.PageSize
+		if end > len(data) {
+			end = len(data)
+		}
+		writes = append(writes, f.dev.Write((f.dataStart()+uint64(c))*PageSectors, data[i*cstruct.PageSize:end]))
+		f.ClustersWritten++
+		c = f.fat[c]
+	}
+	for pg := uint32(0); pg < fatPages(f.clusters); pg++ {
+		writes = append(writes, f.writeFATPage(pg))
+	}
+	writes = append(writes, f.writeDir())
+	return lwt.Join(f.s, writes...)
+}
+
+// Remove deletes a file, freeing its chain.
+func (f *FAT) Remove(name string) *lwt.Promise[struct{}] {
+	for i, e := range f.dir {
+		if e.used && e.name == name {
+			c := e.cluster
+			for c != fatEOC && e.size > 0 {
+				next := f.fat[c]
+				f.fat[c] = 0
+				c = next
+			}
+			f.dir[i] = dirent{}
+			writes := []lwt.Waiter{f.writeDir()}
+			for pg := uint32(0); pg < fatPages(f.clusters); pg++ {
+				writes = append(writes, f.writeFATPage(pg))
+			}
+			return lwt.Join(f.s, writes...)
+		}
+	}
+	return lwt.FailWith[struct{}](f.s, fmt.Errorf("fat: %q not found", name))
+}
+
+// Stat returns a file's size.
+func (f *FAT) Stat(name string) (int, bool) {
+	for _, e := range f.dir {
+		if e.used && e.name == name {
+			return int(e.size), true
+		}
+	}
+	return 0, false
+}
+
+// List returns the names of all files.
+func (f *FAT) List() []string {
+	var out []string
+	for _, e := range f.dir {
+		if e.used {
+			out = append(out, e.name)
+		}
+	}
+	return out
+}
+
+// FileIter reads a file one sector at a time (§3.5.2's iterator policy):
+// the library requests whole clusters from the block driver and slices
+// them into sector views, avoiding large heap buffers.
+type FileIter struct {
+	f         *FAT
+	cluster   uint32
+	remaining int // bytes left
+	buf       *cstruct.View
+	bufOff    int
+}
+
+// Open returns an iterator over name's contents.
+func (f *FAT) Open(name string) (*FileIter, error) {
+	for _, e := range f.dir {
+		if e.used && e.name == name {
+			return &FileIter{f: f, cluster: e.cluster, remaining: int(e.size)}, nil
+		}
+	}
+	return nil, fmt.Errorf("fat: %q not found", name)
+}
+
+// Next resolves with a view of the next sector (or the final partial
+// sector), or nil at EOF. The caller owns the view.
+func (it *FileIter) Next() *lwt.Promise[*cstruct.View] {
+	if it.remaining <= 0 {
+		return lwt.Return[*cstruct.View](it.f.s, nil)
+	}
+	if it.buf != nil && it.bufOff < it.buf.Len() {
+		return lwt.Return(it.f.s, it.take())
+	}
+	// Fetch the next cluster (internal buffering: one cluster extent).
+	cl := it.cluster
+	it.f.ClustersRead++
+	return lwt.Map(it.f.dev.Read((it.f.dataStart()+uint64(cl))*PageSectors, PageSectors), func(v *cstruct.View) *cstruct.View {
+		if it.buf != nil {
+			it.buf.Release()
+		}
+		it.buf = v
+		it.bufOff = 0
+		it.cluster = it.f.fat[cl]
+		return it.take()
+	})
+}
+
+func (it *FileIter) take() *cstruct.View {
+	n := SectorSize
+	if n > it.remaining {
+		n = it.remaining
+	}
+	v := it.buf.Sub(it.bufOff, n)
+	it.bufOff += SectorSize
+	it.remaining -= n
+	if it.remaining <= 0 && it.buf != nil {
+		it.buf.Release()
+		it.buf = nil
+	}
+	return v
+}

@@ -1,0 +1,483 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cstruct"
+	"repro/internal/lwt"
+	"repro/internal/sim"
+)
+
+// runLwt drives fn's promise graph to completion on a fresh scheduler.
+func runLwt(t *testing.T, fn func(s *lwt.Scheduler) lwt.Waiter) {
+	t.Helper()
+	k := sim.NewKernel(5)
+	s := lwt.NewScheduler(k)
+	var failed error
+	k.Spawn("main", func(p *sim.Proc) {
+		if err := s.Run(p, fn(s)); err != nil {
+			failed = err
+		}
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if failed != nil {
+		t.Fatal(failed)
+	}
+}
+
+func TestKVBasics(t *testing.T) {
+	kv := NewKV()
+	kv.Put("a", []byte("1"))
+	kv.Put("b", []byte("2"))
+	if v, ok := kv.Get("a"); !ok || string(v) != "1" {
+		t.Errorf("Get(a) = %q/%v", v, ok)
+	}
+	kv.Put("a", []byte("3"))
+	if v, _ := kv.Get("a"); string(v) != "3" {
+		t.Error("overwrite failed")
+	}
+	kv.Delete("a")
+	if _, ok := kv.Get("a"); ok {
+		t.Error("delete failed")
+	}
+	if kv.Len() != 1 {
+		t.Errorf("Len = %d, want 1", kv.Len())
+	}
+}
+
+func TestKVPutCopiesValue(t *testing.T) {
+	kv := NewKV()
+	buf := []byte("mutable")
+	kv.Put("k", buf)
+	buf[0] = 'X'
+	if v, _ := kv.Get("k"); string(v) != "mutable" {
+		t.Error("Put aliased the caller's buffer")
+	}
+}
+
+func TestMemoComputesOnceAndCounts(t *testing.T) {
+	m := NewMemo(0)
+	calls := 0
+	for i := 0; i < 10; i++ {
+		v := m.Get("q", func() []byte { calls++; return []byte("r") })
+		if string(v) != "r" {
+			t.Fatal("bad memo value")
+		}
+	}
+	if calls != 1 || m.Hits != 9 || m.Misses != 1 {
+		t.Errorf("calls=%d hits=%d misses=%d, want 1/9/1", calls, m.Hits, m.Misses)
+	}
+}
+
+func TestMemoCapBoundsEntries(t *testing.T) {
+	m := NewMemo(3)
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("k%d", i)
+		m.Get(key, func() []byte { return []byte{byte(i)} })
+	}
+	if m.Len() != 3 {
+		t.Errorf("Len = %d, want cap 3", m.Len())
+	}
+}
+
+func TestBTreeSetGetAcrossSplits(t *testing.T) {
+	runLwt(t, func(s *lwt.Scheduler) lwt.Waiter {
+		dev := NewMemDevice(s)
+		tr, _ := NewBTree(s, dev)
+		const n = 500
+		chain := lwt.Return(s, struct{}{})
+		for i := 0; i < n; i++ {
+			i := i
+			chain = lwt.Bind(chain, func(struct{}) *lwt.Promise[struct{}] {
+				return tr.Set([]byte(fmt.Sprintf("key-%04d", i)), []byte(fmt.Sprintf("val-%d", i)))
+			})
+		}
+		return lwt.Bind(chain, func(struct{}) *lwt.Promise[struct{}] {
+			check := lwt.Return(s, struct{}{})
+			for i := 0; i < n; i++ {
+				i := i
+				check = lwt.Bind(check, func(struct{}) *lwt.Promise[struct{}] {
+					return lwt.Map(tr.Get([]byte(fmt.Sprintf("key-%04d", i))), func(v []byte) struct{} {
+						if string(v) != fmt.Sprintf("val-%d", i) {
+							t.Errorf("key %d: got %q", i, v)
+						}
+						return struct{}{}
+					})
+				})
+			}
+			return check
+		})
+	})
+}
+
+func TestBTreePersistsAcrossReopen(t *testing.T) {
+	runLwt(t, func(s *lwt.Scheduler) lwt.Waiter {
+		dev := NewMemDevice(s)
+		tr, _ := NewBTree(s, dev)
+		chain := lwt.Return(s, struct{}{})
+		for i := 0; i < 100; i++ {
+			i := i
+			chain = lwt.Bind(chain, func(struct{}) *lwt.Promise[struct{}] {
+				return tr.Set([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%d", i)))
+			})
+		}
+		return lwt.Bind(chain, func(struct{}) *lwt.Promise[struct{}] {
+			// Reopen cold: all state must come from the device.
+			return lwt.Bind(OpenBTree(s, dev), func(tr2 *BTree) *lwt.Promise[struct{}] {
+				check := lwt.Return(s, struct{}{})
+				for i := 0; i < 100; i++ {
+					i := i
+					check = lwt.Bind(check, func(struct{}) *lwt.Promise[struct{}] {
+						return lwt.Map(tr2.Get([]byte(fmt.Sprintf("k%03d", i))), func(v []byte) struct{} {
+							if string(v) != fmt.Sprintf("v%d", i) {
+								t.Errorf("reopen: key %d = %q", i, v)
+							}
+							return struct{}{}
+						})
+					})
+				}
+				return lwt.Map(check, func(struct{}) struct{} {
+					if tr2.CacheMisses == 0 {
+						t.Error("reopened tree answered without touching the device")
+					}
+					return struct{}{}
+				})
+			})
+		})
+	})
+}
+
+func TestBTreeOldRootIsSnapshot(t *testing.T) {
+	runLwt(t, func(s *lwt.Scheduler) lwt.Waiter {
+		dev := NewMemDevice(s)
+		tr, _ := NewBTree(s, dev)
+		return lwt.Bind(tr.Set([]byte("k"), []byte("old")), func(struct{}) *lwt.Promise[struct{}] {
+			snap := tr.Root()
+			return lwt.Bind(tr.Set([]byte("k"), []byte("new")), func(struct{}) *lwt.Promise[struct{}] {
+				cur := lwt.Map(tr.Get([]byte("k")), func(v []byte) struct{} {
+					if string(v) != "new" {
+						t.Errorf("current = %q, want new", v)
+					}
+					return struct{}{}
+				})
+				old := lwt.Map(tr.GetAt(snap, []byte("k")), func(v []byte) struct{} {
+					if string(v) != "old" {
+						t.Errorf("snapshot = %q, want old (append-only COW violated)", v)
+					}
+					return struct{}{}
+				})
+				return lwt.Join(s, cur, old)
+			})
+		})
+	})
+}
+
+func TestBTreeDelete(t *testing.T) {
+	runLwt(t, func(s *lwt.Scheduler) lwt.Waiter {
+		dev := NewMemDevice(s)
+		tr, _ := NewBTree(s, dev)
+		return lwt.Bind(tr.Set([]byte("a"), []byte("1")), func(struct{}) *lwt.Promise[struct{}] {
+			return lwt.Bind(tr.Set([]byte("b"), []byte("2")), func(struct{}) *lwt.Promise[struct{}] {
+				return lwt.Bind(tr.Delete([]byte("a")), func(struct{}) *lwt.Promise[struct{}] {
+					return lwt.Map(lwt.Join(s,
+						lwt.Map(tr.Get([]byte("a")), func(v []byte) struct{} {
+							if v != nil {
+								t.Error("deleted key still present")
+							}
+							return struct{}{}
+						}),
+						lwt.Map(tr.Get([]byte("b")), func(v []byte) struct{} {
+							if string(v) != "2" {
+								t.Error("sibling key lost")
+							}
+							return struct{}{}
+						}),
+					), func(struct{}) struct{} { return struct{}{} })
+				})
+			})
+		})
+	})
+}
+
+func TestBTreeRangeScanOrdered(t *testing.T) {
+	runLwt(t, func(s *lwt.Scheduler) lwt.Waiter {
+		dev := NewMemDevice(s)
+		tr, _ := NewBTree(s, dev)
+		chain := lwt.Return(s, struct{}{})
+		perm := rand.New(rand.NewSource(3)).Perm(200)
+		for _, i := range perm {
+			i := i
+			chain = lwt.Bind(chain, func(struct{}) *lwt.Promise[struct{}] {
+				return tr.Set([]byte(fmt.Sprintf("k%03d", i)), []byte{byte(i)})
+			})
+		}
+		return lwt.Bind(chain, func(struct{}) *lwt.Promise[struct{}] {
+			var seen []string
+			return lwt.Map(tr.Range([]byte("k050"), []byte("k100"), func(k, v []byte) bool {
+				seen = append(seen, string(k))
+				return true
+			}), func(struct{}) struct{} {
+				if len(seen) != 50 {
+					t.Errorf("range returned %d keys, want 50", len(seen))
+				}
+				for i := 1; i < len(seen); i++ {
+					if seen[i] <= seen[i-1] {
+						t.Errorf("range out of order: %s after %s", seen[i], seen[i-1])
+					}
+				}
+				return struct{}{}
+			})
+		})
+	})
+}
+
+func TestBTreeRejectsOversizedKey(t *testing.T) {
+	runLwt(t, func(s *lwt.Scheduler) lwt.Waiter {
+		dev := NewMemDevice(s)
+		tr, _ := NewBTree(s, dev)
+		if pr := tr.Set(make([]byte, 100), []byte("v")); pr.Failed() == nil {
+			t.Error("oversized key accepted")
+		}
+		if pr := tr.Set([]byte("k"), make([]byte, 1000)); pr.Failed() == nil {
+			t.Error("oversized value accepted")
+		}
+		return lwt.Return(s, struct{}{})
+	})
+}
+
+// Property: B-tree agrees with a map reference under random interleaved
+// set/delete/get.
+func TestPropBTreeMatchesMap(t *testing.T) {
+	f := func(ops []uint16) bool {
+		ok := true
+		runLwt(t, func(s *lwt.Scheduler) lwt.Waiter {
+			dev := NewMemDevice(s)
+			tr, _ := NewBTree(s, dev)
+			ref := map[string]string{}
+			chain := lwt.Return(s, struct{}{})
+			for _, op := range ops {
+				key := fmt.Sprintf("k%02d", op%32)
+				switch (op >> 5) % 3 {
+				case 0, 1:
+					val := fmt.Sprintf("v%d", op)
+					ref[key] = val
+					chain = lwt.Bind(chain, func(struct{}) *lwt.Promise[struct{}] {
+						return tr.Set([]byte(key), []byte(val))
+					})
+				case 2:
+					delete(ref, key)
+					chain = lwt.Bind(chain, func(struct{}) *lwt.Promise[struct{}] {
+						return tr.Delete([]byte(key))
+					})
+				}
+			}
+			return lwt.Bind(chain, func(struct{}) *lwt.Promise[struct{}] {
+				check := lwt.Return(s, struct{}{})
+				for i := 0; i < 32; i++ {
+					key := fmt.Sprintf("k%02d", i)
+					want, exists := ref[key]
+					check = lwt.Bind(check, func(struct{}) *lwt.Promise[struct{}] {
+						return lwt.Map(tr.Get([]byte(key)), func(v []byte) struct{} {
+							if exists && string(v) != want {
+								ok = false
+							}
+							if !exists && v != nil {
+								ok = false
+							}
+							return struct{}{}
+						})
+					})
+				}
+				return check
+			})
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFATCreateAndIterate(t *testing.T) {
+	data := make([]byte, 10_000) // spans 3 clusters
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	runLwt(t, func(s *lwt.Scheduler) lwt.Waiter {
+		dev := NewMemDevice(s)
+		return lwt.Bind(FormatFAT(s, dev, 64), func(f *FAT) *lwt.Promise[struct{}] {
+			return lwt.Bind(f.Create("blob.bin", data), func(struct{}) *lwt.Promise[struct{}] {
+				it, err := f.Open("blob.bin")
+				if err != nil {
+					t.Fatal(err)
+				}
+				var got []byte
+				var loop func() *lwt.Promise[struct{}]
+				loop = func() *lwt.Promise[struct{}] {
+					return lwt.Bind(it.Next(), func(v *cstruct.View) *lwt.Promise[struct{}] {
+						if v == nil {
+							return lwt.Return(s, struct{}{})
+						}
+						got = append(got, v.Bytes()...)
+						v.Release()
+						return loop()
+					})
+				}
+				return lwt.Map(loop(), func(struct{}) struct{} {
+					if !bytes.Equal(got, data) {
+						t.Errorf("iterated %d bytes, corrupted (want %d)", len(got), len(data))
+					}
+					// Iterator fetched whole clusters, not per-sector reads.
+					if f.ClustersRead != 3 {
+						t.Errorf("ClustersRead = %d, want 3 (internal buffering)", f.ClustersRead)
+					}
+					return struct{}{}
+				})
+			})
+		})
+	})
+}
+
+func TestFATPersistsAcrossMount(t *testing.T) {
+	runLwt(t, func(s *lwt.Scheduler) lwt.Waiter {
+		dev := NewMemDevice(s)
+		return lwt.Bind(FormatFAT(s, dev, 32), func(f *FAT) *lwt.Promise[struct{}] {
+			return lwt.Bind(f.Create("zone.db", []byte("records")), func(struct{}) *lwt.Promise[struct{}] {
+				return lwt.Bind(OpenFAT(s, dev), func(f2 *FAT) *lwt.Promise[struct{}] {
+					if size, ok := f2.Stat("zone.db"); !ok || size != 7 {
+						t.Errorf("Stat after remount = %d/%v", size, ok)
+					}
+					it, err := f2.Open("zone.db")
+					if err != nil {
+						t.Fatal(err)
+					}
+					return lwt.Map(it.Next(), func(v *cstruct.View) struct{} {
+						if v.String(0, 7) != "records" {
+							t.Error("data corrupted across remount")
+						}
+						v.Release()
+						return struct{}{}
+					})
+				})
+			})
+		})
+	})
+}
+
+func TestFATRemoveFreesSpace(t *testing.T) {
+	runLwt(t, func(s *lwt.Scheduler) lwt.Waiter {
+		dev := NewMemDevice(s)
+		big := make([]byte, 16*cstruct.PageSize)
+		return lwt.Bind(FormatFAT(s, dev, 16), func(f *FAT) *lwt.Promise[struct{}] {
+			return lwt.Bind(f.Create("a", big), func(struct{}) *lwt.Promise[struct{}] {
+				// Disk is full now.
+				fail := f.Create("b", []byte("x"))
+				if fail.Failed() == nil {
+					t.Error("create on full disk succeeded")
+				}
+				return lwt.Bind(f.Remove("a"), func(struct{}) *lwt.Promise[struct{}] {
+					ok := f.Create("b", big)
+					return lwt.Map(ok, func(struct{}) struct{} {
+						if _, exists := f.Stat("a"); exists {
+							t.Error("removed file still listed")
+						}
+						return struct{}{}
+					})
+				})
+			})
+		})
+	})
+}
+
+func TestFATDuplicateNameRejected(t *testing.T) {
+	runLwt(t, func(s *lwt.Scheduler) lwt.Waiter {
+		dev := NewMemDevice(s)
+		return lwt.Bind(FormatFAT(s, dev, 8), func(f *FAT) *lwt.Promise[struct{}] {
+			return lwt.Bind(f.Create("x", []byte("1")), func(struct{}) *lwt.Promise[struct{}] {
+				if f.Create("x", []byte("2")).Failed() == nil {
+					t.Error("duplicate name accepted")
+				}
+				return lwt.Return(s, struct{}{})
+			})
+		})
+	})
+}
+
+// Property: FAT agrees with a map reference under random create/remove
+// sequences, and every surviving file reads back intact.
+func TestPropFATMatchesReference(t *testing.T) {
+	f := func(ops []uint16) bool {
+		ok := true
+		runLwt(t, func(s *lwt.Scheduler) lwt.Waiter {
+			dev := NewMemDevice(s)
+			return lwt.Bind(FormatFAT(s, dev, 64), func(fs *FAT) *lwt.Promise[struct{}] {
+				ref := map[string][]byte{}
+				chain := lwt.Return(s, struct{}{})
+				for _, op := range ops {
+					name := fmt.Sprintf("f%d", op%8)
+					if op%3 != 0 {
+						size := int(op) % 9000
+						data := make([]byte, size)
+						for i := range data {
+							data[i] = byte(int(op) + i)
+						}
+						if _, exists := ref[name]; !exists {
+							ref[name] = data
+							chain = lwt.Bind(chain, func(struct{}) *lwt.Promise[struct{}] {
+								return fs.Create(name, data)
+							})
+						}
+					} else if _, exists := ref[name]; exists {
+						delete(ref, name)
+						chain = lwt.Bind(chain, func(struct{}) *lwt.Promise[struct{}] {
+							return fs.Remove(name)
+						})
+					}
+				}
+				return lwt.Bind(chain, func(struct{}) *lwt.Promise[struct{}] {
+					if len(fs.List()) != len(ref) {
+						ok = false
+					}
+					check := lwt.Return(s, struct{}{})
+					for name, want := range ref {
+						name, want := name, want
+						check = lwt.Bind(check, func(struct{}) *lwt.Promise[struct{}] {
+							it, err := fs.Open(name)
+							if err != nil {
+								ok = false
+								return lwt.Return(s, struct{}{})
+							}
+							var got []byte
+							var loop func() *lwt.Promise[struct{}]
+							loop = func() *lwt.Promise[struct{}] {
+								return lwt.Bind(it.Next(), func(v *cstruct.View) *lwt.Promise[struct{}] {
+									if v == nil {
+										if !bytes.Equal(got, want) {
+											ok = false
+										}
+										return lwt.Return(s, struct{}{})
+									}
+									got = append(got, v.Bytes()...)
+									v.Release()
+									return loop()
+								})
+							}
+							return loop()
+						})
+					}
+					return check
+				})
+			})
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

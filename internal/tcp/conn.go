@@ -1,0 +1,536 @@
+package tcp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/lwt"
+	"repro/internal/sim"
+)
+
+// State is a TCP connection state.
+type State int
+
+// Connection states.
+const (
+	StateClosed State = iota
+	StateListen
+	StateSynSent
+	StateSynRcvd
+	StateEstablished
+	StateFinWait1
+	StateFinWait2
+	StateCloseWait
+	StateClosing
+	StateLastAck
+	StateTimeWait
+)
+
+var stateNames = [...]string{"Closed", "Listen", "SynSent", "SynRcvd", "Established",
+	"FinWait1", "FinWait2", "CloseWait", "Closing", "LastAck", "TimeWait"}
+
+func (s State) String() string { return stateNames[s] }
+
+// ErrReset reports a connection torn down by an RST or local abort.
+var ErrReset = errors.New("tcp: connection reset")
+
+// Sequence-space comparisons (RFC 793 modular arithmetic).
+func seqLT(a, b uint32) bool  { return int32(a-b) < 0 }
+func seqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
+
+type inflightSeg struct {
+	seq    uint32
+	data   []byte
+	fin    bool
+	syn    bool
+	sentAt sim.Time
+	rexmit bool
+}
+
+func (i inflightSeg) seqLen() uint32 {
+	n := uint32(len(i.data))
+	if i.fin || i.syn {
+		n++
+	}
+	return n
+}
+
+type pendingRead struct {
+	max int
+	pr  *lwt.Promise[[]byte]
+}
+
+type pendingWrite struct {
+	data []byte
+	pr   *lwt.Promise[int]
+	n    int // bytes already buffered
+}
+
+// Conn is one TCP connection.
+type Conn struct {
+	st  *Stack
+	key connKey
+
+	state State
+
+	// Send sequence space.
+	iss, sndUna, sndNxt uint32
+	sndWnd              int
+	peerWndScale        int // -1 until negotiated
+	mss                 int
+	sendBuf             []byte
+	finQueued, finSent  bool
+	inflight            []inflightSeg
+
+	// Congestion control (New Reno).
+	cwnd, ssthresh int
+	dupAcks        int
+	recover        uint32
+	fastRecovery   bool
+
+	// RTT estimation / RTO (Jacobson/Karn).
+	srtt, rttvar, rto time.Duration
+	rtoGen            int
+
+	// Receive sequence space.
+	irs, rcvNxt  uint32
+	myWndScale   int
+	rcvQueue     []byte
+	finRcvd      bool
+	ooo          map[uint32][]byte
+	segsSinceAck int
+	delAckGen    int
+	delAckArmed  bool
+
+	readers []pendingRead
+	writers []pendingWrite
+
+	connectP *lwt.Promise[*Conn]
+	doneP    *lwt.Promise[struct{}]
+	err      error
+
+	// Stats.
+	Retransmits     int
+	FastRetransmits int
+	Timeouts        int
+	BytesIn         int
+	BytesOut        int
+}
+
+// State returns the connection state.
+func (c *Conn) State() State { return c.state }
+
+// RemoteAddr returns the peer's address and port.
+func (c *Conn) RemoteAddr() (addr uint32, port uint16) {
+	return uint32(c.key.remoteIP), c.key.remotePort
+}
+
+// LocalPort returns the local port.
+func (c *Conn) LocalPort() uint16 { return c.key.localPort }
+
+func newConn(st *Stack, key connKey) *Conn {
+	p := st.Params
+	c := &Conn{
+		st:           st,
+		key:          key,
+		mss:          p.MSS,
+		cwnd:         p.InitCwnd * p.MSS,
+		ssthresh:     1 << 30,
+		rto:          p.InitRTO,
+		sndWnd:       p.MSS, // until the peer advertises
+		peerWndScale: -1,
+		myWndScale:   p.WndScale,
+		ooo:          map[uint32][]byte{},
+	}
+	return c
+}
+
+// window returns the receive window to advertise.
+func (c *Conn) window() int {
+	w := c.st.Params.RcvBuf - len(c.rcvQueue)
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
+func (c *Conn) advertisedWindow(syn bool) uint16 {
+	w := c.window()
+	if !syn {
+		w >>= uint(c.myWndScale)
+	}
+	if w > 0xffff {
+		w = 0xffff
+	}
+	return uint16(w)
+}
+
+// send emits a segment to the peer via the stack.
+func (c *Conn) send(flags uint8, seq uint32, payload []byte, syn bool) {
+	seg := Segment{
+		SrcPort:  c.key.localPort,
+		DstPort:  c.key.remotePort,
+		Seq:      seq,
+		Flags:    flags,
+		Window:   c.advertisedWindow(syn),
+		WndScale: -1,
+		Payload:  payload,
+	}
+	if flags&FlagACK != 0 {
+		seg.Ack = c.rcvNxt
+	}
+	if syn {
+		seg.MSS = uint16(c.mss)
+		seg.WndScale = c.myWndScale
+	}
+	c.st.SegsOut++
+	c.st.Output(c.key.remoteIP, seg)
+}
+
+func (c *Conn) sendAck() {
+	c.segsSinceAck = 0
+	c.delAckGen++
+	c.delAckArmed = false
+	c.send(FlagACK, c.sndNxt, nil, false)
+}
+
+// scheduleDelayedAck arms the delayed-ACK timer (every-second-segment
+// immediate ACK is handled by the caller).
+func (c *Conn) scheduleDelayedAck() {
+	if c.delAckArmed {
+		return
+	}
+	c.delAckArmed = true
+	c.delAckGen++
+	gen := c.delAckGen
+	lwt.Map(c.st.S.Sleep(c.st.Params.DelayedAck), func(struct{}) struct{} {
+		if gen == c.delAckGen && c.state != StateClosed {
+			c.sendAck()
+		}
+		return struct{}{}
+	})
+}
+
+// flightSize returns bytes in flight.
+func (c *Conn) flightSize() int { return int(c.sndNxt - c.sndUna) }
+
+// usableWindow is how many more bytes we may inject.
+func (c *Conn) usableWindow() int {
+	wnd := c.cwnd
+	if c.sndWnd < wnd {
+		wnd = c.sndWnd
+	}
+	return wnd - c.flightSize()
+}
+
+// trySend segments and transmits buffered data within the send window,
+// then the queued FIN if the buffer has drained.
+func (c *Conn) trySend() {
+	if c.state != StateEstablished && c.state != StateCloseWait &&
+		c.state != StateFinWait1 && c.state != StateClosing && c.state != StateLastAck {
+		return
+	}
+	for len(c.sendBuf) > 0 {
+		avail := c.usableWindow()
+		if avail <= 0 {
+			break
+		}
+		n := len(c.sendBuf)
+		if n > c.mss {
+			n = c.mss
+		}
+		if n > avail {
+			n = avail
+		}
+		data := append([]byte(nil), c.sendBuf[:n]...)
+		c.sendBuf = c.sendBuf[n:]
+		c.inflight = append(c.inflight, inflightSeg{seq: c.sndNxt, data: data, sentAt: c.st.S.K.Now()})
+		flags := uint8(FlagACK)
+		if len(c.sendBuf) == 0 {
+			flags |= FlagPSH
+		}
+		c.send(flags, c.sndNxt, data, false)
+		c.sndNxt += uint32(n)
+		c.BytesOut += n
+		c.armRTO()
+	}
+	if c.finQueued && !c.finSent && len(c.sendBuf) == 0 && c.usableWindow() > 0 {
+		c.finSent = true
+		c.inflight = append(c.inflight, inflightSeg{seq: c.sndNxt, fin: true, sentAt: c.st.S.K.Now()})
+		c.send(FlagFIN|FlagACK, c.sndNxt, nil, false)
+		c.sndNxt++
+		c.armRTO()
+	}
+	c.drainWriters()
+}
+
+// drainWriters moves queued user writes into the send buffer as space
+// frees, resolving their promises once fully buffered.
+func (c *Conn) drainWriters() {
+	for len(c.writers) > 0 {
+		w := &c.writers[0]
+		space := c.st.Params.SndBuf - len(c.sendBuf)
+		if space <= 0 {
+			return
+		}
+		take := len(w.data) - w.n
+		if take > space {
+			take = space
+		}
+		c.sendBuf = append(c.sendBuf, w.data[w.n:w.n+take]...)
+		w.n += take
+		if w.n == len(w.data) {
+			pr := w.pr
+			n := w.n
+			c.writers = c.writers[1:]
+			pr.Resolve(n)
+		}
+		c.sendMore()
+	}
+}
+
+// sendMore is trySend without the writer drain (avoids recursion).
+func (c *Conn) sendMore() {
+	for len(c.sendBuf) > 0 {
+		avail := c.usableWindow()
+		if avail <= 0 {
+			return
+		}
+		n := len(c.sendBuf)
+		if n > c.mss {
+			n = c.mss
+		}
+		if n > avail {
+			n = avail
+		}
+		data := append([]byte(nil), c.sendBuf[:n]...)
+		c.sendBuf = c.sendBuf[n:]
+		c.inflight = append(c.inflight, inflightSeg{seq: c.sndNxt, data: data, sentAt: c.st.S.K.Now()})
+		c.send(FlagACK|FlagPSH, c.sndNxt, data, false)
+		c.sndNxt += uint32(n)
+		c.BytesOut += n
+		c.armRTO()
+	}
+}
+
+// Write queues data for transmission. The promise resolves with len(data)
+// once everything is accepted into the send buffer (flow-controlled
+// against SndBuf).
+func (c *Conn) Write(data []byte) *lwt.Promise[int] {
+	pr := lwt.NewPromise[int](c.st.S)
+	if c.err != nil {
+		pr.Fail(c.err)
+		return pr
+	}
+	if c.finQueued {
+		pr.Fail(errors.New("tcp: write after close"))
+		return pr
+	}
+	c.writers = append(c.writers, pendingWrite{data: data, pr: pr})
+	c.drainWriters()
+	c.trySend()
+	return pr
+}
+
+// Read resolves with up to max bytes as soon as data is available, with an
+// empty slice at EOF (peer closed), or fails after a reset.
+func (c *Conn) Read(max int) *lwt.Promise[[]byte] {
+	pr := lwt.NewPromise[[]byte](c.st.S)
+	r := pendingRead{max: max, pr: pr}
+	c.readers = append(c.readers, r)
+	c.wakeReaders()
+	return pr
+}
+
+func (c *Conn) wakeReaders() {
+	wasLow := c.window() < c.mss
+	defer func() {
+		// Window update (RFC 1122 §4.2.3.3): if the application drained a
+		// closed receive window, tell the stalled sender it may resume.
+		if wasLow && c.window() >= c.mss {
+			switch c.state {
+			case StateEstablished, StateFinWait1, StateFinWait2:
+				c.sendAck()
+			}
+		}
+	}()
+	for len(c.readers) > 0 {
+		if len(c.rcvQueue) > 0 {
+			r := c.readers[0]
+			c.readers = c.readers[1:]
+			n := len(c.rcvQueue)
+			if n > r.max {
+				n = r.max
+			}
+			out := append([]byte(nil), c.rcvQueue[:n]...)
+			c.rcvQueue = c.rcvQueue[n:]
+			r.pr.Resolve(out)
+			continue
+		}
+		if c.finRcvd {
+			r := c.readers[0]
+			c.readers = c.readers[1:]
+			r.pr.Resolve(nil) // EOF
+			continue
+		}
+		if c.err != nil {
+			r := c.readers[0]
+			c.readers = c.readers[1:]
+			r.pr.Fail(c.err)
+			continue
+		}
+		return
+	}
+}
+
+// Close queues a FIN after buffered data drains (active/passive close).
+func (c *Conn) Close() {
+	if c.finQueued || c.err != nil {
+		return
+	}
+	c.finQueued = true
+	switch c.state {
+	case StateEstablished, StateSynRcvd:
+		c.state = StateFinWait1
+	case StateCloseWait:
+		c.state = StateLastAck
+	}
+	c.trySend()
+}
+
+// Abort sends RST and tears the connection down.
+func (c *Conn) Abort() {
+	if c.state != StateClosed {
+		c.send(FlagRST|FlagACK, c.sndNxt, nil, false)
+	}
+	c.teardown(ErrReset)
+}
+
+// Done resolves once the connection reaches Closed (including TIME_WAIT
+// expiry). A unikernel's main thread waits on this before returning, since
+// the VM — and with it all retransmission timers — dies with main (§3.3).
+func (c *Conn) Done() *lwt.Promise[struct{}] {
+	if c.doneP == nil {
+		c.doneP = lwt.NewPromise[struct{}](c.st.S)
+		if c.state == StateClosed {
+			c.doneP.Resolve(struct{}{})
+		}
+	}
+	return c.doneP
+}
+
+func (c *Conn) teardown(err error) {
+	if c.state == StateClosed {
+		return
+	}
+	c.state = StateClosed
+	c.err = err
+	c.rtoGen++ // disarm timers
+	c.delAckGen++
+	c.st.remove(c.key)
+	if c.doneP != nil && !c.doneP.Completed() {
+		c.doneP.Resolve(struct{}{})
+	}
+	if c.connectP != nil && !c.connectP.Completed() {
+		c.connectP.Fail(err)
+	}
+	for _, r := range c.readers {
+		if err != nil {
+			r.pr.Fail(err)
+		} else {
+			r.pr.Resolve(nil)
+		}
+	}
+	c.readers = nil
+	for _, w := range c.writers {
+		w.pr.Fail(fmt.Errorf("tcp: connection closed"))
+	}
+	c.writers = nil
+}
+
+// --- Timers ---
+
+func (c *Conn) armRTO() {
+	c.rtoGen++
+	gen := c.rtoGen
+	lwt.Map(c.st.S.Sleep(c.rto), func(struct{}) struct{} {
+		if gen == c.rtoGen && len(c.inflight) > 0 && c.state != StateClosed {
+			c.onTimeout()
+		}
+		return struct{}{}
+	})
+}
+
+func (c *Conn) disarmRTO() { c.rtoGen++ }
+
+// onTimeout is the retransmission timeout: collapse the window and
+// retransmit the oldest unacknowledged segment (RFC 5681 §3.1).
+func (c *Conn) onTimeout() {
+	c.Timeouts++
+	flight := c.flightSize()
+	c.ssthresh = max2(flight/2, 2*c.mss)
+	c.cwnd = c.mss
+	c.fastRecovery = false
+	c.dupAcks = 0
+	c.rto *= 2
+	if c.rto > c.st.Params.MaxRTO {
+		c.rto = c.st.Params.MaxRTO
+	}
+	c.retransmitFirst()
+	c.armRTO()
+}
+
+func (c *Conn) retransmitFirst() {
+	if len(c.inflight) == 0 {
+		return
+	}
+	c.Retransmits++
+	seg := &c.inflight[0]
+	seg.rexmit = true
+	switch {
+	case seg.syn && c.state == StateSynSent:
+		c.send(FlagSYN, seg.seq, nil, true)
+	case seg.syn: // SYN|ACK from SynRcvd
+		c.send(FlagSYN|FlagACK, seg.seq, nil, true)
+	case seg.fin:
+		c.send(FlagFIN|FlagACK, seg.seq, nil, false)
+	default:
+		c.send(FlagACK|FlagPSH, seg.seq, seg.data, false)
+	}
+}
+
+// --- RTT estimation (Jacobson, with Karn's rule) ---
+
+func (c *Conn) sampleRTT(s inflightSeg) {
+	if s.rexmit {
+		return // Karn: never sample retransmitted segments
+	}
+	r := c.st.S.K.Now().Sub(s.sentAt)
+	if c.srtt == 0 {
+		c.srtt = r
+		c.rttvar = r / 2
+	} else {
+		d := c.srtt - r
+		if d < 0 {
+			d = -d
+		}
+		c.rttvar = (3*c.rttvar + d) / 4
+		c.srtt = (7*c.srtt + r) / 8
+	}
+	rto := c.srtt + 4*c.rttvar
+	if rto < c.st.Params.MinRTO {
+		rto = c.st.Params.MinRTO
+	}
+	if rto > c.st.Params.MaxRTO {
+		rto = c.st.Params.MaxRTO
+	}
+	c.rto = rto
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

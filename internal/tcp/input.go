@@ -1,0 +1,263 @@
+package tcp
+
+// Segment input processing: the RFC 793 event machine plus New Reno loss
+// recovery (RFC 6582) and fast retransmit (RFC 5681).
+
+func (c *Conn) input(seg Segment) {
+	if seg.Flags&FlagRST != 0 {
+		c.teardown(ErrReset)
+		return
+	}
+	switch c.state {
+	case StateSynSent:
+		c.inputSynSent(seg)
+	case StateSynRcvd:
+		c.inputSynRcvd(seg)
+	case StateClosed:
+		// Late segment; ignore.
+	default:
+		c.inputData(seg)
+	}
+}
+
+func (c *Conn) inputSynSent(seg Segment) {
+	if seg.Flags&(FlagSYN|FlagACK) != FlagSYN|FlagACK || seg.Ack != c.iss+1 {
+		return
+	}
+	c.irs = seg.Seq
+	c.rcvNxt = seg.Seq + 1
+	c.sndUna = seg.Ack
+	c.inflight = nil
+	c.disarmRTO()
+	c.negotiate(seg)
+	c.state = StateEstablished
+	c.sendAck()
+	if c.connectP != nil {
+		c.connectP.Resolve(c)
+	}
+	c.trySend()
+}
+
+func (c *Conn) inputSynRcvd(seg Segment) {
+	if seg.Flags&FlagSYN != 0 && seg.Seq == c.irs {
+		// Duplicate SYN: re-send SYN|ACK.
+		c.retransmitFirst()
+		return
+	}
+	if seg.Flags&FlagACK == 0 || seg.Ack != c.iss+1 {
+		return
+	}
+	c.sndUna = seg.Ack
+	c.inflight = nil
+	c.disarmRTO()
+	c.state = StateEstablished
+	if l := c.st.listeners[c.key.localPort]; l != nil {
+		l.deliver(c)
+	}
+	// The handshake-completing ACK may carry data; fall through.
+	if len(seg.Payload) > 0 || seg.Flags&FlagFIN != 0 {
+		c.inputData(seg)
+	}
+}
+
+// negotiate applies the peer's SYN options.
+func (c *Conn) negotiate(seg Segment) {
+	if seg.MSS != 0 && int(seg.MSS) < c.mss {
+		c.mss = int(seg.MSS)
+	}
+	c.peerWndScale = seg.WndScale // -1 when the peer did not offer scaling
+	if c.peerWndScale < 0 {
+		c.myWndScale = 0 // scaling is all-or-nothing
+	}
+	// A SYN's window field is never scaled.
+	c.sndWnd = int(seg.Window)
+}
+
+// inputData is the established-states processing: ACKs, payload, FIN.
+func (c *Conn) inputData(seg Segment) {
+	if seg.Flags&FlagACK != 0 {
+		c.processAck(seg)
+	}
+	if len(seg.Payload) > 0 {
+		c.processPayload(seg)
+	}
+	if seg.Flags&FlagFIN != 0 {
+		c.processFin(seg)
+	}
+}
+
+func (c *Conn) processAck(seg Segment) {
+	ack := seg.Ack
+	// Window update (peer's scale applies off-SYN).
+	scale := 0
+	if c.peerWndScale > 0 {
+		scale = c.peerWndScale
+	}
+	newWnd := int(seg.Window) << uint(scale)
+	wndChanged := newWnd != c.sndWnd
+	c.sndWnd = newWnd
+	if wndChanged && newWnd > 0 {
+		// A reopened window may unblock stalled data.
+		defer c.trySend()
+	}
+
+	switch {
+	case seqLT(c.sndUna, ack) && seqLEQ(ack, c.sndNxt):
+		acked := int(ack - c.sndUna)
+		c.sndUna = ack
+		// Drop fully-acked inflight segments; sample RTT from the newest.
+		for len(c.inflight) > 0 {
+			s := c.inflight[0]
+			if !seqLEQ(s.seq+s.seqLen(), ack) {
+				break
+			}
+			c.sampleRTT(s)
+			c.inflight = c.inflight[1:]
+		}
+		if c.fastRecovery {
+			if seqLT(ack, c.recover) {
+				// Partial ACK (New Reno): retransmit the next hole,
+				// deflate by the acked amount.
+				c.retransmitFirst()
+				c.cwnd = max2(c.cwnd-acked+c.mss, c.mss)
+			} else {
+				// Full ACK: leave recovery.
+				c.fastRecovery = false
+				c.cwnd = c.ssthresh
+				c.dupAcks = 0
+			}
+		} else {
+			c.dupAcks = 0
+			if c.cwnd < c.ssthresh {
+				c.cwnd += c.mss // slow start
+			} else {
+				c.cwnd += max2(c.mss*c.mss/c.cwnd, 1) // congestion avoidance
+			}
+		}
+		if len(c.inflight) > 0 {
+			c.armRTO()
+		} else {
+			c.disarmRTO()
+			c.onAllAcked()
+		}
+		c.trySend()
+
+	case ack == c.sndUna && len(seg.Payload) == 0 && seg.Flags&(FlagSYN|FlagFIN) == 0 &&
+		len(c.inflight) > 0 && !wndChanged:
+		// Duplicate ACK (RFC 5681: same ack, no data, unchanged window).
+		c.dupAcks++
+		if c.fastRecovery {
+			c.cwnd += c.mss // inflate
+			c.trySend()
+		} else if c.dupAcks == 3 {
+			// Fast retransmit + fast recovery entry.
+			c.FastRetransmits++
+			c.ssthresh = max2(c.flightSize()/2, 2*c.mss)
+			c.recover = c.sndNxt
+			c.retransmitFirst()
+			c.cwnd = c.ssthresh + 3*c.mss
+			c.fastRecovery = true
+		}
+	}
+}
+
+// onAllAcked drives close-side state transitions once our FIN is acked.
+func (c *Conn) onAllAcked() {
+	if !c.finSent {
+		return
+	}
+	switch c.state {
+	case StateFinWait1:
+		c.state = StateFinWait2
+	case StateClosing:
+		c.enterTimeWait()
+	case StateLastAck:
+		c.teardown(nil)
+	}
+}
+
+func (c *Conn) processPayload(seg Segment) {
+	p := c.st.Params
+	switch {
+	case seg.Seq == c.rcvNxt:
+		if len(c.rcvQueue)+len(seg.Payload) > p.RcvBuf+p.MSS {
+			// Receive buffer overrun beyond advertised window: drop.
+			c.sendAck()
+			return
+		}
+		c.rcvQueue = append(c.rcvQueue, seg.Payload...)
+		c.rcvNxt += uint32(len(seg.Payload))
+		c.BytesIn += len(seg.Payload)
+		// Pull any contiguous out-of-order segments in.
+		for {
+			data, ok := c.ooo[c.rcvNxt]
+			if !ok {
+				break
+			}
+			delete(c.ooo, c.rcvNxt)
+			c.rcvQueue = append(c.rcvQueue, data...)
+			c.rcvNxt += uint32(len(data))
+			c.BytesIn += len(data)
+		}
+		c.wakeReaders()
+		// ACK every second segment immediately; otherwise delay.
+		c.segsSinceAck++
+		if c.segsSinceAck >= 2 {
+			c.sendAck()
+		} else {
+			c.scheduleDelayedAck()
+		}
+
+	case seqLT(c.rcvNxt, seg.Seq):
+		// Out of order: hold and send an immediate duplicate ACK to
+		// trigger the sender's fast retransmit.
+		if _, dup := c.ooo[seg.Seq]; !dup && len(c.ooo) < 256 {
+			c.ooo[seg.Seq] = append([]byte(nil), seg.Payload...)
+		}
+		c.sendAck()
+
+	default:
+		// Old/overlapping data: re-ACK.
+		c.sendAck()
+	}
+}
+
+func (c *Conn) processFin(seg Segment) {
+	finSeq := seg.Seq + uint32(len(seg.Payload))
+	if finSeq != c.rcvNxt {
+		// FIN beyond a hole: ACK what we have; the peer retransmits.
+		c.sendAck()
+		return
+	}
+	if c.finRcvd {
+		c.sendAck() // duplicate FIN
+		return
+	}
+	c.finRcvd = true
+	c.rcvNxt++
+	c.wakeReaders()
+	switch c.state {
+	case StateEstablished:
+		c.state = StateCloseWait
+	case StateFinWait1:
+		if c.finSent && c.sndUna == c.sndNxt {
+			c.enterTimeWait()
+		} else {
+			c.state = StateClosing
+		}
+	case StateFinWait2:
+		c.enterTimeWait()
+	}
+	c.sendAck()
+}
+
+func (c *Conn) enterTimeWait() {
+	c.state = StateTimeWait
+	gen := c.rtoGen + 1
+	c.rtoGen = gen
+	lwtMapUnit(c.st.S, c.st.Params.TimeWait, func() {
+		if c.rtoGen == gen && c.state == StateTimeWait {
+			c.teardown(nil)
+		}
+	})
+}

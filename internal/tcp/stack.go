@@ -1,0 +1,220 @@
+package tcp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ipv4"
+	"repro/internal/lwt"
+)
+
+// Params tune the TCP implementation.
+type Params struct {
+	MSS        int
+	InitCwnd   int // initial window in segments
+	WndScale   int // window-scale shift we offer
+	SndBuf     int
+	RcvBuf     int
+	InitRTO    time.Duration
+	MinRTO     time.Duration
+	MaxRTO     time.Duration
+	DelayedAck time.Duration
+	TimeWait   time.Duration
+}
+
+// DefaultParams returns parameters matching a paper-era stack (Linux 3.7
+// comparisons used similar values; window scaling on, New Reno).
+func DefaultParams() Params {
+	return Params{
+		MSS:        1460,
+		InitCwnd:   4,
+		WndScale:   7,
+		SndBuf:     256 << 10,
+		RcvBuf:     256 << 10,
+		InitRTO:    time.Second,
+		MinRTO:     200 * time.Millisecond,
+		MaxRTO:     60 * time.Second,
+		DelayedAck: 40 * time.Millisecond,
+		TimeWait:   500 * time.Millisecond,
+	}
+}
+
+type connKey struct {
+	localPort  uint16
+	remoteIP   ipv4.Addr
+	remotePort uint16
+}
+
+// Stack is the per-host TCP endpoint table and segment demultiplexer.
+type Stack struct {
+	S       *lwt.Scheduler
+	LocalIP ipv4.Addr
+	// Output transmits a segment to dst (provided by the network layer).
+	Output func(dst ipv4.Addr, seg Segment)
+	Params Params
+
+	conns     map[connKey]*Conn
+	listeners map[uint16]*Listener
+	nextEphem uint16
+	isn       uint32
+
+	// Stats
+	SegsIn, SegsOut int
+	BadSegs         int
+	RstsSent        int
+}
+
+// NewStack creates a TCP stack; the caller wires Output to its IP layer.
+func NewStack(s *lwt.Scheduler, local ipv4.Addr, params Params) *Stack {
+	return &Stack{
+		S:         s,
+		LocalIP:   local,
+		Params:    params,
+		conns:     map[connKey]*Conn{},
+		listeners: map[uint16]*Listener{},
+		nextEphem: 49152,
+		isn:       1000,
+	}
+}
+
+func (st *Stack) remove(k connKey) { delete(st.conns, k) }
+
+// Conns returns the number of live connections.
+func (st *Stack) Conns() int { return len(st.conns) }
+
+// nextISN returns a deterministic initial sequence number.
+func (st *Stack) nextISN() uint32 {
+	st.isn += 64000
+	return st.isn
+}
+
+// Input demultiplexes one received segment.
+func (st *Stack) Input(src ipv4.Addr, seg Segment) {
+	st.SegsIn++
+	key := connKey{seg.DstPort, src, seg.SrcPort}
+	if c, ok := st.conns[key]; ok {
+		c.input(seg)
+		return
+	}
+	if l, ok := st.listeners[seg.DstPort]; ok && seg.Flags&FlagSYN != 0 && seg.Flags&FlagACK == 0 {
+		st.accept(l, src, seg)
+		return
+	}
+	// No endpoint: RST (unless the segment is itself a RST).
+	if seg.Flags&FlagRST == 0 {
+		st.RstsSent++
+		rst := Segment{
+			SrcPort: seg.DstPort, DstPort: seg.SrcPort,
+			Seq: seg.Ack, Ack: seg.Seq + uint32(len(seg.Payload)),
+			Flags: FlagRST | FlagACK, WndScale: -1,
+		}
+		st.SegsOut++
+		st.Output(src, rst)
+	}
+}
+
+// accept creates a half-open connection in SynRcvd and answers SYN|ACK.
+func (st *Stack) accept(l *Listener, src ipv4.Addr, seg Segment) {
+	key := connKey{seg.DstPort, src, seg.SrcPort}
+	c := newConn(st, key)
+	c.state = StateSynRcvd
+	c.irs = seg.Seq
+	c.rcvNxt = seg.Seq + 1
+	c.iss = st.nextISN()
+	c.sndUna = c.iss
+	c.sndNxt = c.iss + 1
+	c.negotiate(seg)
+	st.conns[key] = c
+	c.inflight = append(c.inflight, inflightSeg{seq: c.iss, syn: true, sentAt: st.S.K.Now()})
+	c.send(FlagSYN|FlagACK, c.iss, nil, true)
+	c.armRTO()
+}
+
+// Connect opens a connection to dst:port; the promise resolves with the
+// established connection (or fails after SYN retries are exhausted).
+func (st *Stack) Connect(dst ipv4.Addr, port uint16) *lwt.Promise[*Conn] {
+	pr := lwt.NewPromise[*Conn](st.S)
+	var key connKey
+	for tries := 0; ; tries++ {
+		st.nextEphem++
+		if st.nextEphem == 0 {
+			st.nextEphem = 49152
+		}
+		key = connKey{st.nextEphem, dst, port}
+		if _, used := st.conns[key]; !used {
+			break
+		}
+		if tries > 1<<16 {
+			pr.Fail(fmt.Errorf("tcp: ephemeral ports exhausted"))
+			return pr
+		}
+	}
+	c := newConn(st, key)
+	c.state = StateSynSent
+	c.iss = st.nextISN()
+	c.sndUna = c.iss
+	c.sndNxt = c.iss + 1
+	c.connectP = pr
+	st.conns[key] = c
+	c.inflight = append(c.inflight, inflightSeg{seq: c.iss, syn: true, sentAt: st.S.K.Now()})
+	c.send(FlagSYN, c.iss, nil, true)
+	c.armRTO()
+	return pr
+}
+
+// Listener accepts inbound connections on a port.
+type Listener struct {
+	st      *Stack
+	port    uint16
+	backlog []*Conn
+	waiters []*lwt.Promise[*Conn]
+	// Accepted counts connections handed to the application.
+	Accepted int
+}
+
+// Listen binds a listener to port.
+func (st *Stack) Listen(port uint16) (*Listener, error) {
+	if _, dup := st.listeners[port]; dup {
+		return nil, fmt.Errorf("tcp: port %d already listening", port)
+	}
+	l := &Listener{st: st, port: port}
+	st.listeners[port] = l
+	return l, nil
+}
+
+// Close stops listening (established connections are unaffected).
+func (l *Listener) Close() { delete(l.st.listeners, l.port) }
+
+// Accept resolves with the next established connection.
+func (l *Listener) Accept() *lwt.Promise[*Conn] {
+	pr := lwt.NewPromise[*Conn](l.st.S)
+	if len(l.backlog) > 0 {
+		c := l.backlog[0]
+		l.backlog = l.backlog[1:]
+		l.Accepted++
+		pr.Resolve(c)
+		return pr
+	}
+	l.waiters = append(l.waiters, pr)
+	return pr
+}
+
+// deliver hands a newly-established connection to an acceptor.
+func (l *Listener) deliver(c *Conn) {
+	if len(l.waiters) > 0 {
+		pr := l.waiters[0]
+		l.waiters = l.waiters[1:]
+		l.Accepted++
+		pr.Resolve(c)
+		return
+	}
+	l.backlog = append(l.backlog, c)
+}
+
+// lwtMapUnit runs fn after d (timer helper shared by the state machine).
+func lwtMapUnit(s *lwt.Scheduler, d time.Duration, fn func()) {
+	lwt.Map(s.Sleep(d), func(struct{}) struct{} {
+		fn()
+		return struct{}{}
+	})
+}
