@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all check fmt vet build test trace
+
+all: check
+
+check: fmt vet build test
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# Quick smoke: run one experiment with tracing and validate the output.
+trace:
+	$(GO) run ./cmd/repro -experiment fig10 -quick -trace /tmp/repro-trace.json -metrics
+	@echo "trace written to /tmp/repro-trace.json (load in Perfetto / chrome://tracing)"

@@ -7,6 +7,7 @@
 //	mirage build  [-appliance dns|web|openflow-switch|openflow-controller] [-no-dce] [-seed N]
 //	mirage graph  [-appliance ...]     # dependency closure with sizes
 //	mirage boot   [-appliance ...]     # build + boot on a simulated host
+//	mirage boot   -trace boot.json     # also write a Chrome trace of the boot
 //	mirage list                        # module registry (Table 1)
 package main
 
@@ -19,6 +20,8 @@ import (
 
 	"repro/internal/build"
 	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 func applianceConfig(name string) (build.Config, error) {
@@ -45,6 +48,7 @@ func main() {
 	appliance := fs.String("appliance", "dns", "appliance configuration")
 	noDCE := fs.Bool("no-dce", false, "disable dead-code elimination")
 	seed := fs.Int64("seed", 42, "address-space randomisation seed")
+	traceOut := fs.String("trace", "", "boot: write a Chrome trace-event JSON to this file")
 	fs.Parse(os.Args[2:])
 
 	switch cmd {
@@ -89,6 +93,12 @@ func main() {
 		}
 
 	case "boot":
+		var tracer *obs.Tracer
+		if *traceOut != "" {
+			tracer = obs.NewTracer(obs.DefaultCap)
+			tracer.Enable()
+			sim.SetDefaultObs(tracer, obs.NewRegistry())
+		}
 		pl := core.NewPlatform(*seed)
 		dep := pl.Deploy(core.Unikernel{
 			Build: cfg,
@@ -109,6 +119,19 @@ func main() {
 		fmt.Printf("booted %s: exit=%d boot-to-ready=%v\n", dep.Name, d.ExitCode, d.BootTime())
 		for _, line := range d.ConsoleLines() {
 			fmt.Println("console:", line)
+		}
+		if tracer != nil {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := tracer.WriteJSON(f); err == nil {
+				err = f.Close()
+			}
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trace: %d events written to %s\n", tracer.Len(), *traceOut)
 		}
 
 	default:

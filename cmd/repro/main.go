@@ -8,6 +8,8 @@
 //	repro -experiment fig5,fig6      # several
 //	repro -quick                     # reduced workload sizes
 //	repro -list                      # show available experiments
+//	repro -experiment fig10 -trace t.json   # Chrome trace of the run
+//	repro -experiment fig10 -metrics        # dump the metrics registry
 package main
 
 import (
@@ -18,6 +20,8 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 type experiment struct {
@@ -127,7 +131,19 @@ func main() {
 	which := flag.String("experiment", "all", "comma-separated experiment ids, or 'all'")
 	quick := flag.Bool("quick", false, "reduced workload sizes")
 	list := flag.Bool("list", false, "list experiments and exit")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
+	metrics := flag.Bool("metrics", false, "print the full metrics registry after the run")
 	flag.Parse()
+
+	var tracer *obs.Tracer
+	registry := obs.NewRegistry()
+	if *traceOut != "" {
+		tracer = obs.NewTracer(obs.DefaultCap)
+		tracer.Enable()
+	}
+	// Every kernel the experiments create shares this tracer/registry, so
+	// one trace file covers the whole invocation end to end.
+	sim.SetDefaultObs(tracer, registry)
 
 	exps := experiments()
 	if *list {
@@ -158,5 +174,26 @@ func main() {
 		sort.Strings(ids)
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %s\n", *which, strings.Join(ids, " "))
 		os.Exit(2)
+	}
+
+	if *metrics {
+		fmt.Println("== metrics registry ==")
+		fmt.Print(registry.Snapshot().Format())
+	}
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tracer.WriteJSON(f); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events written to %s (%d dropped at cap)\n",
+			tracer.Len(), *traceOut, tracer.Dropped())
 	}
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/blkback"
@@ -50,9 +51,14 @@ func Fig9BlockRead(sizesKiB []int, requestsPerPoint int) *Result {
 	}
 	for _, tg := range targets {
 		s := Series{Name: tg.name}
-		for _, kib := range sizesKiB {
+		for i, kib := range sizesKiB {
+			mibs, appendix := blockRunMiBs(tg, kib<<10, requestsPerPoint)
 			s.X = append(s.X, float64(kib))
-			s.Y = append(s.Y, blockRunMiBs(tg, kib<<10, requestsPerPoint))
+			s.Y = append(s.Y, mibs)
+			if i == len(sizesKiB)-1 {
+				r.Metrics = append(r.Metrics, fmt.Sprintf("[%s, %d KiB]", tg.name, kib))
+				r.Metrics = append(r.Metrics, appendix...)
+			}
 		}
 		r.Series = append(r.Series, s)
 	}
@@ -63,8 +69,9 @@ func Fig9BlockRead(sizesKiB []int, requestsPerPoint int) *Result {
 // 32 against a fresh SSD and returns MiB/s of simulated throughput. Blocks
 // larger than a page are issued as parallel page-sized device requests, as
 // the real ring would.
-func blockRunMiBs(tg blockTarget, blockBytes, total int) float64 {
+func blockRunMiBs(tg blockTarget, blockBytes, total int) (float64, []string) {
 	k := sim.NewKernel(99)
+	before := k.Metrics().Snapshot()
 	ssd := blkback.NewSSD(k, blkback.DefaultSSDParams())
 	guestCPU := k.NewCPU("guest")
 	rng := k.Rand()
@@ -110,5 +117,6 @@ func blockRunMiBs(tg blockTarget, blockBytes, total int) float64 {
 		panic(err)
 	}
 	secs := finish.Seconds()
-	return float64(total) * float64(blockBytes) / (1 << 20) / secs
+	appendix := metricsAppendix(k, before, "cpu_utilization", "blk_", "ring_occupancy")
+	return float64(total) * float64(blockBytes) / (1 << 20) / secs, appendix
 }

@@ -26,8 +26,10 @@ func PingLatency(pings int) *Result {
 	if pings == 0 {
 		pings = 20_000
 	}
-	run := func(targetParams netstack.Params) time.Duration {
+	var appendix []string
+	run := func(label string, targetParams netstack.Params) time.Duration {
 		pl := core.NewPlatform(77)
+		before := pl.K.Metrics().Snapshot()
 		var total time.Duration
 		done := 0
 
@@ -69,6 +71,9 @@ func PingLatency(pings int) *Result {
 		if done != pings {
 			panic(fmt.Sprintf("ping bench: only %d/%d replies", done, pings))
 		}
+		appendix = append(appendix, "["+label+"]")
+		appendix = append(appendix,
+			metricsAppendix(pl.K, before, "cpu_utilization", "net_", "ring_occupancy", "hv_evtchn")...)
 		return total / time.Duration(pings)
 	}
 
@@ -76,8 +81,8 @@ func PingLatency(pings int) *Result {
 	linux := netstack.Params{RxCost: 1200 * time.Nanosecond, TxCost: 1300 * time.Nanosecond}
 	mirage := netstack.Params{RxCost: 2200 * time.Nanosecond, TxCost: 2400 * time.Nanosecond}
 
-	lRTT := run(linux)
-	mRTT := run(mirage)
+	lRTT := run("linux-target", linux)
+	mRTT := run("mirage-target", mirage)
 	overhead := (float64(mRTT)/float64(lRTT) - 1) * 100
 
 	return &Result{
@@ -93,6 +98,7 @@ func PingLatency(pings int) *Result {
 			fmt.Sprintf("mirage latency overhead: %.1f%% (paper: 4-10%%)", overhead),
 			fmt.Sprintf("%d pings per target, zero losses", pings),
 		},
+		Metrics: appendix,
 	}
 }
 
@@ -107,8 +113,9 @@ type fig8Host struct {
 
 // fig8Throughput transfers bytesPerFlow on each of n flows from a sender
 // with sendProf to a receiver with recvProf and returns Mb/s.
-func fig8Throughput(sendProf, recvProf conventional.NetProfile, flows, bytesPerFlow int) float64 {
+func fig8Throughput(sendProf, recvProf conventional.NetProfile, flows, bytesPerFlow int) (float64, []string) {
 	k := sim.NewKernel(8)
+	before := k.Metrics().Snapshot()
 	const (
 		wireLatency = 15 * time.Microsecond
 		ackCost     = 700 * time.Nanosecond // per-ACK processing either side
@@ -203,7 +210,8 @@ func fig8Throughput(sendProf, recvProf conventional.NetProfile, flows, bytesPerF
 		panic(fmt.Sprintf("fig8: %d/%d flows finished", finished, flows))
 	}
 	secs := doneAt.Seconds()
-	return float64(flows*bytesPerFlow) * 8 / 1e6 / secs
+	appendix := metricsAppendix(k, before, "cpu_utilization", "tcp_")
+	return float64(flows*bytesPerFlow) * 8 / 1e6 / secs, appendix
 }
 
 // Fig8TCP regenerates the Figure 8 table: TCP throughput with all hardware
@@ -237,9 +245,13 @@ func Fig8TCP(bytesPerFlow int) *Result {
 		s := Series{Name: c.name}
 		for _, flows := range []int{1, 10} {
 			per := bytesPerFlow / flows
-			tput := fig8Throughput(c.snd, c.rcv, flows, per)
+			tput, appendix := fig8Throughput(c.snd, c.rcv, flows, per)
 			s.X = append(s.X, float64(flows))
 			s.Y = append(s.Y, tput)
+			if flows == 10 {
+				r.Metrics = append(r.Metrics, fmt.Sprintf("[%s, %d flows]", c.name, flows))
+				r.Metrics = append(r.Metrics, appendix...)
+			}
 		}
 		r.Series = append(r.Series, s)
 	}

@@ -129,7 +129,7 @@ func AblationSeal() *Result {
 				}
 				// Attempt a code-injection mapping; it must be refused.
 				d.PT.Map(0x9000, hypervisor.PageR|hypervisor.PageW|hypervisor.PageX)
-				attempts = d.PT.Attempts
+				attempts = d.PT.Attempts()
 			}
 			boot = p.Now().Sub(t0)
 		})

@@ -9,6 +9,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 // Series is one line on a figure.
@@ -26,6 +29,9 @@ type Result struct {
 	YLabel string
 	Series []Series
 	Notes  []string
+	// Metrics is a rendered appendix of the platform counters behind the
+	// figure (empty when the experiment predates the registry).
+	Metrics []string
 }
 
 // Format renders the result as an aligned text table (series as columns).
@@ -68,7 +74,29 @@ func (r *Result) Format() string {
 	for _, n := range r.Notes {
 		fmt.Fprintf(&b, "note: %s\n", n)
 	}
+	if len(r.Metrics) > 0 {
+		fmt.Fprintf(&b, "-- metrics --\n")
+		for _, l := range r.Metrics {
+			fmt.Fprintf(&b, "  %s\n", l)
+		}
+	}
 	return b.String()
+}
+
+// metricsAppendix renders the registry delta since before (plus per-CPU
+// utilization gauges) for attachment to a Result. Prefixes filter the rows
+// so each figure's appendix shows the counters that explain it.
+func metricsAppendix(k *sim.Kernel, before obs.Snapshot, prefixes ...string) []string {
+	m := k.Metrics()
+	for _, c := range k.CPUs() {
+		m.Gauge("cpu_utilization", obs.L("cpu", c.Name())).Set(c.Utilization())
+		m.Gauge("cpu_busy_seconds", obs.L("cpu", c.Name())).Set(c.BusyTime().Seconds())
+	}
+	snap := m.Snapshot().Diff(before)
+	if len(prefixes) > 0 {
+		snap = snap.Filter(prefixes...)
+	}
+	return snap.Lines()
 }
 
 func lookup(s Series, x float64) (float64, bool) {

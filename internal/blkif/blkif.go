@@ -14,8 +14,10 @@ import (
 	"repro/internal/grant"
 	"repro/internal/hypervisor"
 	"repro/internal/lwt"
+	"repro/internal/obs"
 	"repro/internal/pvboot"
 	"repro/internal/ring"
+	"repro/internal/sim"
 	"repro/internal/xenstore"
 )
 
@@ -37,6 +39,9 @@ type Blkif struct {
 
 	// Stats
 	Reads, Writes int
+
+	mxReads  *obs.Counter
+	mxWrites *obs.Counter
 }
 
 type op struct {
@@ -46,6 +51,7 @@ type op struct {
 	page    *cstruct.View
 	gref    grant.Ref
 	pr      *lwt.Promise[*cstruct.View]
+	started sim.Time
 }
 
 // Attach creates and connects a block device for vm against ssd, with the
@@ -58,6 +64,16 @@ func Attach(vm *pvboot.VM, ssd *blkback.SSD, dom0 *hypervisor.Domain, st *xensto
 		front:    ring.NewFront(ringPage),
 		inflight: map[uint16]*op{},
 	}
+	k := vm.S.K
+	m := k.Metrics()
+	dev := obs.L("dev", fmt.Sprintf("vbd%d", d.ID))
+	b.mxReads = m.Counter("blk_requests_total", dev, obs.L("op", "read"))
+	b.mxWrites = m.Counter("blk_requests_total", dev, obs.L("op", "write"))
+	occ := m.Histogram("ring_occupancy", []float64{1, 2, 4, 8, 16, 24, 32}, dev, obs.L("ring", "blk"))
+	b.front.Hooks.OnPublish = func(inFlight int, notify bool) {
+		occ.Observe(float64(inFlight))
+	}
+
 	gref := d.Grants.Grant(ringPage, false)
 	gport, bport := hypervisor.Connect(d, dom0)
 	b.port = gport
@@ -109,8 +125,10 @@ func (b *Blkif) submit(write bool, sector uint64, sectors int, data []byte) *lwt
 	if write {
 		page.PutBytes(0, data)
 		b.Writes++
+		b.mxWrites.Inc()
 	} else {
 		b.Reads++
+		b.mxReads.Inc()
 	}
 	o := &op{
 		write:   write,
@@ -119,6 +137,7 @@ func (b *Blkif) submit(write bool, sector uint64, sectors int, data []byte) *lwt
 		page:    page,
 		gref:    b.vm.Dom.Grants.Grant(page, false),
 		pr:      pr,
+		started: b.vm.S.K.Now(),
 	}
 	if b.front.Free() == 0 {
 		b.queue = append(b.queue, o)
@@ -154,6 +173,7 @@ func (b *Blkif) onEvent() {
 				continue
 			}
 			delete(b.inflight, id)
+			b.traceDone(o)
 			b.vm.Dom.Grants.End(o.gref)
 			if !ok {
 				o.page.Release()
@@ -175,6 +195,22 @@ func (b *Blkif) onEvent() {
 			return
 		}
 	}
+}
+
+// traceDone emits a span covering the request's submit-to-completion life.
+func (b *Blkif) traceDone(o *op) {
+	k := b.vm.S.K
+	tr := k.Trace()
+	if !tr.Enabled() {
+		return
+	}
+	name := "read"
+	if o.write {
+		name = "write"
+	}
+	tr.Complete(obs.Time(o.started), obs.Time(k.Now().Sub(o.started)), "blk", name,
+		b.vm.Dom.ID, 0,
+		obs.Int("sector", int64(o.sector)), obs.Int("sectors", int64(o.sectors)))
 }
 
 // InFlight returns the number of outstanding requests.

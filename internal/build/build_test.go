@@ -1,0 +1,88 @@
+package build
+
+import "testing"
+
+func TestApplianceClosureSizes(t *testing.T) {
+	cases := []struct {
+		cfg       Config
+		full, min int
+	}{
+		{DNSAppliance(nil), 449, 180},
+		{WebAppliance(), 673, 172},
+		{OFSwitchAppliance(), 410, 160},
+		{OFControllerAppliance(), 410, 164},
+	}
+	for _, c := range cases {
+		std, err := Build(c.cfg, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", c.cfg.Name, err)
+		}
+		dce, err := Build(c.cfg, Options{DeadCodeElim: true})
+		if err != nil {
+			t.Fatalf("%s: %v", c.cfg.Name, err)
+		}
+		if std.SizeKB != c.full || dce.SizeKB != c.min {
+			t.Errorf("%s: got %d/%d KB, want %d/%d", c.cfg.Name, std.SizeKB, dce.SizeKB, c.full, c.min)
+		}
+		if std.LoC != dce.LoC {
+			t.Errorf("%s: DCE changed LoC %d -> %d", c.cfg.Name, std.LoC, dce.LoC)
+		}
+	}
+}
+
+func TestClosureResolvesDeps(t *testing.T) {
+	img, err := Build(Config{Name: "t", Roots: []string{"http"}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"http", "tcp", "ipv4", "arp", "ethernet", "lwt", "cstruct"} {
+		if !img.HasModule(want) {
+			t.Errorf("http closure missing %s (got %v)", want, img.Modules)
+		}
+	}
+	if _, err := Build(Config{Name: "t", Roots: []string{"no-such-module"}}, Options{}); err == nil {
+		t.Error("unknown root did not fail the build")
+	}
+}
+
+func TestASRSeedChangesLayoutDeterministically(t *testing.T) {
+	a, _ := Build(WebAppliance(), Options{ASRSeed: 1})
+	a2, _ := Build(WebAppliance(), Options{ASRSeed: 1})
+	b, _ := Build(WebAppliance(), Options{ASRSeed: 2})
+	if len(a.Sections) != len(b.Sections) {
+		t.Fatalf("section counts differ: %d vs %d", len(a.Sections), len(b.Sections))
+	}
+	moved := false
+	for i := range a.Sections {
+		if a.Sections[i].Name != b.Sections[i].Name {
+			t.Fatalf("section order not stable: %q vs %q", a.Sections[i].Name, b.Sections[i].Name)
+		}
+		if a.Sections[i].Base != a2.Sections[i].Base {
+			t.Fatalf("same seed produced different layout for %s", a.Sections[i].Name)
+		}
+		if a.Sections[i].Base != b.Sections[i].Base {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("different ASR seeds produced identical layouts")
+	}
+	if a.Entry == b.Entry {
+		t.Error("entry point did not move with the ASR seed")
+	}
+}
+
+func TestLinuxAppliancesDwarfTheLibraryOS(t *testing.T) {
+	for _, name := range []string{"dns", "web", "of-switch", "of-controller"} {
+		comps, err := LinuxAppliance(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if TotalLoC(comps) < 500_000 {
+			t.Errorf("%s: conventional stack only %d LoC", name, TotalLoC(comps))
+		}
+	}
+	if _, err := LinuxAppliance("nope"); err == nil {
+		t.Error("unknown appliance did not error")
+	}
+}

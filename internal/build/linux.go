@@ -1,0 +1,57 @@
+package build
+
+import "fmt"
+
+// Component is one piece of the conventional software stack an appliance
+// replaces, with its source size in lines (Figure 14's stacked bars).
+type Component struct {
+	Name string
+	LoC  int
+}
+
+// LinuxAppliance returns the component stack of the equivalent
+// conventional appliance for one of the four standard images. Line counts
+// follow the paper's Figure 14 sources: a distro kernel configuration for
+// the network appliances, a pared-down one for the vchan/openvswitch
+// datapath hosts.
+func LinuxAppliance(name string) ([]Component, error) {
+	switch name {
+	case "dns":
+		return []Component{
+			{Name: "linux-kernel", LoC: 768_000},
+			{Name: "glibc", LoC: 180_000},
+			{Name: "bind9", LoC: 128_000},
+			{Name: "openssl", LoC: 70_000},
+		}, nil
+	case "web":
+		return []Component{
+			{Name: "linux-kernel", LoC: 768_000},
+			{Name: "glibc", LoC: 180_000},
+			{Name: "nginx", LoC: 131_000},
+			{Name: "python+web.py", LoC: 187_000},
+			{Name: "sqlite", LoC: 50_000},
+		}, nil
+	case "of-switch":
+		return []Component{
+			{Name: "linux-kernel", LoC: 516_000},
+			{Name: "glibc", LoC: 180_000},
+			{Name: "openvswitch", LoC: 61_000},
+		}, nil
+	case "of-controller":
+		return []Component{
+			{Name: "linux-kernel", LoC: 516_000},
+			{Name: "glibc", LoC: 180_000},
+			{Name: "maestro+jvm", LoC: 122_000},
+		}, nil
+	}
+	return nil, fmt.Errorf("build: no conventional stack catalogued for %q", name)
+}
+
+// TotalLoC sums the component line counts.
+func TotalLoC(comps []Component) int {
+	total := 0
+	for _, c := range comps {
+		total += c.LoC
+	}
+	return total
+}

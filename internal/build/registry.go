@@ -1,0 +1,87 @@
+package build
+
+// Module is one entry in the library-OS module registry: the unit of
+// linking (§3.1). FullKB is its contribution to the binary without
+// dead-code elimination, MinKB with it (Table 2), LoC its source size
+// (Figure 14 / Table 1).
+type Module struct {
+	Name      string
+	Subsystem string
+	Deps      []string
+	FullKB    int
+	MinKB     int
+	LoC       int
+}
+
+// registry is the calibrated module inventory. The four appliance closures
+// below reproduce Table 2: dns 449/180 KB, web 673/172 KB, of-switch
+// 410/160 KB, of-controller 410/164 KB (std/DCE).
+var registry = map[string]Module{
+	// core runtime — linked into everything
+	"lwt":       {Name: "lwt", Subsystem: "core", FullKB: 48, MinKB: 22, LoC: 11200},
+	"cstruct":   {Name: "cstruct", Subsystem: "core", FullKB: 22, MinKB: 10, LoC: 4100},
+	"regexp":    {Name: "regexp", Subsystem: "core", FullKB: 42, MinKB: 10, LoC: 5200},
+	"utf8":      {Name: "utf8", Subsystem: "core", FullKB: 14, MinKB: 5, LoC: 1800},
+	"cryptokit": {Name: "cryptokit", Subsystem: "core", FullKB: 58, MinKB: 12, LoC: 9200},
+
+	// network
+	"ethernet": {Name: "ethernet", Subsystem: "network", FullKB: 16, MinKB: 7, LoC: 2400},
+	"arp":      {Name: "arp", Subsystem: "network", Deps: []string{"ethernet"}, FullKB: 10, MinKB: 5, LoC: 1300},
+	"ipv4":     {Name: "ipv4", Subsystem: "network", Deps: []string{"ethernet", "arp"}, FullKB: 48, MinKB: 20, LoC: 7900},
+	"icmp":     {Name: "icmp", Subsystem: "network", Deps: []string{"ipv4"}, FullKB: 8, MinKB: 4, LoC: 900},
+	"udp":      {Name: "udp", Subsystem: "network", Deps: []string{"ipv4"}, FullKB: 22, MinKB: 9, LoC: 2100},
+	"tcp":      {Name: "tcp", Subsystem: "network", Deps: []string{"ipv4"}, FullKB: 96, MinKB: 34, LoC: 14600},
+	"dhcp":     {Name: "dhcp", Subsystem: "network", Deps: []string{"udp"}, FullKB: 18, MinKB: 7, LoC: 1900},
+	"openflow": {Name: "openflow", Subsystem: "network", Deps: []string{"tcp"}, FullKB: 146, MinKB: 52, LoC: 42700},
+	"vchan":    {Name: "vchan", Subsystem: "network", FullKB: 24, MinKB: 10, LoC: 4800},
+
+	// storage
+	"kv":       {Name: "kv", Subsystem: "storage", FullKB: 50, MinKB: 7, LoC: 5600},
+	"btree":    {Name: "btree", Subsystem: "storage", FullKB: 132, MinKB: 17, LoC: 24200},
+	"fat32":    {Name: "fat32", Subsystem: "storage", FullKB: 77, MinKB: 9, LoC: 9100},
+	"memcache": {Name: "memcache", Subsystem: "storage", Deps: []string{"tcp"}, FullKB: 40, MinKB: 11, LoC: 5200},
+
+	// formats
+	"json": {Name: "json", Subsystem: "formats", FullKB: 24, MinKB: 14, LoC: 3800},
+	"xml":  {Name: "xml", Subsystem: "formats", FullKB: 30, MinKB: 12, LoC: 4400},
+	"css":  {Name: "css", Subsystem: "formats", FullKB: 26, MinKB: 9, LoC: 3600},
+	"sexp": {Name: "sexp", Subsystem: "formats", FullKB: 12, MinKB: 4, LoC: 1500},
+
+	// application protocols
+	"dns":  {Name: "dns", Subsystem: "application", Deps: []string{"udp", "regexp", "utf8", "cryptokit"}, FullKB: 169, MinKB: 80, LoC: 45800},
+	"http": {Name: "http", Subsystem: "application", Deps: []string{"tcp", "regexp", "utf8"}, FullKB: 118, MinKB: 26, LoC: 19600},
+	"ssh":  {Name: "ssh", Subsystem: "application", Deps: []string{"tcp", "cryptokit"}, FullKB: 64, MinKB: 20, LoC: 8200},
+	"smtp": {Name: "smtp", Subsystem: "application", Deps: []string{"tcp"}, FullKB: 36, MinKB: 12, LoC: 4600},
+	"xmpp": {Name: "xmpp", Subsystem: "application", Deps: []string{"tcp", "utf8", "xml"}, FullKB: 48, MinKB: 16, LoC: 6800},
+}
+
+// Registry returns a copy of the module inventory (Table 1).
+func Registry() map[string]Module {
+	out := make(map[string]Module, len(registry))
+	for k, v := range registry {
+		out[k] = v
+	}
+	return out
+}
+
+// DNSAppliance is the paper's authoritative DNS server (§4.2) with the
+// zone file compiled into the image data section.
+func DNSAppliance(zone []byte) Config {
+	return Config{Name: "dns", Roots: []string{"dns"}, Data: zone}
+}
+
+// WebAppliance is the dynamic web server (§4.4): HTTP over the clean-slate
+// TCP stack with the B-tree/FAT/KV storage suite.
+func WebAppliance() Config {
+	return Config{Name: "web", Roots: []string{"http", "btree", "fat32", "kv"}}
+}
+
+// OFSwitchAppliance is the OpenFlow learning switch (§4.3).
+func OFSwitchAppliance() Config {
+	return Config{Name: "of-switch", Roots: []string{"openflow", "vchan"}}
+}
+
+// OFControllerAppliance is the OpenFlow controller (§4.3).
+func OFControllerAppliance() Config {
+	return Config{Name: "of-controller", Roots: []string{"openflow", "json"}}
+}

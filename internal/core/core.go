@@ -107,6 +107,9 @@ type DeployOpts struct {
 	ParallelToolstack bool
 	// Delay postpones the start of domain construction.
 	Delay time.Duration
+	// PCPU pins the guest's vCPU to this host pCPU (default 0, so
+	// co-deployed guests contend unless spread; -1 allocates a fresh one).
+	PCPU int
 }
 
 // Deployment is one deployed appliance.
@@ -181,7 +184,7 @@ func (pl *Platform) Deploy(u Unikernel, opts DeployOpts) *Deployment {
 		if pl.Dom0 == nil {
 			p.Wait(pl.dom0Ready)
 		}
-		cfg := hypervisor.Config{Name: u.Build.Name, Memory: mem, Entry: entry}
+		cfg := hypervisor.Config{Name: u.Build.Name, Memory: mem, Entry: entry, PCPU: opts.PCPU}
 		if opts.ParallelToolstack {
 			dep.Domain = pl.Host.CreateParallel(p, cfg)
 		} else {

@@ -25,6 +25,16 @@ type Entry struct {
 	mapped   int // active remote mappings
 }
 
+// Hooks are optional observability callbacks. The table has no kernel
+// reference, so the layer that owns both (the hypervisor's domain builder)
+// wires these to its tracer/registry; nil funcs are skipped.
+type Hooks struct {
+	OnGrant func(ref int)
+	OnMap   func(ref int)
+	OnUnmap func(ref int)
+	OnCopy  func(bytes int)
+}
+
 // Table is one domain's grant table.
 type Table struct {
 	entries map[Ref]*Entry
@@ -36,6 +46,8 @@ type Table struct {
 	Copies  int // grant-copy operations (bytes counted separately)
 	CopyLen int // total bytes copied via grant copy
 	Leaked  int // entries revoked while still mapped (protocol bugs)
+
+	Hooks Hooks
 }
 
 // NewTable returns an empty grant table.
@@ -48,6 +60,9 @@ func (t *Table) Grant(v *cstruct.View, readOnly bool) Ref {
 	r := t.next
 	t.entries[r] = &Entry{View: v.Retain(), ReadOnly: readOnly}
 	t.Grants++
+	if t.Hooks.OnGrant != nil {
+		t.Hooks.OnGrant(int(r))
+	}
 	return r
 }
 
@@ -69,6 +84,9 @@ func (t *Table) Map(r Ref) (*cstruct.View, error) {
 	}
 	e.mapped++
 	t.Maps++
+	if t.Hooks.OnMap != nil {
+		t.Hooks.OnMap(int(r))
+	}
 	return e.View.Retain(), nil
 }
 
@@ -83,6 +101,9 @@ func (t *Table) Unmap(r Ref, v *cstruct.View) error {
 	}
 	e.mapped--
 	v.Release()
+	if t.Hooks.OnUnmap != nil {
+		t.Hooks.OnUnmap(int(r))
+	}
 	return nil
 }
 
@@ -96,6 +117,9 @@ func (t *Table) Copy(r Ref) (*cstruct.View, error) {
 	}
 	t.Copies++
 	t.CopyLen += e.View.Len()
+	if t.Hooks.OnCopy != nil {
+		t.Hooks.OnCopy(e.View.Len())
+	}
 	return e.View.Copy(), nil
 }
 

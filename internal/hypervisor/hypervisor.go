@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/cstruct"
 	"repro/internal/grant"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -52,6 +53,12 @@ type Host struct {
 
 	domains []*Domain
 	nextID  int
+
+	mxHypercalls  *obs.Counter
+	mxNotifies    *obs.Counter
+	mxDomains     *obs.Counter
+	mxSeals       *obs.Counter
+	mxSealRefused *obs.Counter
 }
 
 // NewHost creates a host with ncpu physical CPUs plus a dom0 control CPU.
@@ -61,6 +68,12 @@ func NewHost(k *sim.Kernel, ncpu int) *Host {
 		h.PCPUs = append(h.PCPUs, k.NewCPU(fmt.Sprintf("pcpu%d", i)))
 	}
 	h.Dom0CPU = k.NewCPU("pcpu-dom0")
+	m := k.Metrics()
+	h.mxHypercalls = m.Counter("hv_hypercalls_total")
+	h.mxNotifies = m.Counter("hv_evtchn_notifies_total")
+	h.mxDomains = m.Counter("hv_domains_built_total")
+	h.mxSeals = m.Counter("hv_seals_total")
+	h.mxSealRefused = m.Counter("hv_seal_refusals_total")
 	return h
 }
 
@@ -85,11 +98,20 @@ const (
 type PageTable struct {
 	pages    map[uint64]PageFlags
 	sealed   bool
-	Attempts int // post-seal modification attempts refused
+	attempts int          // post-seal modification attempts refused
+	refusedC *obs.Counter // optional registry mirror, wired by Host.build
 }
 
 // NewPageTable returns an empty page table.
 func NewPageTable() *PageTable { return &PageTable{pages: map[uint64]PageFlags{}} }
+
+// Attempts returns how many post-seal modifications were refused.
+func (pt *PageTable) Attempts() int { return pt.attempts }
+
+func (pt *PageTable) refuse() {
+	pt.attempts++
+	pt.refusedC.Inc()
+}
 
 // Sealed reports whether the seal hypercall has been issued.
 func (pt *PageTable) Sealed() bool { return pt.sealed }
@@ -106,7 +128,7 @@ func (pt *PageTable) Map(page uint64, f PageFlags) error {
 	if pt.sealed {
 		_, exists := pt.pages[page]
 		if f&PageIO == 0 || f&PageX != 0 || exists {
-			pt.Attempts++
+			pt.refuse()
 			return fmt.Errorf("hypervisor: page table sealed (page %#x flags %b)", page, f)
 		}
 	}
@@ -121,7 +143,7 @@ func (pt *PageTable) Unmap(page uint64) error {
 		return fmt.Errorf("hypervisor: unmap of unmapped page %#x", page)
 	}
 	if pt.sealed && f&PageIO == 0 {
-		pt.Attempts++
+		pt.refuse()
 		return fmt.Errorf("hypervisor: page table sealed")
 	}
 	delete(pt.pages, page)
@@ -157,6 +179,9 @@ type Port struct {
 func (pt *Port) Notify(p *sim.Proc) {
 	h := pt.Dom.Host
 	pt.Sends++
+	h.mxNotifies.Inc()
+	h.mxHypercalls.Inc()
+	pt.traceNotify()
 	p.Use(pt.Dom.VCPU, h.Params.HypercallCost)
 	peer := pt.peer
 	h.K.After(h.Params.EventLatency, func() {
@@ -170,11 +195,21 @@ func (pt *Port) Notify(p *sim.Proc) {
 func (pt *Port) NotifyAsync() {
 	h := pt.Dom.Host
 	pt.Sends++
+	h.mxNotifies.Inc()
+	pt.traceNotify()
 	peer := pt.peer
 	h.K.After(h.Params.EventLatency, func() {
 		peer.Receives++
 		peer.Sig.Set()
 	})
+}
+
+func (pt *Port) traceNotify() {
+	h := pt.Dom.Host
+	if tr := h.K.Trace(); tr.Enabled() {
+		tr.Instant(h.K.TraceTime(), "hypervisor", "evtchn-notify", pt.Dom.ID, 0,
+			obs.Int("port", int64(pt.Index)), obs.Int("peer_dom", int64(pt.peer.Dom.ID)))
+	}
 }
 
 // Peer returns the other end of the channel.
@@ -229,6 +264,7 @@ type Config struct {
 // build performs the toolstack work of constructing a domain on the given
 // CPU and returns the built (not yet running) domain.
 func (h *Host) build(p *sim.Proc, cpu *sim.CPU, cfg Config) *Domain {
+	buildStart := h.K.Now()
 	cost := h.Params.BuildBase + time.Duration(cfg.Memory>>20)*h.Params.BuildPerMiB
 	p.Use(cpu, cost)
 	h.nextID++
@@ -262,7 +298,50 @@ func (h *Host) build(p *sim.Proc, cpu *sim.CPU, cfg Config) *Domain {
 	d.ready = h.K.NewSignal(cfg.Name + "-ready")
 	d.CreatedAt = h.K.Now()
 	h.domains = append(h.domains, d)
+
+	h.mxDomains.Inc()
+	m := h.K.Metrics()
+	d.PT.refusedC = h.mxSealRefused
+	wireGrantHooks(h.K, d, m)
+	tr := h.K.Trace()
+	tr.NameProcess(d.ID, cfg.Name)
+	if tr.Enabled() {
+		tr.Complete(obs.Time(buildStart), obs.Time(d.CreatedAt.Sub(buildStart)),
+			"hypervisor", "domain-build", d.ID, 0,
+			obs.Str("name", cfg.Name), obs.Int("mem_mib", int64(cfg.Memory>>20)))
+	}
 	return d
+}
+
+// wireGrantHooks mirrors the domain's grant-table activity into the
+// registry and (map/unmap only — the high-signal transitions) the tracer.
+func wireGrantHooks(k *sim.Kernel, d *Domain, m *obs.Registry) {
+	dom := obs.L("dom", d.Name)
+	grants := m.Counter("grant_ops_total", dom, obs.L("op", "grant"))
+	maps := m.Counter("grant_ops_total", dom, obs.L("op", "map"))
+	unmaps := m.Counter("grant_ops_total", dom, obs.L("op", "unmap"))
+	copies := m.Counter("grant_ops_total", dom, obs.L("op", "copy"))
+	copyBytes := m.Counter("grant_copy_bytes_total", dom)
+	tr := k.Trace()
+	d.Grants.Hooks = grant.Hooks{
+		OnGrant: func(ref int) { grants.Inc() },
+		OnMap: func(ref int) {
+			maps.Inc()
+			if tr.Enabled() {
+				tr.Instant(k.TraceTime(), "grant", "map", d.ID, 0, obs.Int("ref", int64(ref)))
+			}
+		},
+		OnUnmap: func(ref int) {
+			unmaps.Inc()
+			if tr.Enabled() {
+				tr.Instant(k.TraceTime(), "grant", "unmap", d.ID, 0, obs.Int("ref", int64(ref)))
+			}
+		},
+		OnCopy: func(n int) {
+			copies.Inc()
+			copyBytes.Add(int64(n))
+		},
+	}
 }
 
 // Create builds a domain synchronously on the control-domain toolstack CPU
@@ -288,12 +367,13 @@ func (d *Domain) start(cfg Config) {
 	if cfg.NoSpawn || cfg.Entry == nil {
 		return
 	}
-	d.Host.K.Spawn(cfg.Name, func(p *sim.Proc) {
+	p := d.Host.K.Spawn(cfg.Name, func(p *sim.Proc) {
 		code := cfg.Entry(d, p)
 		if !d.Dead {
 			d.Shutdown(code, ShutdownPoweroff)
 		}
 	})
+	p.SetTracePid(d.ID)
 }
 
 // SignalReady marks the instant guest boot completed (e.g. first packet
@@ -354,12 +434,20 @@ func Connect(a, b *Domain) (*Port, *Port) {
 // verified W^X and frozen. The hypervisor change is deliberately tiny —
 // the paper's patch was under 50 lines.
 func (d *Domain) Seal(p *sim.Proc) error {
-	p.Use(d.VCPU, d.Host.Params.HypercallCost+d.Host.Params.SealCost)
+	h := d.Host
+	h.mxHypercalls.Inc()
+	h.mxSeals.Inc()
+	p.Use(d.VCPU, h.Params.HypercallCost+h.Params.SealCost)
+	if tr := h.K.Trace(); tr.Enabled() {
+		tr.Instant(h.K.TraceTime(), "hypervisor", "seal", d.ID, 0,
+			obs.Int("pages", int64(len(d.PT.pages))))
+	}
 	return d.PT.Seal()
 }
 
 // Hypercall charges one generic hypercall's cost to the domain's vCPU.
 func (d *Domain) Hypercall(p *sim.Proc) {
+	d.Host.mxHypercalls.Inc()
 	p.Use(d.VCPU, d.Host.Params.HypercallCost)
 }
 

@@ -163,8 +163,8 @@ func TestSealedTableRefusesModification(t *testing.T) {
 	if err := pt.Unmap(0x1000); err == nil {
 		t.Error("sealed table allowed unmapping text")
 	}
-	if pt.Attempts != 3 {
-		t.Errorf("Attempts = %d, want 3", pt.Attempts)
+	if pt.Attempts() != 3 {
+		t.Errorf("Attempts = %d, want 3", pt.Attempts())
 	}
 }
 

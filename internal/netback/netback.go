@@ -8,12 +8,15 @@
 package netback
 
 import (
+	"bytes"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/cstruct"
 	"repro/internal/grant"
 	"repro/internal/hypervisor"
+	"repro/internal/obs"
 	"repro/internal/ring"
 	"repro/internal/sim"
 )
@@ -66,16 +69,24 @@ type Bridge struct {
 	Flooded   int
 	NoRoute   int
 	Bytes     int
+
+	mxForwarded *obs.Counter
+	mxFlooded   *obs.Counter
+	mxBytes     *obs.Counter
 }
 
 // NewBridge creates a bridge with its own backend CPU and link resources.
 func NewBridge(k *sim.Kernel, params Params) *Bridge {
+	m := k.Metrics()
 	return &Bridge{
-		K:         k,
-		CPU:       k.NewCPU("dom0-netback"),
-		Link:      k.NewCPU("bridge-link"),
-		Params:    params,
-		endpoints: map[MAC]Endpoint{},
+		K:           k,
+		CPU:         k.NewCPU("dom0-netback"),
+		Link:        k.NewCPU("bridge-link"),
+		Params:      params,
+		endpoints:   map[MAC]Endpoint{},
+		mxForwarded: m.Counter("bridge_frames_total", obs.L("kind", "forwarded")),
+		mxFlooded:   m.Counter("bridge_frames_total", obs.L("kind", "flooded")),
+		mxBytes:     m.Counter("bridge_bytes_total"),
 	}
 }
 
@@ -104,14 +115,22 @@ func (b *Bridge) Transmit(src MAC, frame []byte) {
 	}
 	at = at.Add(b.Params.Latency)
 	b.Bytes += len(frame)
+	b.mxBytes.Add(int64(len(frame)))
 
 	if dst == Broadcast {
 		b.Flooded++
-		for mac, e := range b.endpoints {
-			if mac == src {
-				continue
+		b.mxFlooded.Inc()
+		// Flood in MAC order: map iteration order would make event
+		// sequencing (and traces) differ between identical runs.
+		macs := make([]MAC, 0, len(b.endpoints))
+		for mac := range b.endpoints {
+			if mac != src {
+				macs = append(macs, mac)
 			}
-			e := e
+		}
+		sort.Slice(macs, func(i, j int) bool { return bytes.Compare(macs[i][:], macs[j][:]) < 0 })
+		for _, mac := range macs {
+			e := b.endpoints[mac]
 			b.K.At(at, func() { e.Deliver(frame) })
 		}
 		return
@@ -122,6 +141,11 @@ func (b *Bridge) Transmit(src MAC, frame []byte) {
 		return
 	}
 	b.Forwarded++
+	b.mxForwarded.Inc()
+	if tr := b.K.Trace(); tr.Enabled() {
+		tr.Instant(b.K.TraceTime(), "net", "bridge-fwd", 0, 0,
+			obs.Str("dst", dst.String()), obs.Int("bytes", int64(len(frame))))
+	}
 	b.K.At(at, func() { e.Deliver(frame) })
 }
 

@@ -20,6 +20,7 @@ import (
 	"repro/internal/grant"
 	"repro/internal/hypervisor"
 	"repro/internal/netback"
+	"repro/internal/obs"
 	"repro/internal/pvboot"
 	"repro/internal/ring"
 	"repro/internal/sim"
@@ -48,11 +49,20 @@ type Netif struct {
 	txQueue    [][]txFrag // waiting for ring slots
 	rxPosted   map[uint16]rxPost
 
-	// Stats
-	TxPackets int
-	RxPackets int
-	TxQueued  int
+	// Stats live on the kernel's metrics registry; see Attach.
+	mxTx       *obs.Counter
+	mxRx       *obs.Counter
+	mxTxQueued *obs.Counter
 }
+
+// TxPackets returns frames transmitted.
+func (n *Netif) TxPackets() int { return int(n.mxTx.Value()) }
+
+// RxPackets returns frames received.
+func (n *Netif) RxPackets() int { return int(n.mxRx.Value()) }
+
+// TxQueued returns frames that waited because the TX ring was full.
+func (n *Netif) TxQueued() int { return int(n.mxTxQueued.Value()) }
 
 type txFrag struct {
 	gref grant.Ref
@@ -80,6 +90,27 @@ func Attach(vm *pvboot.VM, b *netback.Bridge, dom0 *hypervisor.Domain, st *xenst
 		txInflight: map[uint16][]txFrag{},
 		rxPosted:   map[uint16]rxPost{},
 	}
+	k := vm.S.K
+	m := k.Metrics()
+	tr := k.Trace()
+	dev := obs.L("dev", fmt.Sprintf("vif%d", d.ID))
+	n.mxTx = m.Counter("net_packets_total", dev, obs.L("dir", "tx"))
+	n.mxRx = m.Counter("net_packets_total", dev, obs.L("dir", "rx"))
+	n.mxTxQueued = m.Counter("net_tx_ring_full_total", dev)
+	occBounds := []float64{1, 2, 4, 8, 16, 24, 32}
+	txOcc := m.Histogram("ring_occupancy", occBounds, dev, obs.L("ring", "tx"))
+	rxOcc := m.Histogram("ring_occupancy", occBounds, dev, obs.L("ring", "rx"))
+	n.txFront.Hooks.OnPublish = func(inFlight int, notify bool) {
+		txOcc.Observe(float64(inFlight))
+		if tr.Enabled() {
+			tr.Instant(k.TraceTime(), "ring", "tx-push", d.ID, 0,
+				obs.Int("in_flight", int64(inFlight)))
+		}
+	}
+	n.rxFront.Hooks.OnPublish = func(inFlight int, notify bool) {
+		rxOcc.Observe(float64(inFlight))
+	}
+
 	txGref := d.Grants.Grant(txPage, false)
 	rxGref := d.Grants.Grant(rxPage, false)
 	gport, bport := hypervisor.Connect(d, dom0)
@@ -182,7 +213,7 @@ func (n *Netif) Send(p *sim.Proc, frags ...*cstruct.View) {
 	}
 	if n.txFront.Free() < len(tf) {
 		n.txQueue = append(n.txQueue, tf)
-		n.TxQueued++
+		n.mxTxQueued.Inc()
 		return
 	}
 	n.pushTx(p, tf)
@@ -198,7 +229,15 @@ func (n *Netif) pushTx(p *sim.Proc, tf []txFrag) {
 			netback.EncodeTxReq(s, uint32(f.gref), 0, uint16(f.view.Len()), id, f.more)
 		})
 	}
-	n.TxPackets++
+	n.mxTx.Inc()
+	if k := n.vm.S.K; k.Trace().Enabled() {
+		total := 0
+		for _, f := range tf {
+			total += f.view.Len()
+		}
+		k.Trace().Instant(k.TraceTime(), "net", "tx", n.vm.Dom.ID, 0,
+			obs.Int("bytes", int64(total)), obs.Int("frags", int64(len(tf))))
+	}
 	if n.txFront.PushRequests() {
 		if p != nil {
 			n.port.Notify(p)
@@ -262,7 +301,11 @@ func (n *Netif) drainCompletions() {
 		n.vm.Dom.Grants.End(post.gref)
 		frame := post.page.Sub(0, int(length))
 		post.page.Release() // stack sub-views now own the page
-		n.RxPackets++
+		n.mxRx.Inc()
+		if k := n.vm.S.K; k.Trace().Enabled() {
+			k.Trace().Instant(k.TraceTime(), "net", "rx", n.vm.Dom.ID, 0,
+				obs.Int("bytes", int64(length)))
+		}
 		if n.recv != nil {
 			n.recv(frame)
 		} else {

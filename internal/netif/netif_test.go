@@ -238,7 +238,7 @@ func TestTxBurstBeyondRingDepthQueuesAndDrains(t *testing.T) {
 				n.Send(p, page.Sub(0, len(payload)))
 				page.Release()
 			}
-			if n.TxQueued == 0 {
+			if n.TxQueued() == 0 {
 				t.Error("burst of 100 never used the driver queue (ring is 32 slots)")
 			}
 			return vm.Main(p, vm.S.Sleep(2*time.Second))

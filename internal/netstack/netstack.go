@@ -22,6 +22,7 @@ import (
 	"repro/internal/ipv4"
 	"repro/internal/lwt"
 	"repro/internal/netif"
+	"repro/internal/obs"
 	"repro/internal/pvboot"
 	"repro/internal/sim"
 	"repro/internal/tcp"
@@ -114,6 +115,11 @@ func New(vm *pvboot.VM, nif *netif.Netif, cfg Config) *Stack {
 		tcpParams.MSS = m
 	}
 	st.TCP = tcp.NewStack(vm.S, cfg.IP, tcpParams)
+	st.TCP.TracePid = vm.Dom.ID
+	if k := vm.S.K; k.Trace().Enabled() {
+		k.Trace().Instant(k.TraceTime(), "tcp", "stack-init", vm.Dom.ID, 0,
+			obs.Str("ip", cfg.IP.String()))
+	}
 	st.TCP.Output = func(dst ipv4.Addr, seg tcp.Segment) {
 		need := tcp.HeaderLen + 40 + len(seg.Payload) // header+options upper bound
 		st.SendIP(dst, ipv4.ProtoTCP, need, func(v *cstruct.View) int {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/hypervisor"
 	"repro/internal/lwt"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -61,7 +62,14 @@ func Boot(d *hypervisor.Domain, p *sim.Proc, opts Options) (*VM, error) {
 	if opts.BinarySize == 0 {
 		opts.BinarySize = 256 << 10
 	}
+	k := d.Host.K
+	tr := k.Trace()
+	initStart := k.Now()
 	p.Use(d.VCPU, opts.InitCost)
+	if tr.Enabled() {
+		tr.Complete(obs.Time(initStart), obs.Time(k.Now().Sub(initStart)),
+			"boot", "runtime-init", d.ID, 0)
+	}
 
 	layout, err := mem.NewLayout(d.MemBytes, opts.BinarySize)
 	if err != nil {
@@ -88,6 +96,10 @@ func Boot(d *hypervisor.Domain, p *sim.Proc, opts Options) (*VM, error) {
 		if err := pt.Map(e.base, e.flags); err != nil {
 			return nil, fmt.Errorf("pvboot: mapping %#x: %w", e.base, err)
 		}
+	}
+	if tr.Enabled() {
+		tr.Instant(obs.Time(k.Now()), "boot", "pagetables-installed", d.ID, 0,
+			obs.Int("regions", int64(len(entries))))
 	}
 	if opts.Seal {
 		if err := d.Seal(p); err != nil {

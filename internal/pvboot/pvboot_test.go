@@ -70,7 +70,7 @@ func TestBootWithSealFreezesPageTable(t *testing.T) {
 			t.Error("sealed VM accepted an executable mapping")
 		}
 	})
-	if d.PT.Attempts == 0 {
+	if d.PT.Attempts() == 0 {
 		t.Error("refused attempts not recorded")
 	}
 }

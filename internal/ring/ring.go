@@ -69,11 +69,27 @@ func (s *Shared) slot(i uint32) *cstruct.View {
 	return s.page.Sub(off, SlotSize)
 }
 
+// FrontHooks are optional observability callbacks for the frontend end.
+// The ring is a pure data structure with no kernel reference, so whichever
+// driver owns the ring (netif, blkif) wires these to its tracer/metrics.
+type FrontHooks struct {
+	OnPublish func(inFlight int, notify bool) // after PushRequests
+	OnPop     func()                          // after each PopResponse
+}
+
+// BackHooks are optional observability callbacks for the backend end.
+type BackHooks struct {
+	OnPublish func(unanswered int, notify bool) // after PushResponses
+	OnPop     func()                            // after each PopRequest
+}
+
 // Front is the frontend (guest) end of a ring.
 type Front struct {
 	sh          *Shared
 	reqProdPvt  uint32 // private request producer, published by PushRequests
 	rspConsumed uint32 // responses consumed so far
+
+	Hooks FrontHooks
 }
 
 // NewFront creates the frontend end over a fresh shared page.
@@ -108,7 +124,11 @@ func (f *Front) PushRequests() (notify bool) {
 	old := f.sh.reqProd()
 	f.sh.setReqProd(f.reqProdPvt)
 	// Notify iff the new requests cross the backend's event threshold.
-	return f.reqProdPvt-f.sh.reqEvent() < f.reqProdPvt-old
+	notify = f.reqProdPvt-f.sh.reqEvent() < f.reqProdPvt-old
+	if f.Hooks.OnPublish != nil {
+		f.Hooks.OnPublish(Slots-f.Free(), notify)
+	}
+	return notify
 }
 
 // PendingResponses reports whether unconsumed responses exist.
@@ -124,6 +144,9 @@ func (f *Front) PopResponse(decode func(slot *cstruct.View)) bool {
 	decode(sl)
 	sl.Release()
 	f.rspConsumed++
+	if f.Hooks.OnPop != nil {
+		f.Hooks.OnPop()
+	}
 	return true
 }
 
@@ -140,6 +163,8 @@ type Back struct {
 	sh          *Shared
 	rspProdPvt  uint32
 	reqConsumed uint32
+
+	Hooks BackHooks
 }
 
 // NewBack attaches the backend end to the (already initialised) shared page.
@@ -159,6 +184,9 @@ func (b *Back) PopRequest(decode func(slot *cstruct.View)) bool {
 	decode(sl)
 	sl.Release()
 	b.reqConsumed++
+	if b.Hooks.OnPop != nil {
+		b.Hooks.OnPop()
+	}
 	return true
 }
 
@@ -180,7 +208,11 @@ func (b *Back) PushResponse(encode func(slot *cstruct.View)) bool {
 func (b *Back) PushResponses() (notify bool) {
 	old := b.sh.rspProd()
 	b.sh.setRspProd(b.rspProdPvt)
-	return b.rspProdPvt-b.sh.rspEvent() < b.rspProdPvt-old
+	notify = b.rspProdPvt-b.sh.rspEvent() < b.rspProdPvt-old
+	if b.Hooks.OnPublish != nil {
+		b.Hooks.OnPublish(b.Unanswered(), notify)
+	}
+	return notify
 }
 
 // Unanswered returns requests consumed but not yet answered.

@@ -18,6 +18,8 @@ import (
 	"math/rand"
 	"sort"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Time is an instant of virtual time, in nanoseconds since simulation start.
@@ -83,16 +85,65 @@ type Kernel struct {
 
 	panicVal any
 	panicked bool
+
+	trace   *obs.Tracer
+	metrics *obs.Registry
+	cpus    []*CPU
+
+	mxSpawns *obs.Counter
+	mxWakes  *obs.Counter
+}
+
+// Package-level observability defaults: a CLI (or test) installs a shared
+// tracer/registry once and every kernel created afterwards attaches to
+// them, so multi-kernel runs land on one timeline and one metric space.
+var (
+	defaultTrace   *obs.Tracer
+	defaultMetrics *obs.Registry
+)
+
+// SetDefaultObs installs the tracer and registry that subsequent NewKernel
+// calls attach to. Either may be nil (fresh disabled tracer / fresh
+// registry per kernel).
+func SetDefaultObs(t *obs.Tracer, m *obs.Registry) {
+	defaultTrace = t
+	defaultMetrics = m
 }
 
 // NewKernel returns a kernel with virtual time 0 and an RNG seeded with seed.
 func NewKernel(seed int64) *Kernel {
-	return &Kernel{
-		rng:    rand.New(rand.NewSource(seed)),
-		live:   map[*Proc]struct{}{},
-		parked: make(chan *Proc),
+	k := &Kernel{
+		rng:     rand.New(rand.NewSource(seed)),
+		live:    map[*Proc]struct{}{},
+		parked:  make(chan *Proc),
+		trace:   defaultTrace,
+		metrics: defaultMetrics,
 	}
+	if k.trace == nil {
+		k.trace = obs.NewTracer(0)
+	} else {
+		k.trace.Rebase()
+	}
+	if k.metrics == nil {
+		k.metrics = obs.NewRegistry()
+	}
+	k.trace.NameProcess(0, "host")
+	k.mxSpawns = k.metrics.Counter("sim_procs_spawned_total")
+	k.mxWakes = k.metrics.Counter("sim_proc_wakes_total")
+	return k
 }
+
+// Trace returns the kernel's tracer (never nil, possibly disabled).
+func (k *Kernel) Trace() *obs.Tracer { return k.trace }
+
+// Metrics returns the kernel's metrics registry (never nil).
+func (k *Kernel) Metrics() *obs.Registry { return k.metrics }
+
+// CPUs returns every CPU created on this kernel, in creation order.
+func (k *Kernel) CPUs() []*CPU { return k.cpus }
+
+// TraceTime converts the kernel clock for tracer calls.
+func (k *Kernel) TraceTime() obs.Time { return obs.Time(k.now) }
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
@@ -129,10 +180,22 @@ type Proc struct {
 	done   bool
 	daemon bool   // daemon procs may remain parked at simulation end
 	parkAt string // description of the current park site, for diagnostics
+
+	tracePid int // trace process the proc is attributed to (domain ID; 0 = host)
 }
 
 // Name returns the name given at Spawn.
 func (p *Proc) Name() string { return p.name }
+
+// ID returns the proc's kernel-unique ID (the trace tid).
+func (p *Proc) ID() int { return p.id }
+
+// SetTracePid attributes the proc's trace events to a domain's process row
+// (the hypervisor calls this when it starts a domain's boot proc).
+func (p *Proc) SetTracePid(pid int) {
+	p.tracePid = pid
+	p.k.trace.NameThread(pid, p.id, p.name)
+}
 
 // Kernel returns the owning kernel.
 func (p *Proc) Kernel() *Kernel { return p.k }
@@ -146,6 +209,11 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 	k.procSeq++
 	p := &Proc{k: k, name: name, id: k.procSeq, resume: make(chan struct{})}
 	k.live[p] = struct{}{}
+	k.mxSpawns.Inc()
+	if k.trace.Enabled() {
+		k.trace.NameThread(0, p.id, name)
+		k.trace.Instant(k.TraceTime(), "kernel", "spawn", 0, p.id, obs.Str("proc", name))
+	}
 	go func() {
 		<-p.resume
 		defer func() {
@@ -178,6 +246,10 @@ func (k *Kernel) schedule(p *Proc) {
 	}
 	p.ready = true
 	k.runq = append(k.runq, p)
+	k.mxWakes.Inc()
+	if k.trace.Enabled() {
+		k.trace.Instant(k.TraceTime(), "kernel", "wake", p.tracePid, p.id)
+	}
 }
 
 // step runs one runnable proc or advances the clock to the next event.
@@ -264,8 +336,15 @@ func (k *Kernel) parkedProcs() string {
 // arranged for a future schedule(p) (timer, signal, ...).
 func (p *Proc) park(site string) {
 	p.parkAt = site
+	traced := p.k.trace.Enabled()
+	if traced {
+		p.k.trace.Begin(p.k.TraceTime(), "kernel", "park:"+site, p.tracePid, p.id)
+	}
 	p.k.parked <- p
 	<-p.resume
+	if traced {
+		p.k.trace.End(p.k.TraceTime(), "kernel", "park:"+site, p.tracePid, p.id)
+	}
 	p.parkAt = ""
 }
 
@@ -396,13 +475,22 @@ func (p *Proc) WaitAny(timeout time.Duration, sigs ...*Signal) int {
 type CPU struct {
 	k      *Kernel
 	name   string
+	id     int // trace tid (offset past proc IDs)
 	freeAt Time
 	busy   time.Duration // total busy time accumulated
 	speed  float64       // relative speed multiplier (1.0 = nominal)
 }
 
+// cpuTidBase keeps CPU trace tids clear of proc tids under pid 0.
+const cpuTidBase = 1000
+
 // NewCPU creates a CPU resource with relative speed 1.0.
-func (k *Kernel) NewCPU(name string) *CPU { return &CPU{k: k, name: name, speed: 1.0} }
+func (k *Kernel) NewCPU(name string) *CPU {
+	c := &CPU{k: k, name: name, id: cpuTidBase + len(k.cpus), speed: 1.0}
+	k.cpus = append(k.cpus, c)
+	k.trace.NameThread(0, c.id, "cpu:"+name)
+	return c
+}
 
 // SetSpeed sets the relative speed multiplier; work of nominal duration d
 // occupies d/speed.
@@ -438,6 +526,9 @@ func (c *CPU) reserve(d time.Duration) Time {
 	end := start.Add(d)
 	c.freeAt = end
 	c.busy += d
+	if c.k.trace.Enabled() && d > 0 {
+		c.k.trace.Complete(obs.Time(start), obs.Time(d), "cpu", c.name, 0, c.id)
+	}
 	return end
 }
 

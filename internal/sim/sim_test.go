@@ -1,9 +1,12 @@
 package sim
 
 import (
+	"bytes"
 	"testing"
 	"testing/quick"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func TestClockStartsAtZero(t *testing.T) {
@@ -94,6 +97,48 @@ func TestSpawnedProcsInterleaveDeterministically(t *testing.T) {
 			if first[i] != again[i] {
 				t.Fatalf("nondeterministic trace at %d: %v vs %v", i, first, again)
 			}
+		}
+	}
+}
+
+func TestKernelTraceAndMetricsDeterministic(t *testing.T) {
+	run := func() ([]byte, string) {
+		tr := obs.NewTracer(obs.DefaultCap)
+		tr.Enable()
+		reg := obs.NewRegistry()
+		SetDefaultObs(tr, reg)
+		defer SetDefaultObs(nil, nil)
+
+		k := NewKernel(7)
+		cpu := k.NewCPU("pcpu0")
+		for _, name := range []string{"a", "b", "c"} {
+			k.Spawn(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					p.Use(cpu, time.Microsecond)
+					p.Sleep(time.Millisecond)
+				}
+			})
+		}
+		if _, err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), reg.Snapshot().Format()
+	}
+	trace1, metrics1 := run()
+	trace2, metrics2 := run()
+	if !bytes.Equal(trace1, trace2) {
+		t.Fatalf("trace JSON differs across same-seed kernels:\n%s\n--- vs ---\n%s", trace1, trace2)
+	}
+	if metrics1 != metrics2 {
+		t.Fatalf("metrics differ across same-seed kernels:\n%s\n--- vs ---\n%s", metrics1, metrics2)
+	}
+	for _, want := range []string{`"cat":"kernel"`, `"cat":"cpu"`} {
+		if !bytes.Contains(trace1, []byte(want)) {
+			t.Errorf("trace missing %s events", want)
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/lwt"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -121,6 +122,19 @@ type Conn struct {
 // State returns the connection state.
 func (c *Conn) State() State { return c.state }
 
+// setState transitions the state machine, emitting a trace instant so the
+// whole connection lifecycle is visible on the domain's timeline.
+func (c *Conn) setState(s State) {
+	if c.state == s {
+		return
+	}
+	if tr := c.st.tr; tr.Enabled() {
+		tr.Instant(obs.Time(c.st.S.K.Now()), "tcp", "state:"+s.String(), c.st.TracePid, 0,
+			obs.Str("from", c.state.String()), obs.Int("port", int64(c.key.localPort)))
+	}
+	c.state = s
+}
+
 // RemoteAddr returns the peer's address and port.
 func (c *Conn) RemoteAddr() (addr uint32, port uint16) {
 	return uint32(c.key.remoteIP), c.key.remotePort
@@ -184,7 +198,7 @@ func (c *Conn) send(flags uint8, seq uint32, payload []byte, syn bool) {
 		seg.MSS = uint16(c.mss)
 		seg.WndScale = c.myWndScale
 	}
-	c.st.SegsOut++
+	c.st.mxSegsOut.Inc()
 	c.st.Output(c.key.remoteIP, seg)
 }
 
@@ -392,9 +406,9 @@ func (c *Conn) Close() {
 	c.finQueued = true
 	switch c.state {
 	case StateEstablished, StateSynRcvd:
-		c.state = StateFinWait1
+		c.setState(StateFinWait1)
 	case StateCloseWait:
-		c.state = StateLastAck
+		c.setState(StateLastAck)
 	}
 	c.trySend()
 }
@@ -424,7 +438,7 @@ func (c *Conn) teardown(err error) {
 	if c.state == StateClosed {
 		return
 	}
-	c.state = StateClosed
+	c.setState(StateClosed)
 	c.err = err
 	c.rtoGen++ // disarm timers
 	c.delAckGen++
@@ -468,6 +482,11 @@ func (c *Conn) disarmRTO() { c.rtoGen++ }
 // retransmit the oldest unacknowledged segment (RFC 5681 §3.1).
 func (c *Conn) onTimeout() {
 	c.Timeouts++
+	c.st.mxTimeouts.Inc()
+	if tr := c.st.tr; tr.Enabled() {
+		tr.Instant(obs.Time(c.st.S.K.Now()), "tcp", "rto-timeout", c.st.TracePid, 0,
+			obs.Int("port", int64(c.key.localPort)), obs.Int("rto_us", int64(c.rto.Microseconds())))
+	}
 	flight := c.flightSize()
 	c.ssthresh = max2(flight/2, 2*c.mss)
 	c.cwnd = c.mss
@@ -486,6 +505,11 @@ func (c *Conn) retransmitFirst() {
 		return
 	}
 	c.Retransmits++
+	c.st.mxRetransmits.Inc()
+	if tr := c.st.tr; tr.Enabled() {
+		tr.Instant(obs.Time(c.st.S.K.Now()), "tcp", "retransmit", c.st.TracePid, 0,
+			obs.Int("port", int64(c.key.localPort)), obs.Int("seq", int64(c.inflight[0].seq)))
+	}
 	seg := &c.inflight[0]
 	seg.rexmit = true
 	switch {

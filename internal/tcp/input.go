@@ -3,6 +3,8 @@ package tcp
 // Segment input processing: the RFC 793 event machine plus New Reno loss
 // recovery (RFC 6582) and fast retransmit (RFC 5681).
 
+import "repro/internal/obs"
+
 func (c *Conn) input(seg Segment) {
 	if seg.Flags&FlagRST != 0 {
 		c.teardown(ErrReset)
@@ -30,7 +32,7 @@ func (c *Conn) inputSynSent(seg Segment) {
 	c.inflight = nil
 	c.disarmRTO()
 	c.negotiate(seg)
-	c.state = StateEstablished
+	c.setState(StateEstablished)
 	c.sendAck()
 	if c.connectP != nil {
 		c.connectP.Resolve(c)
@@ -50,7 +52,7 @@ func (c *Conn) inputSynRcvd(seg Segment) {
 	c.sndUna = seg.Ack
 	c.inflight = nil
 	c.disarmRTO()
-	c.state = StateEstablished
+	c.setState(StateEstablished)
 	if l := c.st.listeners[c.key.localPort]; l != nil {
 		l.deliver(c)
 	}
@@ -152,6 +154,11 @@ func (c *Conn) processAck(seg Segment) {
 		} else if c.dupAcks == 3 {
 			// Fast retransmit + fast recovery entry.
 			c.FastRetransmits++
+			c.st.mxFastRetransmits.Inc()
+			if tr := c.st.tr; tr.Enabled() {
+				tr.Instant(obs.Time(c.st.S.K.Now()), "tcp", "fast-retransmit", c.st.TracePid, 0,
+					obs.Int("port", int64(c.key.localPort)), obs.Int("seq", int64(c.sndUna)))
+			}
 			c.ssthresh = max2(c.flightSize()/2, 2*c.mss)
 			c.recover = c.sndNxt
 			c.retransmitFirst()
@@ -168,7 +175,7 @@ func (c *Conn) onAllAcked() {
 	}
 	switch c.state {
 	case StateFinWait1:
-		c.state = StateFinWait2
+		c.setState(StateFinWait2)
 	case StateClosing:
 		c.enterTimeWait()
 	case StateLastAck:
@@ -238,12 +245,12 @@ func (c *Conn) processFin(seg Segment) {
 	c.wakeReaders()
 	switch c.state {
 	case StateEstablished:
-		c.state = StateCloseWait
+		c.setState(StateCloseWait)
 	case StateFinWait1:
 		if c.finSent && c.sndUna == c.sndNxt {
 			c.enterTimeWait()
 		} else {
-			c.state = StateClosing
+			c.setState(StateClosing)
 		}
 	case StateFinWait2:
 		c.enterTimeWait()
@@ -252,7 +259,7 @@ func (c *Conn) processFin(seg Segment) {
 }
 
 func (c *Conn) enterTimeWait() {
-	c.state = StateTimeWait
+	c.setState(StateTimeWait)
 	gen := c.rtoGen + 1
 	c.rtoGen = gen
 	lwtMapUnit(c.st.S, c.st.Params.TimeWait, func() {

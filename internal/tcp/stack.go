@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/ipv4"
 	"repro/internal/lwt"
+	"repro/internal/obs"
 )
 
 // Params tune the TCP implementation.
@@ -58,15 +59,39 @@ type Stack struct {
 	nextEphem uint16
 	isn       uint32
 
-	// Stats
-	SegsIn, SegsOut int
-	BadSegs         int
-	RstsSent        int
+	// TracePid attributes this stack's trace events to a domain's process
+	// row; the netstack layer sets it after boot (0 = host).
+	TracePid int
+
+	tr *obs.Tracer
+
+	// Stats live on the kernel's metrics registry; see NewStack.
+	mxSegsIn          *obs.Counter
+	mxSegsOut         *obs.Counter
+	mxBadSegs         *obs.Counter
+	mxRstsSent        *obs.Counter
+	mxRetransmits     *obs.Counter
+	mxFastRetransmits *obs.Counter
+	mxTimeouts        *obs.Counter
 }
+
+// SegsIn returns segments received.
+func (st *Stack) SegsIn() int { return int(st.mxSegsIn.Value()) }
+
+// SegsOut returns segments sent.
+func (st *Stack) SegsOut() int { return int(st.mxSegsOut.Value()) }
+
+// BadSegs returns segments that matched no endpoint.
+func (st *Stack) BadSegs() int { return int(st.mxBadSegs.Value()) }
+
+// RstsSent returns RSTs emitted for unmatched segments.
+func (st *Stack) RstsSent() int { return int(st.mxRstsSent.Value()) }
 
 // NewStack creates a TCP stack; the caller wires Output to its IP layer.
 func NewStack(s *lwt.Scheduler, local ipv4.Addr, params Params) *Stack {
-	return &Stack{
+	m := s.K.Metrics()
+	ip := obs.L("ip", local.String())
+	st := &Stack{
 		S:         s,
 		LocalIP:   local,
 		Params:    params,
@@ -74,7 +99,17 @@ func NewStack(s *lwt.Scheduler, local ipv4.Addr, params Params) *Stack {
 		listeners: map[uint16]*Listener{},
 		nextEphem: 49152,
 		isn:       1000,
+
+		tr:                s.K.Trace(),
+		mxSegsIn:          m.Counter("tcp_segments_total", ip, obs.L("dir", "in")),
+		mxSegsOut:         m.Counter("tcp_segments_total", ip, obs.L("dir", "out")),
+		mxBadSegs:         m.Counter("tcp_bad_segments_total", ip),
+		mxRstsSent:        m.Counter("tcp_rsts_sent_total", ip),
+		mxRetransmits:     m.Counter("tcp_retransmits_total", ip),
+		mxFastRetransmits: m.Counter("tcp_fast_retransmits_total", ip),
+		mxTimeouts:        m.Counter("tcp_rto_timeouts_total", ip),
 	}
+	return st
 }
 
 func (st *Stack) remove(k connKey) { delete(st.conns, k) }
@@ -90,7 +125,7 @@ func (st *Stack) nextISN() uint32 {
 
 // Input demultiplexes one received segment.
 func (st *Stack) Input(src ipv4.Addr, seg Segment) {
-	st.SegsIn++
+	st.mxSegsIn.Inc()
 	key := connKey{seg.DstPort, src, seg.SrcPort}
 	if c, ok := st.conns[key]; ok {
 		c.input(seg)
@@ -101,14 +136,15 @@ func (st *Stack) Input(src ipv4.Addr, seg Segment) {
 		return
 	}
 	// No endpoint: RST (unless the segment is itself a RST).
+	st.mxBadSegs.Inc()
 	if seg.Flags&FlagRST == 0 {
-		st.RstsSent++
+		st.mxRstsSent.Inc()
 		rst := Segment{
 			SrcPort: seg.DstPort, DstPort: seg.SrcPort,
 			Seq: seg.Ack, Ack: seg.Seq + uint32(len(seg.Payload)),
 			Flags: FlagRST | FlagACK, WndScale: -1,
 		}
-		st.SegsOut++
+		st.mxSegsOut.Inc()
 		st.Output(src, rst)
 	}
 }
@@ -117,7 +153,7 @@ func (st *Stack) Input(src ipv4.Addr, seg Segment) {
 func (st *Stack) accept(l *Listener, src ipv4.Addr, seg Segment) {
 	key := connKey{seg.DstPort, src, seg.SrcPort}
 	c := newConn(st, key)
-	c.state = StateSynRcvd
+	c.setState(StateSynRcvd)
 	c.irs = seg.Seq
 	c.rcvNxt = seg.Seq + 1
 	c.iss = st.nextISN()
@@ -150,7 +186,7 @@ func (st *Stack) Connect(dst ipv4.Addr, port uint16) *lwt.Promise[*Conn] {
 		}
 	}
 	c := newConn(st, key)
-	c.state = StateSynSent
+	c.setState(StateSynSent)
 	c.iss = st.nextISN()
 	c.sndUna = c.iss
 	c.sndNxt = c.iss + 1
