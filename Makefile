@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test trace
+.PHONY: all check fmt vet build test race trace
 
 all: check
 
-check: fmt vet build test
+check: fmt vet build test race
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -20,6 +20,9 @@ build:
 
 test: build
 	$(GO) test ./...
+
+race: build
+	$(GO) test -race ./...
 
 # Quick smoke: run one experiment with tracing and validate the output.
 trace:

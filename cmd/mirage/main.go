@@ -8,6 +8,7 @@
 //	mirage graph  [-appliance ...]     # dependency closure with sizes
 //	mirage boot   [-appliance ...]     # build + boot on a simulated host
 //	mirage boot   -trace boot.json     # also write a Chrome trace of the boot
+//	mirage boot   -loss 0.01           # impair the host bridge (also -dup, -reorder, -jitter)
 //	mirage list                        # module registry (Table 1)
 package main
 
@@ -20,6 +21,7 @@ import (
 
 	"repro/internal/build"
 	"repro/internal/core"
+	"repro/internal/netback"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
@@ -49,7 +51,17 @@ func main() {
 	noDCE := fs.Bool("no-dce", false, "disable dead-code elimination")
 	seed := fs.Int64("seed", 42, "address-space randomisation seed")
 	traceOut := fs.String("trace", "", "boot: write a Chrome trace-event JSON to this file")
+	loss := fs.Float64("loss", 0, "boot: bridge frame drop probability [0,1]")
+	dup := fs.Float64("dup", 0, "boot: bridge frame duplication probability [0,1]")
+	reorder := fs.Float64("reorder", 0, "boot: bridge frame reorder probability [0,1]")
+	jitter := fs.Duration("jitter", 0, "boot: max extra per-frame delivery delay")
 	fs.Parse(os.Args[2:])
+
+	if *loss > 0 || *dup > 0 || *reorder > 0 || *jitter > 0 {
+		netback.SetDefaultFaults(netback.Faults{
+			Drop: *loss, Dup: *dup, Reorder: *reorder, Jitter: *jitter,
+		})
+	}
 
 	switch cmd {
 	case "list":

@@ -10,6 +10,8 @@
 //	repro -list                      # show available experiments
 //	repro -experiment fig10 -trace t.json   # Chrome trace of the run
 //	repro -experiment fig10 -metrics        # dump the metrics registry
+//	repro -experiment losssweep             # TCP goodput under frame loss
+//	repro -loss 0.01 -jitter 500us ...      # impair every virtual bridge
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/netback"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
@@ -77,6 +80,13 @@ func experiments() []experiment {
 			}
 			return asText(bench.Fig8TCP(bytes))
 		}},
+		{"losssweep", "TCP goodput under frame loss", func(q bool) string {
+			bytes := 4 << 20
+			if q {
+				bytes = 1 << 20
+			}
+			return asText(bench.LossSweep(bytes, nil))
+		}},
 		{"fig9", "Random block read throughput", func(q bool) string {
 			sizes, reqs := bench.DefaultBlockSizes, 1024
 			if q {
@@ -133,7 +143,20 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
 	metrics := flag.Bool("metrics", false, "print the full metrics registry after the run")
+	loss := flag.Float64("loss", 0, "bridge frame drop probability [0,1] for every platform run")
+	dup := flag.Float64("dup", 0, "bridge frame duplication probability [0,1]")
+	reorder := flag.Float64("reorder", 0, "bridge frame reorder probability [0,1]")
+	jitter := flag.Duration("jitter", 0, "max extra per-frame delivery delay (e.g. 500us)")
 	flag.Parse()
+
+	if *loss > 0 || *dup > 0 || *reorder > 0 || *jitter > 0 {
+		// Applies to every bridge the experiments create. Note some
+		// experiments (e.g. ping) assert loss-free completion and will
+		// abort under aggressive impairment — that is the point.
+		netback.SetDefaultFaults(netback.Faults{
+			Drop: *loss, Dup: *dup, Reorder: *reorder, Jitter: *jitter,
+		})
+	}
 
 	var tracer *obs.Tracer
 	registry := obs.NewRegistry()

@@ -333,3 +333,22 @@ func TestFig7aCrossValidation(t *testing.T) {
 		t.Error("analytic model disagrees with the real scheduler run")
 	}
 }
+
+func TestLossSweepCompletes(t *testing.T) {
+	// Small transfer, worst-case rate included: proves the stack degrades
+	// gracefully under loss instead of deadlocking (the full sweep runs the
+	// same code at more rates/bytes).
+	r := LossSweep(256<<10, []float64{0, 0.05})
+	g := r.Get("goodput")
+	if g == nil || len(g.Y) != 2 {
+		t.Fatal("missing goodput series")
+	}
+	if g.Y[0] <= g.Y[1] {
+		t.Errorf("goodput at 0%% loss (%.1f) not above 5%% loss (%.1f)", g.Y[0], g.Y[1])
+	}
+	for i, y := range g.Y {
+		if y <= 0 {
+			t.Errorf("rate %v: non-positive goodput %.3f", g.X[i], y)
+		}
+	}
+}

@@ -55,6 +55,45 @@ func DefaultParams() Params {
 	}
 }
 
+// Faults is the bridge's deterministic network-impairment model. Every
+// probability is evaluated per delivery (so a broadcast frame is impaired
+// independently per destination) using the kernel's seeded RNG: same-seed
+// runs inject the same faults at the same instants. When every field is
+// zero no RNG draw is made at all, so fault-free runs are byte-identical
+// to runs of a build without the impairment layer.
+type Faults struct {
+	// Drop is the probability a frame is discarded in transit.
+	Drop float64
+	// Dup is the probability a frame is delivered twice.
+	Dup float64
+	// Reorder is the probability a frame is held back by up to
+	// ReorderWindow, letting frames queued behind it overtake.
+	Reorder float64
+	// ReorderWindow bounds the hold-back delay for reordered frames
+	// (DefaultReorderWindow when zero).
+	ReorderWindow time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter] to every delivery.
+	Jitter time.Duration
+}
+
+// DefaultReorderWindow holds a reordered frame back long enough for
+// several full-size frames to overtake it at the default line rate.
+const DefaultReorderWindow = 200 * time.Microsecond
+
+// enabled reports whether any impairment is configured.
+func (f Faults) enabled() bool {
+	return f.Drop > 0 || f.Dup > 0 || f.Reorder > 0 || f.Jitter > 0
+}
+
+// defaultFaults is the impairment applied to bridges created afterwards;
+// a CLI installs it once (mirroring sim.SetDefaultObs) so experiments that
+// build their own platforms inherit the flags.
+var defaultFaults Faults
+
+// SetDefaultFaults installs the impairment model that subsequent NewBridge
+// calls start with.
+func SetDefaultFaults(f Faults) { defaultFaults = f }
+
 // Bridge is the dom0 software bridge.
 type Bridge struct {
 	K      *sim.Kernel
@@ -63,30 +102,45 @@ type Bridge struct {
 	Params Params
 
 	endpoints map[MAC]Endpoint
+	faults    Faults
+	epFaults  map[MAC]Faults // per-destination overrides
 
 	// Stats
-	Forwarded int
-	Flooded   int
-	NoRoute   int
-	Bytes     int
+	Forwarded     int
+	Flooded       int
+	NoRoute       int
+	Bytes         int
+	FaultDrops    int
+	FaultDups     int
+	FaultReorders int
 
-	mxForwarded *obs.Counter
-	mxFlooded   *obs.Counter
-	mxBytes     *obs.Counter
+	mxForwarded    *obs.Counter
+	mxFlooded      *obs.Counter
+	mxBytes        *obs.Counter
+	mxFaultDrop    *obs.Counter
+	mxFaultDup     *obs.Counter
+	mxFaultReorder *obs.Counter
+	mxFaultJitter  *obs.Counter
 }
 
 // NewBridge creates a bridge with its own backend CPU and link resources.
 func NewBridge(k *sim.Kernel, params Params) *Bridge {
 	m := k.Metrics()
 	return &Bridge{
-		K:           k,
-		CPU:         k.NewCPU("dom0-netback"),
-		Link:        k.NewCPU("bridge-link"),
-		Params:      params,
-		endpoints:   map[MAC]Endpoint{},
-		mxForwarded: m.Counter("bridge_frames_total", obs.L("kind", "forwarded")),
-		mxFlooded:   m.Counter("bridge_frames_total", obs.L("kind", "flooded")),
-		mxBytes:     m.Counter("bridge_bytes_total"),
+		K:              k,
+		CPU:            k.NewCPU("dom0-netback"),
+		Link:           k.NewCPU("bridge-link"),
+		Params:         params,
+		endpoints:      map[MAC]Endpoint{},
+		faults:         defaultFaults,
+		epFaults:       map[MAC]Faults{},
+		mxForwarded:    m.Counter("bridge_frames_total", obs.L("kind", "forwarded")),
+		mxFlooded:      m.Counter("bridge_frames_total", obs.L("kind", "flooded")),
+		mxBytes:        m.Counter("bridge_bytes_total"),
+		mxFaultDrop:    m.Counter("bridge_faults_total", obs.L("kind", "drop")),
+		mxFaultDup:     m.Counter("bridge_faults_total", obs.L("kind", "dup")),
+		mxFaultReorder: m.Counter("bridge_faults_total", obs.L("kind", "reorder")),
+		mxFaultJitter:  m.Counter("bridge_faults_total", obs.L("kind", "jitter")),
 	}
 }
 
@@ -95,6 +149,21 @@ func (b *Bridge) Attach(e Endpoint) { b.endpoints[e.MAC()] = e }
 
 // Detach removes an endpoint.
 func (b *Bridge) Detach(e Endpoint) { delete(b.endpoints, e.MAC()) }
+
+// SetFaults installs the bridge-wide impairment model.
+func (b *Bridge) SetFaults(f Faults) { b.faults = f }
+
+// SetEndpointFaults overrides the impairment model for frames destined to
+// mac (the link to that endpoint).
+func (b *Bridge) SetEndpointFaults(mac MAC, f Faults) { b.epFaults[mac] = f }
+
+// faultsFor returns the impairment applying to deliveries toward dst.
+func (b *Bridge) faultsFor(dst MAC) Faults {
+	if f, ok := b.epFaults[dst]; ok {
+		return f
+	}
+	return b.faults
+}
 
 // Transmit forwards a frame from src onto the bridge. The destination MAC
 // is read from the frame header (first six bytes); broadcast frames flood
@@ -130,8 +199,7 @@ func (b *Bridge) Transmit(src MAC, frame []byte) {
 		}
 		sort.Slice(macs, func(i, j int) bool { return bytes.Compare(macs[i][:], macs[j][:]) < 0 })
 		for _, mac := range macs {
-			e := b.endpoints[mac]
-			b.K.At(at, func() { e.Deliver(frame) })
+			b.deliver(mac, b.endpoints[mac], at, frame)
 		}
 		return
 	}
@@ -146,7 +214,65 @@ func (b *Bridge) Transmit(src MAC, frame []byte) {
 		tr.Instant(b.K.TraceTime(), "net", "bridge-fwd", 0, 0,
 			obs.Str("dst", dst.String()), obs.Int("bytes", int64(len(frame))))
 	}
-	b.K.At(at, func() { e.Deliver(frame) })
+	b.deliver(dst, e, at, frame)
+}
+
+// deliver schedules frame delivery to one endpoint at the given instant,
+// running it through the impairment model for that destination. Fault
+// decisions draw from the kernel's seeded RNG in a fixed order (drop, dup,
+// then per-copy reorder and jitter), so same-seed runs are byte-identical;
+// with faults disabled no draw is made at all.
+func (b *Bridge) deliver(dst MAC, e Endpoint, at sim.Time, frame []byte) {
+	f := b.faultsFor(dst)
+	if !f.enabled() {
+		b.K.At(at, func() { e.Deliver(frame) })
+		return
+	}
+	rng := b.K.Rand()
+	tr := b.K.Trace()
+	instant := func(kind string) {
+		if tr.Enabled() {
+			tr.Instant(b.K.TraceTime(), "net", "fault-"+kind, 0, 0,
+				obs.Str("dst", dst.String()), obs.Int("bytes", int64(len(frame))))
+		}
+	}
+	if f.Drop > 0 && rng.Float64() < f.Drop {
+		b.FaultDrops++
+		b.mxFaultDrop.Inc()
+		instant("drop")
+		return
+	}
+	copies := 1
+	if f.Dup > 0 && rng.Float64() < f.Dup {
+		copies = 2
+		b.FaultDups++
+		b.mxFaultDup.Inc()
+		instant("dup")
+	}
+	for i := 0; i < copies; i++ {
+		when := at
+		if f.Reorder > 0 && rng.Float64() < f.Reorder {
+			win := f.ReorderWindow
+			if win <= 0 {
+				win = DefaultReorderWindow
+			}
+			when = when.Add(time.Duration(1 + rng.Int63n(int64(win))))
+			b.FaultReorders++
+			b.mxFaultReorder.Inc()
+			instant("reorder")
+		}
+		if f.Jitter > 0 {
+			when = when.Add(time.Duration(rng.Int63n(int64(f.Jitter) + 1)))
+			b.mxFaultJitter.Inc()
+			instant("jitter")
+		}
+		out := frame
+		if i > 0 {
+			// The endpoint consumes its frame; a duplicate needs its own.
+			out = append([]byte(nil), frame...)
+		}
+		b.K.At(when, func() { e.Deliver(out) })
+	}
 }
 
 // TX/RX ring slot encodings (little-endian, within a 120-byte slot).

@@ -78,11 +78,19 @@ type Conn struct {
 	// Send sequence space.
 	iss, sndUna, sndNxt uint32
 	sndWnd              int
-	peerWndScale        int // -1 until negotiated
+	sndWL1, sndWL2      uint32 // seq/ack of the segment last used to update sndWnd
+	peerWndScale        int    // -1 until negotiated
 	mss                 int
 	sendBuf             []byte
 	finQueued, finSent  bool
 	inflight            []inflightSeg
+
+	// Zero-window persist (RFC 1122 §4.2.2.17).
+	persistGen     int
+	persistArmed   bool
+	persistBackoff time.Duration
+
+	listener *Listener // listener this conn was accepted on (nil for active opens)
 
 	// Congestion control (New Reno).
 	cwnd, ssthresh int
@@ -115,6 +123,8 @@ type Conn struct {
 	Retransmits     int
 	FastRetransmits int
 	Timeouts        int
+	PersistProbes   int
+	RstsRejected    int
 	BytesIn         int
 	BytesOut        int
 }
@@ -277,6 +287,7 @@ func (c *Conn) trySend() {
 		c.armRTO()
 	}
 	c.drainWriters()
+	c.maybeArmPersist()
 }
 
 // drainWriters moves queued user writes into the send buffer as space
@@ -438,10 +449,15 @@ func (c *Conn) teardown(err error) {
 	if c.state == StateClosed {
 		return
 	}
+	if c.state == StateSynRcvd && c.listener != nil {
+		c.listener.halfOpen--
+	}
 	c.setState(StateClosed)
 	c.err = err
 	c.rtoGen++ // disarm timers
 	c.delAckGen++
+	c.persistGen++
+	c.persistArmed = false
 	c.st.remove(c.key)
 	if c.doneP != nil && !c.doneP.Completed() {
 		c.doneP.Resolve(struct{}{})
@@ -477,6 +493,87 @@ func (c *Conn) armRTO() {
 }
 
 func (c *Conn) disarmRTO() { c.rtoGen++ }
+
+// maybeArmPersist starts the zero-window probe timer when data (or a FIN)
+// is pending but the peer's window forbids sending and nothing is in
+// flight to arm an RTO. Without it, a lost window-update ACK leaves the
+// sender stalled forever (RFC 1122 §4.2.2.17).
+func (c *Conn) maybeArmPersist() {
+	if c.persistArmed || c.state == StateClosed {
+		return
+	}
+	pending := len(c.sendBuf) > 0 || (c.finQueued && !c.finSent)
+	if !pending || len(c.inflight) > 0 || c.usableWindow() > 0 {
+		return
+	}
+	if c.persistBackoff == 0 {
+		c.persistBackoff = c.rto
+	}
+	c.armPersist()
+}
+
+func (c *Conn) armPersist() {
+	c.persistArmed = true
+	c.persistGen++
+	gen := c.persistGen
+	lwt.Map(c.st.S.Sleep(c.persistBackoff), func(struct{}) struct{} {
+		if gen == c.persistGen && c.state != StateClosed {
+			c.onPersist()
+		}
+		return struct{}{}
+	})
+}
+
+// onPersist fires the persist timer: if the window is still closed it
+// forces one byte (or the queued FIN) past it so the peer must answer
+// with its current window, then backs off and re-arms.
+func (c *Conn) onPersist() {
+	c.persistArmed = false
+	if c.sndWnd > 0 {
+		// The window reopened while the timer was pending; the normal
+		// send path owns any inflight probe again.
+		if len(c.inflight) > 0 {
+			c.armRTO()
+		}
+		c.trySend()
+		return
+	}
+	if len(c.inflight) == 0 && len(c.sendBuf) == 0 && (!c.finQueued || c.finSent) {
+		return // nothing left to probe for
+	}
+	c.PersistProbes++
+	c.st.mxPersistProbes.Inc()
+	if tr := c.st.tr; tr.Enabled() {
+		tr.Instant(obs.Time(c.st.S.K.Now()), "tcp", "persist-probe", c.st.TracePid, 0,
+			obs.Int("port", int64(c.key.localPort)), obs.Int("backoff_us", int64(c.persistBackoff.Microseconds())))
+	}
+	switch {
+	case len(c.inflight) > 0:
+		// A previous probe is still unacknowledged: resend it.
+		c.retransmitFirst()
+	case len(c.sendBuf) > 0:
+		// Window probe: one byte past the advertised window.
+		data := append([]byte(nil), c.sendBuf[:1]...)
+		c.sendBuf = c.sendBuf[1:]
+		c.inflight = append(c.inflight, inflightSeg{seq: c.sndNxt, data: data, sentAt: c.st.S.K.Now()})
+		c.send(FlagACK|FlagPSH, c.sndNxt, data, false)
+		c.sndNxt++
+		c.BytesOut++
+	default: // queued FIN blocked by the window
+		c.finSent = true
+		c.inflight = append(c.inflight, inflightSeg{seq: c.sndNxt, fin: true, sentAt: c.st.S.K.Now()})
+		c.send(FlagFIN|FlagACK, c.sndNxt, nil, false)
+		c.sndNxt++
+	}
+	c.persistBackoff *= 2
+	if c.persistBackoff < c.rto {
+		c.persistBackoff = c.rto
+	}
+	if c.persistBackoff > c.st.Params.MaxRTO {
+		c.persistBackoff = c.st.Params.MaxRTO
+	}
+	c.armPersist()
+}
 
 // onTimeout is the retransmission timeout: collapse the window and
 // retransmit the oldest unacknowledged segment (RFC 5681 §3.1).

@@ -7,7 +7,7 @@ import "repro/internal/obs"
 
 func (c *Conn) input(seg Segment) {
 	if seg.Flags&FlagRST != 0 {
-		c.teardown(ErrReset)
+		c.inputRst(seg)
 		return
 	}
 	switch c.state {
@@ -19,6 +19,45 @@ func (c *Conn) input(seg Segment) {
 		// Late segment; ignore.
 	default:
 		c.inputData(seg)
+	}
+}
+
+// inputRst validates an RST against the receive window (RFC 5961 §3.2)
+// instead of tearing down on any RST: only an exactly-in-sequence RST
+// resets the connection, an otherwise in-window RST elicits a challenge
+// ACK (a legitimate peer answers it with an exact-sequence RST), and
+// everything else — a blind or badly reordered reset — is dropped and
+// counted.
+func (c *Conn) inputRst(seg Segment) {
+	switch c.state {
+	case StateClosed:
+		return
+	case StateSynSent:
+		// RFC 793: acceptable only if it acknowledges our SYN.
+		if seg.Flags&FlagACK != 0 && seg.Ack == c.iss+1 {
+			c.teardown(ErrReset)
+			return
+		}
+	default:
+		if seg.Seq == c.rcvNxt {
+			c.teardown(ErrReset)
+			return
+		}
+		if wnd := uint32(c.window()); wnd > 0 && seqLT(c.rcvNxt, seg.Seq) && seqLT(seg.Seq, c.rcvNxt+wnd) {
+			c.rejectRst(seg)
+			c.sendAck() // challenge ACK
+			return
+		}
+	}
+	c.rejectRst(seg)
+}
+
+func (c *Conn) rejectRst(seg Segment) {
+	c.RstsRejected++
+	c.st.mxRstsRejected.Inc()
+	if tr := c.st.tr; tr.Enabled() {
+		tr.Instant(obs.Time(c.st.S.K.Now()), "tcp", "rst-rejected", c.st.TracePid, 0,
+			obs.Int("port", int64(c.key.localPort)), obs.Int("seq", int64(seg.Seq)))
 	}
 }
 
@@ -53,7 +92,13 @@ func (c *Conn) inputSynRcvd(seg Segment) {
 	c.inflight = nil
 	c.disarmRTO()
 	c.setState(StateEstablished)
-	if l := c.st.listeners[c.key.localPort]; l != nil {
+	if l := c.listener; l != nil {
+		l.halfOpen--
+		if l.closed {
+			// The listener went away mid-handshake: refuse the peer.
+			c.Abort()
+			return
+		}
 		l.deliver(c)
 	}
 	// The handshake-completing ACK may carry data; fall through.
@@ -73,6 +118,7 @@ func (c *Conn) negotiate(seg Segment) {
 	}
 	// A SYN's window field is never scaled.
 	c.sndWnd = int(seg.Window)
+	c.sndWL1, c.sndWL2 = seg.Seq, seg.Ack
 }
 
 // inputData is the established-states processing: ACKs, payload, FIN.
@@ -90,17 +136,25 @@ func (c *Conn) inputData(seg Segment) {
 
 func (c *Conn) processAck(seg Segment) {
 	ack := seg.Ack
-	// Window update (peer's scale applies off-SYN).
-	scale := 0
-	if c.peerWndScale > 0 {
-		scale = c.peerWndScale
-	}
-	newWnd := int(seg.Window) << uint(scale)
-	wndChanged := newWnd != c.sndWnd
-	c.sndWnd = newWnd
-	if wndChanged && newWnd > 0 {
-		// A reopened window may unblock stalled data.
-		defer c.trySend()
+	// Window update (peer's scale applies off-SYN), gated by the
+	// SND.WL1/SND.WL2 check (RFC 793 p.72): only a segment at least as
+	// recent as the one last used to update the window may change it, so
+	// a reordered stale ACK cannot shrink or corrupt the send window.
+	wndChanged := false
+	if seqLT(c.sndWL1, seg.Seq) || (c.sndWL1 == seg.Seq && seqLEQ(c.sndWL2, ack)) {
+		scale := 0
+		if c.peerWndScale > 0 {
+			scale = c.peerWndScale
+		}
+		newWnd := int(seg.Window) << uint(scale)
+		wndChanged = newWnd != c.sndWnd
+		c.sndWnd = newWnd
+		c.sndWL1, c.sndWL2 = seg.Seq, ack
+		if wndChanged && newWnd > 0 {
+			c.persistBackoff = 0 // a reopened window resets probe backoff
+			// A reopened window may unblock stalled data.
+			defer c.trySend()
+		}
 	}
 
 	switch {

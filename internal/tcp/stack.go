@@ -1,7 +1,9 @@
 package tcp
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/ipv4"
@@ -16,6 +18,7 @@ type Params struct {
 	WndScale   int // window-scale shift we offer
 	SndBuf     int
 	RcvBuf     int
+	SynBacklog int // max half-open (SynRcvd) connections per listener; 0 = unlimited
 	InitRTO    time.Duration
 	MinRTO     time.Duration
 	MaxRTO     time.Duration
@@ -32,6 +35,7 @@ func DefaultParams() Params {
 		WndScale:   7,
 		SndBuf:     256 << 10,
 		RcvBuf:     256 << 10,
+		SynBacklog: 128,
 		InitRTO:    time.Second,
 		MinRTO:     200 * time.Millisecond,
 		MaxRTO:     60 * time.Second,
@@ -70,9 +74,12 @@ type Stack struct {
 	mxSegsOut         *obs.Counter
 	mxBadSegs         *obs.Counter
 	mxRstsSent        *obs.Counter
+	mxRstsRejected    *obs.Counter
 	mxRetransmits     *obs.Counter
 	mxFastRetransmits *obs.Counter
 	mxTimeouts        *obs.Counter
+	mxPersistProbes   *obs.Counter
+	mxSynDrops        *obs.Counter
 }
 
 // SegsIn returns segments received.
@@ -86,6 +93,15 @@ func (st *Stack) BadSegs() int { return int(st.mxBadSegs.Value()) }
 
 // RstsSent returns RSTs emitted for unmatched segments.
 func (st *Stack) RstsSent() int { return int(st.mxRstsSent.Value()) }
+
+// RstsRejected returns RSTs dropped by the RFC 5961 sequence validation.
+func (st *Stack) RstsRejected() int { return int(st.mxRstsRejected.Value()) }
+
+// PersistProbes returns zero-window probes sent.
+func (st *Stack) PersistProbes() int { return int(st.mxPersistProbes.Value()) }
+
+// SynDrops returns SYNs dropped because a listener's backlog was full.
+func (st *Stack) SynDrops() int { return int(st.mxSynDrops.Value()) }
 
 // NewStack creates a TCP stack; the caller wires Output to its IP layer.
 func NewStack(s *lwt.Scheduler, local ipv4.Addr, params Params) *Stack {
@@ -105,9 +121,12 @@ func NewStack(s *lwt.Scheduler, local ipv4.Addr, params Params) *Stack {
 		mxSegsOut:         m.Counter("tcp_segments_total", ip, obs.L("dir", "out")),
 		mxBadSegs:         m.Counter("tcp_bad_segments_total", ip),
 		mxRstsSent:        m.Counter("tcp_rsts_sent_total", ip),
+		mxRstsRejected:    m.Counter("tcp_rsts_rejected_total", ip),
 		mxRetransmits:     m.Counter("tcp_retransmits_total", ip),
 		mxFastRetransmits: m.Counter("tcp_fast_retransmits_total", ip),
 		mxTimeouts:        m.Counter("tcp_rto_timeouts_total", ip),
+		mxPersistProbes:   m.Counter("tcp_persist_probes_total", ip),
+		mxSynDrops:        m.Counter("tcp_syn_backlog_drops_total", ip),
 	}
 	return st
 }
@@ -139,9 +158,18 @@ func (st *Stack) Input(src ipv4.Addr, seg Segment) {
 	st.mxBadSegs.Inc()
 	if seg.Flags&FlagRST == 0 {
 		st.mxRstsSent.Inc()
+		// SYN and FIN occupy sequence space, so the RST's ack must cover
+		// them for the peer's RFC 5961 validation to accept it.
+		ackSeq := seg.Seq + uint32(len(seg.Payload))
+		if seg.Flags&FlagSYN != 0 {
+			ackSeq++
+		}
+		if seg.Flags&FlagFIN != 0 {
+			ackSeq++
+		}
 		rst := Segment{
 			SrcPort: seg.DstPort, DstPort: seg.SrcPort,
-			Seq: seg.Ack, Ack: seg.Seq + uint32(len(seg.Payload)),
+			Seq: seg.Ack, Ack: ackSeq,
 			Flags: FlagRST | FlagACK, WndScale: -1,
 		}
 		st.mxSegsOut.Inc()
@@ -150,9 +178,22 @@ func (st *Stack) Input(src ipv4.Addr, seg Segment) {
 }
 
 // accept creates a half-open connection in SynRcvd and answers SYN|ACK.
+// The half-open population is capped per listener: past the cap the SYN is
+// silently dropped (the client's RTO retries when room frees), so a SYN
+// flood cannot grow the connection table without bound.
 func (st *Stack) accept(l *Listener, src ipv4.Addr, seg Segment) {
+	if max := st.Params.SynBacklog; max > 0 && l.halfOpen >= max {
+		st.mxSynDrops.Inc()
+		if st.tr.Enabled() {
+			st.tr.Instant(obs.Time(st.S.K.Now()), "tcp", "syn-backlog-drop", st.TracePid, 0,
+				obs.Int("port", int64(seg.DstPort)))
+		}
+		return
+	}
 	key := connKey{seg.DstPort, src, seg.SrcPort}
 	c := newConn(st, key)
+	c.listener = l
+	l.halfOpen++
 	c.setState(StateSynRcvd)
 	c.irs = seg.Seq
 	c.rcvNxt = seg.Seq + 1
@@ -198,12 +239,17 @@ func (st *Stack) Connect(dst ipv4.Addr, port uint16) *lwt.Promise[*Conn] {
 	return pr
 }
 
+// ErrListenerClosed fails Accept promises when their listener closes.
+var ErrListenerClosed = errors.New("tcp: listener closed")
+
 // Listener accepts inbound connections on a port.
 type Listener struct {
-	st      *Stack
-	port    uint16
-	backlog []*Conn
-	waiters []*lwt.Promise[*Conn]
+	st       *Stack
+	port     uint16
+	closed   bool
+	halfOpen int // connections still in SynRcvd for this port
+	backlog  []*Conn
+	waiters  []*lwt.Promise[*Conn]
 	// Accepted counts connections handed to the application.
 	Accepted int
 }
@@ -218,12 +264,51 @@ func (st *Stack) Listen(port uint16) (*Listener, error) {
 	return l, nil
 }
 
-// Close stops listening (established connections are unaffected).
-func (l *Listener) Close() { delete(l.st.listeners, l.port) }
+// Close stops listening: pending Accept promises fail with
+// ErrListenerClosed, connections established but never accepted are
+// aborted, and half-open handshakes toward this port are reset — nothing
+// leaks. Connections already handed to the application are unaffected.
+func (l *Listener) Close() {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	delete(l.st.listeners, l.port)
+	for _, pr := range l.waiters {
+		pr.Fail(ErrListenerClosed)
+	}
+	l.waiters = nil
+	for _, c := range l.backlog {
+		c.Abort()
+	}
+	l.backlog = nil
+	// Abort half-open connections still handshaking toward this listener,
+	// in deterministic peer order (map iteration would scramble the RST
+	// sequence between same-seed runs).
+	var half []*Conn
+	for _, c := range l.st.conns {
+		if c.state == StateSynRcvd && c.listener == l {
+			half = append(half, c)
+		}
+	}
+	sort.Slice(half, func(i, j int) bool {
+		if half[i].key.remoteIP != half[j].key.remoteIP {
+			return half[i].key.remoteIP < half[j].key.remoteIP
+		}
+		return half[i].key.remotePort < half[j].key.remotePort
+	})
+	for _, c := range half {
+		c.Abort()
+	}
+}
 
 // Accept resolves with the next established connection.
 func (l *Listener) Accept() *lwt.Promise[*Conn] {
 	pr := lwt.NewPromise[*Conn](l.st.S)
+	if l.closed {
+		pr.Fail(ErrListenerClosed)
+		return pr
+	}
 	if len(l.backlog) > 0 {
 		c := l.backlog[0]
 		l.backlog = l.backlog[1:]

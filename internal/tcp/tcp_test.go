@@ -23,15 +23,19 @@ type host struct {
 	sig *sim.Signal
 }
 
-// pipe connects two hosts with a delivery delay and an optional drop rule.
+// pipe connects two hosts with a delivery delay and optional drop and
+// duplication rules.
 type pipe struct {
 	k     *sim.Kernel
 	delay time.Duration
 	// drop, if set, discards a segment (called once per transmission).
 	drop func(seg Segment) bool
+	// dup, if set, delivers a second copy of a segment.
+	dup func(seg Segment) bool
 
-	Delivered int
-	Dropped   int
+	Delivered  int
+	Dropped    int
+	Duplicated int
 }
 
 func newPair(k *sim.Kernel, delay time.Duration) (*host, *host, *pipe) {
@@ -53,10 +57,17 @@ func newPair(k *sim.Kernel, delay time.Duration) (*host, *host, *pipe) {
 			}
 			p.Delivered++
 			src := from.st.LocalIP
-			k.After(p.delay, func() {
-				to.st.Input(src, seg)
-				to.sig.Set()
-			})
+			copies := 1
+			if p.dup != nil && p.dup(seg) {
+				copies = 2
+				p.Duplicated++
+			}
+			for i := 0; i < copies; i++ {
+				k.After(p.delay, func() {
+					to.st.Input(src, seg)
+					to.sig.Set()
+				})
+			}
 		}
 	}
 	connect(a, b)
