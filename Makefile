@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test race trace
+.PHONY: all check fmt vet build test race trace bench
 
 all: check
 
@@ -23,6 +23,12 @@ test: build
 
 race: build
 	$(GO) test -race ./...
+
+# Wall-clock fast-path microbenchmarks -> BENCH_fastpath.json ("fastpath"
+# section; the recorded pre-change "baseline" section is preserved).
+bench: build
+	$(GO) test -run '^$$' -bench Fastpath -benchmem ./internal/bench | \
+		$(GO) run ./cmd/benchjson -out BENCH_fastpath.json -section fastpath
 
 # Quick smoke: run one experiment with tracing and validate the output.
 trace:

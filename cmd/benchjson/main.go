@@ -1,0 +1,90 @@
+// benchjson converts `go test -bench -benchmem` output on stdin into a
+// section of a JSON benchmark trajectory file:
+//
+//	go test -bench Fastpath -benchmem ./internal/bench | \
+//	    go run ./cmd/benchjson -out BENCH_fastpath.json -section fastpath
+//
+// The file maps section -> benchmark name -> {ns_op, b_op, allocs_op}.
+// Existing sections (e.g. the recorded pre-change "baseline") are preserved.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type row struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_fastpath.json", "output JSON file")
+	section := flag.String("section", "fastpath", "section name to write")
+	flag.Parse()
+
+	rows := map[string]row{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through so the run stays readable
+		f := strings.Fields(line)
+		if len(f) < 3 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(f[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i] // strip -GOMAXPROCS suffix
+		}
+		var r row
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "ns/op":
+				r.NsOp = v
+			case "B/op":
+				r.BOp = v
+			case "allocs/op":
+				r.AllocsOp = v
+			}
+		}
+		rows[name] = r
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(rows) == 0 {
+		fatal(fmt.Errorf("no benchmark lines seen on stdin"))
+	}
+
+	doc := map[string]map[string]row{}
+	if b, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(b, &doc); err != nil {
+			fatal(fmt.Errorf("parse existing %s: %w", *out, err))
+		}
+	}
+	doc[*section] = rows
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote section %q (%d benchmarks) to %s\n", *section, len(rows), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

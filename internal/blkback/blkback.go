@@ -175,6 +175,9 @@ type VBD struct {
 	back  *ring.Back
 	port  *hypervisor.Port
 
+	// rspPending batches same-instant completions into one publish+notify.
+	rspPending bool
+
 	// Requests counts ring requests served.
 	Requests int
 	Errors   int
@@ -249,6 +252,21 @@ func (v *VBD) submit(write bool, sectors uint8, gref uint32, sector uint64, id u
 	}
 	v.ssd.K.At(done, func() {
 		v.back.PushResponse(func(s *cstruct.View) { EncodeRsp(s, id, ok) })
+		v.flushResponses()
+	})
+}
+
+// flushResponses defers the response publish to the end of the instant so
+// requests completing together (overlapped channel reads) cost the guest one
+// wakeup instead of one per response.
+func (v *VBD) flushResponses() {
+	if v.rspPending {
+		return
+	}
+	v.rspPending = true
+	k := v.ssd.K
+	k.At(k.Now(), func() {
+		v.rspPending = false
 		if v.back.PushResponses() {
 			v.port.NotifyAsync()
 		}

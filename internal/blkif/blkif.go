@@ -36,6 +36,9 @@ type Blkif struct {
 	nextID   uint16
 	inflight map[uint16]*op
 	queue    []*op
+	// flushPending defers the ring publish + notify to the end of the
+	// current instant, so a burst of submits costs one notification.
+	flushPending bool
 
 	// Stats
 	Reads, Writes int
@@ -143,20 +146,35 @@ func (b *Blkif) submit(write bool, sector uint64, sectors int, data []byte) *lwt
 		b.queue = append(b.queue, o)
 		return pr
 	}
-	b.push(o, true)
+	b.push(o)
 	return pr
 }
 
-func (b *Blkif) push(o *op, notify bool) {
+func (b *Blkif) push(o *op) {
 	b.nextID++
 	id := b.nextID
 	b.inflight[id] = o
 	b.front.PushRequest(func(s *cstruct.View) {
 		blkback.EncodeReq(s, o.write, o.sectors, uint32(o.gref), o.sector, id)
 	})
-	if b.front.PushRequests() && notify {
-		b.port.NotifyAsync()
+	b.scheduleFlush()
+}
+
+// scheduleFlush publishes the batch of requests pushed this instant with a
+// single ring publish and at most one event-channel notification (§3.4.1
+// batching: the backend pays per wakeup, not per request).
+func (b *Blkif) scheduleFlush() {
+	if b.flushPending {
+		return
 	}
+	b.flushPending = true
+	k := b.vm.S.K
+	k.At(k.Now(), func() {
+		b.flushPending = false
+		if b.front.PushRequests() {
+			b.port.NotifyAsync()
+		}
+	})
 }
 
 // onEvent drains completions inside the scheduler run loop.
@@ -189,7 +207,7 @@ func (b *Blkif) onEvent() {
 		for len(b.queue) > 0 && b.front.Free() > 0 {
 			o := b.queue[0]
 			b.queue = b.queue[1:]
-			b.push(o, true)
+			b.push(o)
 		}
 		if raced := b.front.EnableResponseEvents(); !raced {
 			return

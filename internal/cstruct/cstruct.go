@@ -32,13 +32,16 @@ type Page struct {
 type View struct {
 	page *Page
 	data []byte
-	off  int // offset of data within the page, for diagnostics
+	off  int  // offset of data within the page, for diagnostics
+	refs int  // references to this struct (Retain shares the struct)
+	dead bool // view retired to its pool's freelist; any use is a bug
 }
 
 // Pool allocates fixed-size I/O pages and recycles them once all views are
 // released. It records statistics used by the zero-copy benchmarks.
 type Pool struct {
-	free []*Page
+	free     []*Page
+	viewFree []*View // retired view structs recycled by Get/Sub
 	// Stats
 	Allocated int // pages ever created
 	InUse     int // pages currently referenced by >=1 view
@@ -65,7 +68,21 @@ func (pl *Pool) Get() *View {
 	}
 	pg.refs = 1
 	pl.InUse++
-	return &View{page: pg, data: pg.Data}
+	v := pl.getView()
+	v.page, v.data, v.off, v.refs = pg, pg.Data, 0, 1
+	return v
+}
+
+// getView pops a retired view struct off the freelist (or allocates one).
+func (pl *Pool) getView() *View {
+	if n := len(pl.viewFree); n > 0 {
+		v := pl.viewFree[n-1]
+		pl.viewFree[n-1] = nil
+		pl.viewFree = pl.viewFree[:n-1]
+		v.dead = false
+		return v
+	}
+	return &View{}
 }
 
 // FreePages returns how many pages sit on the free list.
@@ -99,7 +116,13 @@ func (v *View) Sub(off, n int) *View {
 	if off < 0 || n < 0 || off+n > len(v.data) {
 		panic(fmt.Sprintf("cstruct: Sub(%d, %d) out of bounds (len %d)", off, n, len(v.data)))
 	}
-	sv := &View{page: v.page, data: v.data[off : off+n : off+n], off: v.off + off}
+	var sv *View
+	if v.page != nil && v.page.pool != nil {
+		sv = v.page.pool.getView()
+	} else {
+		sv = &View{}
+	}
+	sv.page, sv.data, sv.off, sv.refs = v.page, v.data[off:off+n:off+n], v.off+off, 1
 	sv.retain()
 	return sv
 }
@@ -118,6 +141,10 @@ func (v *View) retain() {
 // Retain adds a reference to the underlying page (models a new live view
 // becoming reachable).
 func (v *View) Retain() *View {
+	if v.dead {
+		panic("cstruct: Retain of an already-released view")
+	}
+	v.refs++
 	v.retain()
 	return v
 }
@@ -126,6 +153,9 @@ func (v *View) Retain() *View {
 // released, the page returns to the pool's free list (models the GC
 // collecting all views, §3.4.1).
 func (v *View) Release() {
+	if v.dead {
+		panic("cstruct: Release of an already-released view")
+	}
 	pg := v.page
 	if pg == nil {
 		return
@@ -138,6 +168,14 @@ func (v *View) Release() {
 		pg.pool.InUse--
 		pg.pool.Recycled++
 		pg.pool.free = append(pg.pool.free, pg)
+	}
+	v.refs--
+	if v.refs == 0 {
+		// Last reference to this struct: poison it so use-after-release
+		// panics deterministically, then recycle it through the pool.
+		v.dead = true
+		v.page, v.data = nil, nil
+		pg.pool.viewFree = append(pg.pool.viewFree, v)
 	}
 }
 

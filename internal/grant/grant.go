@@ -123,6 +123,27 @@ func (t *Table) Copy(r Ref) (*cstruct.View, error) {
 	return e.View.Copy(), nil
 }
 
+// CopyInto copies [off, off+len(dst)) of the granted page into dst — the
+// same hypervisor grant-copy as Copy, but targeting caller-owned storage so
+// the backend can assemble scatter-gather frames into one pooled buffer
+// without an intermediate allocation. Bytes copied are counted identically.
+func (t *Table) CopyInto(r Ref, off int, dst []byte) error {
+	e, err := t.lookup(r)
+	if err != nil {
+		return err
+	}
+	if off < 0 || off+len(dst) > e.View.Len() {
+		return fmt.Errorf("grant: copy [%d,%d) out of bounds (len %d)", off, off+len(dst), e.View.Len())
+	}
+	copy(dst, e.View.Slice(off, len(dst)))
+	t.Copies++
+	t.CopyLen += len(dst)
+	if t.Hooks.OnCopy != nil {
+		t.Hooks.OnCopy(len(dst))
+	}
+	return nil
+}
+
 // End revokes the grant. Revoking a still-mapped grant is the bug class
 // our re-implementation fuzz-found in Linux/Xen (XSA-39, §3.4): it is
 // refused and counted.

@@ -83,6 +83,9 @@ func (p *Promise[T]) complete() {
 	for _, cb := range cbs {
 		p.s.Defer(cb)
 	}
+	// A completion with no callbacks may still be the main thread Run is
+	// waiting on; poke the domain in case this ran in kernel context.
+	p.s.poke()
 }
 
 // Resolve fulfils the promise. Resolving a completed promise is an error in
@@ -157,6 +160,15 @@ type Scheduler struct {
 	timers timerHeap
 	seq    uint64
 
+	sigScratch []*sim.Signal // Run's park list, rebuilt in place each park
+
+	// wake is an internal signal Run always parks on: completions and
+	// deferred callbacks arriving from kernel context (device events,
+	// protocol timers) set it so the domain notices without relying on the
+	// event source to also fire a watched signal.
+	wake   *sim.Signal
+	parked bool
+
 	// Heap, when set, is charged threadRecordBytes per promise created;
 	// CPU, when set, receives drained heap costs and per-wake dispatch
 	// costs during Run.
@@ -182,7 +194,9 @@ type watch struct {
 const threadRecordBytes = 96
 
 // NewScheduler creates a scheduler over the simulation kernel.
-func NewScheduler(k *sim.Kernel) *Scheduler { return &Scheduler{K: k} }
+func NewScheduler(k *sim.Kernel) *Scheduler {
+	return &Scheduler{K: k, wake: k.NewSignal("lwt-wake")}
+}
 
 // NewPromise creates a pending promise owned by s.
 func NewPromise[T any](s *Scheduler) *Promise[T] {
@@ -210,7 +224,17 @@ func FailWith[T any](s *Scheduler, err error) *Promise[T] {
 }
 
 // Defer queues fn on the ready queue.
-func (s *Scheduler) Defer(fn func()) { s.ready = append(s.ready, fn) }
+func (s *Scheduler) Defer(fn func()) {
+	s.ready = append(s.ready, fn)
+	s.poke()
+}
+
+// poke wakes the domain if it is parked in Run.
+func (s *Scheduler) poke() {
+	if s.parked {
+		s.wake.Set()
+	}
+}
 
 // Bind sequences f after p: when p resolves, f runs with its value and the
 // returned promise adopts f's result. Failures propagate.
@@ -311,11 +335,14 @@ func (s *Scheduler) OnSignal(sig *sim.Signal, fn func()) {
 func (s *Scheduler) runReady(p *sim.Proc) {
 	for {
 		var dispatch time.Duration
-		for len(s.ready) > 0 {
-			fn := s.ready[0]
-			s.ready = s.ready[1:]
+		// Index drain so the backing array is reused: callbacks may Defer
+		// more work, which the growing-bound loop picks up in order.
+		for i := 0; i < len(s.ready); i++ {
+			fn := s.ready[i]
+			s.ready[i] = nil
 			fn()
 		}
+		s.ready = s.ready[:0]
 		fired := 0
 		now := s.K.Now()
 		for len(s.timers) > 0 && s.timers[0].at <= now {
@@ -355,15 +382,21 @@ func (s *Scheduler) Run(p *sim.Proc, main Waiter) error {
 				continue
 			}
 		}
-		sigs := make([]*sim.Signal, len(s.watched))
+		if cap(s.sigScratch) < len(s.watched)+1 {
+			s.sigScratch = make([]*sim.Signal, len(s.watched)+1)
+		}
+		sigs := s.sigScratch[:len(s.watched)+1]
 		for i, w := range s.watched {
 			sigs[i] = w.sig
 		}
-		if timeout == 0 && len(sigs) == 0 {
+		sigs[len(s.watched)] = s.wake
+		if timeout == 0 && len(s.watched) == 0 {
 			return fmt.Errorf("lwt: deadlock: main thread pending with no timers or events")
 		}
+		s.parked = true
 		idx := p.WaitAny(timeout, sigs...)
-		if idx >= 0 {
+		s.parked = false
+		if idx >= 0 && idx < len(s.watched) {
 			s.watched[idx].fn()
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/sim"
 )
 
@@ -14,8 +15,11 @@ type timeEndpoint struct {
 	at  []sim.Time
 }
 
-func (e *timeEndpoint) MAC() MAC       { return e.mac }
-func (e *timeEndpoint) Deliver([]byte) { e.at = append(e.at, e.k.Now()) }
+func (e *timeEndpoint) MAC() MAC { return e.mac }
+func (e *timeEndpoint) Deliver(f *bufpool.Buf) {
+	f.Release()
+	e.at = append(e.at, e.k.Now())
+}
 
 func TestFaultsDropAll(t *testing.T) {
 	k := sim.NewKernel(1)
@@ -25,7 +29,7 @@ func TestFaultsDropAll(t *testing.T) {
 	b.SetFaults(Faults{Drop: 1})
 	const n = 10
 	for i := 0; i < n; i++ {
-		b.Transmit(MAC{1}, frame(dst.mac, MAC{1}, 100))
+		b.TransmitBytes(MAC{1}, frame(dst.mac, MAC{1}, 100))
 	}
 	if _, err := k.Run(); err != nil {
 		t.Fatal(err)
@@ -47,7 +51,7 @@ func TestFaultsDuplicateDeliversTwoCopies(t *testing.T) {
 	dst := &stubEndpoint{mac: MAC{2}}
 	b.Attach(dst)
 	b.SetFaults(Faults{Dup: 1})
-	b.Transmit(MAC{1}, frame(dst.mac, MAC{1}, 64))
+	b.TransmitBytes(MAC{1}, frame(dst.mac, MAC{1}, 64))
 	if _, err := k.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -57,9 +61,14 @@ func TestFaultsDuplicateDeliversTwoCopies(t *testing.T) {
 	if b.FaultDups != 1 {
 		t.Errorf("FaultDups = %d, want 1", b.FaultDups)
 	}
-	// The duplicate must be its own buffer, not an alias of the original.
-	if &dst.frames[0][0] == &dst.frames[1][0] {
-		t.Error("duplicate aliases the original frame buffer")
+	// The duplicate shares the immutable pooled buffer by reference (no
+	// byte copy); both deliveries must carry the frame and the refcount
+	// must drain to zero once both endpoints released it.
+	if string(dst.frames[0]) != string(dst.frames[1]) {
+		t.Error("duplicate contents differ from the original frame")
+	}
+	if leaked := b.FramePool().InUse(); leaked != 0 {
+		t.Errorf("frame pool leaked %d buffers after duplicate delivery", leaked)
 	}
 }
 
@@ -72,8 +81,8 @@ func TestFaultsPerEndpointOverride(t *testing.T) {
 	b.Attach(clean)
 	b.SetFaults(Faults{Drop: 1})
 	b.SetEndpointFaults(clean.mac, Faults{}) // exempt from the bridge default
-	b.Transmit(MAC{1}, frame(lossy.mac, MAC{1}, 64))
-	b.Transmit(MAC{1}, frame(clean.mac, MAC{1}, 64))
+	b.TransmitBytes(MAC{1}, frame(lossy.mac, MAC{1}, 64))
+	b.TransmitBytes(MAC{1}, frame(clean.mac, MAC{1}, 64))
 	if _, err := k.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +101,7 @@ func TestFaultsJitterDelaysDelivery(t *testing.T) {
 		dst := &timeEndpoint{mac: MAC{2}, k: k}
 		b.Attach(dst)
 		b.SetFaults(Faults{Jitter: jitter})
-		b.Transmit(MAC{1}, frame(dst.mac, MAC{1}, 100))
+		b.TransmitBytes(MAC{1}, frame(dst.mac, MAC{1}, 100))
 		if _, err := k.Run(); err != nil {
 			t.Fatal(err)
 		}
@@ -120,7 +129,7 @@ func TestFaultsReorderDelaysWithinWindow(t *testing.T) {
 	b.SetFaults(Faults{Reorder: 1, ReorderWindow: win})
 	const n = 8
 	for i := 0; i < n; i++ {
-		b.Transmit(MAC{1}, frame(dst.mac, MAC{1}, 100))
+		b.TransmitBytes(MAC{1}, frame(dst.mac, MAC{1}, 100))
 	}
 	if _, err := k.Run(); err != nil {
 		t.Fatal(err)
@@ -152,7 +161,7 @@ func TestFaultsDeterministic(t *testing.T) {
 		b.Attach(dst)
 		b.SetFaults(Faults{Drop: 0.3, Dup: 0.2, Reorder: 0.3, Jitter: time.Millisecond})
 		for i := 0; i < 100; i++ {
-			b.Transmit(MAC{1}, frame(dst.mac, MAC{1}, 100+i))
+			b.TransmitBytes(MAC{1}, frame(dst.mac, MAC{1}, 100+i))
 		}
 		if _, err := k.Run(); err != nil {
 			t.Fatal(err)
@@ -187,7 +196,7 @@ func TestFaultsDisabledDeliversEverything(t *testing.T) {
 	before := r.Int63()
 	const n = 50
 	for i := 0; i < n; i++ {
-		b.Transmit(MAC{1}, frame(dst.mac, MAC{1}, 100))
+		b.TransmitBytes(MAC{1}, frame(dst.mac, MAC{1}, 100))
 	}
 	if _, err := k.Run(); err != nil {
 		t.Fatal(err)

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/cstruct"
 	"repro/internal/grant"
 	"repro/internal/hypervisor"
@@ -33,10 +34,16 @@ var Broadcast = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
 
 // Endpoint is an attachment point on a bridge. Deliver is invoked in
 // simulation-kernel context when a frame arrives for the endpoint's MAC.
+// The endpoint receives one reference to the (immutable) frame buffer and
+// must Release it when done.
 type Endpoint interface {
 	MAC() MAC
-	Deliver(frame []byte)
+	Deliver(frame *bufpool.Buf)
 }
+
+// frameBufSize bounds one assembled Ethernet frame (MTU + headers, rounded
+// up to a power of two).
+const frameBufSize = 2048
 
 // Params are the bridge cost constants.
 type Params struct {
@@ -104,6 +111,7 @@ type Bridge struct {
 	endpoints map[MAC]Endpoint
 	faults    Faults
 	epFaults  map[MAC]Faults // per-destination overrides
+	pool      *bufpool.Pool  // frame staging buffers (VIF TX assembly)
 
 	// Stats
 	Forwarded     int
@@ -121,11 +129,16 @@ type Bridge struct {
 	mxFaultDup     *obs.Counter
 	mxFaultReorder *obs.Counter
 	mxFaultJitter  *obs.Counter
+	mxNotifyTx     *obs.Counter   // backend->frontend notifications, TX acks
+	mxNotifyRx     *obs.Counter   // backend->frontend notifications, RX frames
+	mxBatchTx      *obs.Histogram // TX requests drained per backend wakeup
+	mxBatchRx      *obs.Histogram // RX responses published per notification
 }
 
 // NewBridge creates a bridge with its own backend CPU and link resources.
 func NewBridge(k *sim.Kernel, params Params) *Bridge {
 	m := k.Metrics()
+	batchBounds := []float64{1, 2, 4, 8, 16, 32}
 	return &Bridge{
 		K:              k,
 		CPU:            k.NewCPU("dom0-netback"),
@@ -134,6 +147,7 @@ func NewBridge(k *sim.Kernel, params Params) *Bridge {
 		endpoints:      map[MAC]Endpoint{},
 		faults:         defaultFaults,
 		epFaults:       map[MAC]Faults{},
+		pool:           bufpool.NewPool(frameBufSize),
 		mxForwarded:    m.Counter("bridge_frames_total", obs.L("kind", "forwarded")),
 		mxFlooded:      m.Counter("bridge_frames_total", obs.L("kind", "flooded")),
 		mxBytes:        m.Counter("bridge_bytes_total"),
@@ -141,8 +155,16 @@ func NewBridge(k *sim.Kernel, params Params) *Bridge {
 		mxFaultDup:     m.Counter("bridge_faults_total", obs.L("kind", "dup")),
 		mxFaultReorder: m.Counter("bridge_faults_total", obs.L("kind", "reorder")),
 		mxFaultJitter:  m.Counter("bridge_faults_total", obs.L("kind", "jitter")),
+		mxNotifyTx:     m.Counter("bridge_notifications_total", obs.L("dir", "tx")),
+		mxNotifyRx:     m.Counter("bridge_notifications_total", obs.L("dir", "rx")),
+		mxBatchTx:      m.Histogram("ring_batch_size", batchBounds, obs.L("ring", "tx")),
+		mxBatchRx:      m.Histogram("ring_batch_size", batchBounds, obs.L("ring", "rx")),
 	}
 }
+
+// FramePool exposes the bridge's frame-buffer pool for leak assertions: a
+// quiesced bridge must report zero buffers in use.
+func (b *Bridge) FramePool() *bufpool.Pool { return b.pool }
 
 // Attach connects an endpoint to the bridge.
 func (b *Bridge) Attach(e Endpoint) { b.endpoints[e.MAC()] = e }
@@ -167,10 +189,14 @@ func (b *Bridge) faultsFor(dst MAC) Faults {
 
 // Transmit forwards a frame from src onto the bridge. The destination MAC
 // is read from the frame header (first six bytes); broadcast frames flood
-// to every endpoint except the source. The caller yields ownership of
-// frame.
-func (b *Bridge) Transmit(src MAC, frame []byte) {
+// to every endpoint except the source. The caller yields its reference to
+// the frame buffer; each delivery hands one reference to the endpoint
+// (broadcast and duplicate deliveries retain the shared buffer rather than
+// copying it — the frame is immutable once transmitted).
+func (b *Bridge) Transmit(src MAC, f *bufpool.Buf) {
+	frame := f.Bytes()
 	if len(frame) < 14 {
+		f.Release()
 		return
 	}
 	var dst MAC
@@ -199,13 +225,15 @@ func (b *Bridge) Transmit(src MAC, frame []byte) {
 		}
 		sort.Slice(macs, func(i, j int) bool { return bytes.Compare(macs[i][:], macs[j][:]) < 0 })
 		for _, mac := range macs {
-			b.deliver(mac, b.endpoints[mac], at, frame)
+			b.deliver(mac, b.endpoints[mac], at, f.Retain())
 		}
+		f.Release()
 		return
 	}
 	e, ok := b.endpoints[dst]
 	if !ok {
 		b.NoRoute++
+		f.Release()
 		return
 	}
 	b.Forwarded++
@@ -214,15 +242,30 @@ func (b *Bridge) Transmit(src MAC, frame []byte) {
 		tr.Instant(b.K.TraceTime(), "net", "bridge-fwd", 0, 0,
 			obs.Str("dst", dst.String()), obs.Int("bytes", int64(len(frame))))
 	}
-	b.deliver(dst, e, at, frame)
+	b.deliver(dst, e, at, f)
+}
+
+// TransmitBytes forwards a raw byte-slice frame (the slow path for callers
+// outside the pooled fast path): the frame is staged into one pooled buffer
+// — the single copy the slow path is allowed — and forwarded.
+func (b *Bridge) TransmitBytes(src MAC, frame []byte) {
+	if len(frame) > frameBufSize {
+		b.Transmit(src, bufpool.Wrap(append([]byte(nil), frame...)))
+		return
+	}
+	f := b.pool.Get()
+	f.Append(frame)
+	b.Transmit(src, f)
 }
 
 // deliver schedules frame delivery to one endpoint at the given instant,
 // running it through the impairment model for that destination. Fault
 // decisions draw from the kernel's seeded RNG in a fixed order (drop, dup,
 // then per-copy reorder and jitter), so same-seed runs are byte-identical;
-// with faults disabled no draw is made at all.
-func (b *Bridge) deliver(dst MAC, e Endpoint, at sim.Time, frame []byte) {
+// with faults disabled no draw is made at all. deliver consumes the
+// caller's buffer reference: a drop releases it, a duplicate delivery
+// retains a second reference to the same immutable buffer.
+func (b *Bridge) deliver(dst MAC, e Endpoint, at sim.Time, frame *bufpool.Buf) {
 	f := b.faultsFor(dst)
 	if !f.enabled() {
 		b.K.At(at, func() { e.Deliver(frame) })
@@ -233,13 +276,14 @@ func (b *Bridge) deliver(dst MAC, e Endpoint, at sim.Time, frame []byte) {
 	instant := func(kind string) {
 		if tr.Enabled() {
 			tr.Instant(b.K.TraceTime(), "net", "fault-"+kind, 0, 0,
-				obs.Str("dst", dst.String()), obs.Int("bytes", int64(len(frame))))
+				obs.Str("dst", dst.String()), obs.Int("bytes", int64(frame.Len())))
 		}
 	}
 	if f.Drop > 0 && rng.Float64() < f.Drop {
 		b.FaultDrops++
 		b.mxFaultDrop.Inc()
 		instant("drop")
+		frame.Release()
 		return
 	}
 	copies := 1
@@ -248,6 +292,7 @@ func (b *Bridge) deliver(dst MAC, e Endpoint, at sim.Time, frame []byte) {
 		b.FaultDups++
 		b.mxFaultDup.Inc()
 		instant("dup")
+		frame.Retain()
 	}
 	for i := 0; i < copies; i++ {
 		when := at
@@ -266,12 +311,7 @@ func (b *Bridge) deliver(dst MAC, e Endpoint, at sim.Time, frame []byte) {
 			b.mxFaultJitter.Inc()
 			instant("jitter")
 		}
-		out := frame
-		if i > 0 {
-			// The endpoint consumes its frame; a duplicate needs its own.
-			out = append([]byte(nil), frame...)
-		}
-		b.K.At(when, func() { e.Deliver(out) })
+		b.K.At(when, func() { e.Deliver(frame) })
 	}
 }
 
@@ -366,6 +406,9 @@ type VIF struct {
 
 	pendingRx []pendingRx // RX posts consumed from the ring, awaiting frames
 
+	rspPending int    // RX responses pushed but not yet published
+	rspGen     uint64 // coalesces same-instant RX publishes into one notify
+
 	// Stats
 	TxFrames int
 	RxFrames int
@@ -399,9 +442,13 @@ func NewVIF(b *Bridge, guest *hypervisor.Domain, mac MAC, txPage, rxPage *cstruc
 func (v *VIF) MAC() MAC { return v.mac }
 
 // Deliver implements Endpoint: an incoming frame is copied into a guest-
-// posted RX page; if none is available the frame is dropped, as hardware
-// would.
-func (v *VIF) Deliver(frame []byte) {
+// posted RX page (the one unavoidable copy on receive — the guest owns the
+// destination page); if none is available the frame is dropped, as
+// hardware would. Responses are published once per delivery instant, so a
+// burst arriving together costs a single notification (the Figure 3
+// event-threshold discipline).
+func (v *VIF) Deliver(f *bufpool.Buf) {
+	defer f.Release()
 	v.refillPending()
 	if len(v.pendingRx) == 0 {
 		v.RxDrops++
@@ -414,6 +461,7 @@ func (v *VIF) Deliver(frame []byte) {
 		v.RxDrops++
 		return
 	}
+	frame := f.Bytes()
 	n := len(frame)
 	if n > page.Len() {
 		n = page.Len()
@@ -421,10 +469,39 @@ func (v *VIF) Deliver(frame []byte) {
 	page.PutBytes(0, frame[:n])
 	v.guest.Grants.Unmap(post.gref, page)
 	v.rxBack.PushResponse(func(s *cstruct.View) { EncodeRxRsp(s, post.id, uint16(n)) })
+	v.RxFrames++
+	v.scheduleRxFlush()
+}
+
+// scheduleRxFlush defers publishing pushed RX responses to the end of the
+// current instant: deliveries landing at the same virtual time are
+// published (and the guest notified) once. The generation counter makes
+// every flush but the last a no-op; ordering of same-instant events is
+// deterministic, so this cannot perturb same-seed reruns.
+func (v *VIF) scheduleRxFlush() {
+	v.rspPending++
+	v.rspGen++
+	gen := v.rspGen
+	v.bridge.K.At(v.bridge.K.Now(), func() {
+		if gen != v.rspGen {
+			return
+		}
+		v.flushRx()
+	})
+}
+
+// flushRx publishes pending RX responses and notifies the guest if it
+// asked for an event.
+func (v *VIF) flushRx() {
+	if v.rspPending == 0 {
+		return
+	}
+	v.bridge.mxBatchRx.Observe(float64(v.rspPending))
+	v.rspPending = 0
 	if v.rxBack.PushResponses() {
 		v.port.NotifyAsync()
+		v.bridge.mxNotifyRx.Inc()
 	}
-	v.RxFrames++
 }
 
 // refillPending consumes queued RX buffer posts from the ring.
@@ -436,13 +513,17 @@ func (v *VIF) refillPending() {
 	}
 }
 
-// worker is the backend event loop: it drains TX requests (grant-copying
-// frame fragments out of guest pages, assembling scatter-gather frames) and
-// acknowledges them. It runs as a daemon for the life of the simulation.
+// worker is the backend event loop: it drains TX requests in batches,
+// grant-copying frame fragments directly into one pooled staging buffer
+// per frame (a single copy, no intermediate allocation) and handing the
+// buffer to the bridge by reference. One response publish — at most one
+// notification — covers the whole drained batch. It runs as a daemon for
+// the life of the simulation.
 func (v *VIF) worker(p *sim.Proc) {
-	var frame []byte
+	var frame *bufpool.Buf
 	for {
 		progressed := false
+		drained := 0
 		for {
 			var gref uint32
 			var off, length, id uint16
@@ -453,30 +534,38 @@ func (v *VIF) worker(p *sim.Proc) {
 				break
 			}
 			progressed = true
-			page, err := v.guest.Grants.Copy(grant.Ref(gref)) // netback grant-copies TX data
-			ok := err == nil
+			drained++
+			if frame == nil {
+				frame = v.bridge.pool.Get()
+			}
+			prev := frame.Len()
+			dst := frame.Extend(int(length))
+			ok := dst != nil
 			if ok {
-				end := int(off) + int(length)
-				if end > page.Len() {
+				// netback grant-copies TX data, straight into the frame.
+				if err := v.guest.Grants.CopyInto(grant.Ref(gref), int(off), dst); err != nil {
+					frame.Truncate(prev)
 					ok = false
-				} else {
-					frame = append(frame, page.Slice(int(off), int(length))...)
 				}
 			}
 			if !more {
-				if ok && len(frame) >= 14 {
-					out := make([]byte, len(frame))
-					copy(out, frame)
-					v.bridge.Transmit(v.mac, out)
+				if ok && frame.Len() >= 14 {
+					v.bridge.Transmit(v.mac, frame)
 					v.TxFrames++
+				} else {
+					frame.Release()
 				}
-				frame = frame[:0]
+				frame = nil
 			}
 			v.txBack.PushResponse(func(s *cstruct.View) { EncodeTxRsp(s, id, ok) })
+		}
+		if drained > 0 {
+			v.bridge.mxBatchTx.Observe(float64(drained))
 		}
 		v.refillPending()
 		if v.txBack.PushResponses() {
 			v.port.NotifyAsync()
+			v.bridge.mxNotifyTx.Inc()
 		}
 		if !progressed {
 			if raced := v.txBack.EnableRequestEvents(); raced {

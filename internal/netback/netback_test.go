@@ -4,18 +4,23 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/cstruct"
 	"repro/internal/sim"
 )
 
-// stubEndpoint records delivered frames.
+// stubEndpoint records delivered frames (copying contents out, as a real
+// endpoint consumes them, then releasing its buffer reference).
 type stubEndpoint struct {
 	mac    MAC
 	frames [][]byte
 }
 
-func (s *stubEndpoint) MAC() MAC         { return s.mac }
-func (s *stubEndpoint) Deliver(f []byte) { s.frames = append(s.frames, f) }
+func (s *stubEndpoint) MAC() MAC { return s.mac }
+func (s *stubEndpoint) Deliver(f *bufpool.Buf) {
+	s.frames = append(s.frames, append([]byte(nil), f.Bytes()...))
+	f.Release()
+}
 
 func frame(dst, src MAC, n int) []byte {
 	f := make([]byte, 14+n)
@@ -31,7 +36,7 @@ func TestBridgeUnicastForwarding(t *testing.T) {
 	c := &stubEndpoint{mac: MAC{2}}
 	b.Attach(a)
 	b.Attach(c)
-	b.Transmit(a.mac, frame(c.mac, a.mac, 100))
+	b.TransmitBytes(a.mac, frame(c.mac, a.mac, 100))
 	if _, err := k.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +55,7 @@ func TestBridgeBroadcastFloodsExceptSource(t *testing.T) {
 	for _, e := range eps {
 		b.Attach(e)
 	}
-	b.Transmit(eps[0].mac, frame(Broadcast, eps[0].mac, 50))
+	b.TransmitBytes(eps[0].mac, frame(Broadcast, eps[0].mac, 50))
 	if _, err := k.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +67,7 @@ func TestBridgeBroadcastFloodsExceptSource(t *testing.T) {
 func TestBridgeUnknownDestinationCounted(t *testing.T) {
 	k := sim.NewKernel(1)
 	b := NewBridge(k, DefaultParams())
-	b.Transmit(MAC{1}, frame(MAC{9}, MAC{1}, 10))
+	b.TransmitBytes(MAC{1}, frame(MAC{9}, MAC{1}, 10))
 	if b.NoRoute != 1 {
 		t.Errorf("NoRoute = %d", b.NoRoute)
 	}
@@ -78,7 +83,7 @@ func TestBridgeDeliveryDelayIncludesCosts(t *testing.T) {
 	wrapped := &hookEndpoint{inner: dst, hook: func() { deliveredAt = k.Now() }}
 	b.Detach(dst)
 	b.Attach(wrapped)
-	b.Transmit(MAC{1}, frame(MAC{2}, MAC{1}, 1486))
+	b.TransmitBytes(MAC{1}, frame(MAC{2}, MAC{1}, 1486))
 	if _, err := k.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -93,8 +98,8 @@ type hookEndpoint struct {
 	hook  func()
 }
 
-func (h *hookEndpoint) MAC() MAC         { return h.inner.mac }
-func (h *hookEndpoint) Deliver(f []byte) { h.hook(); h.inner.Deliver(f) }
+func (h *hookEndpoint) MAC() MAC               { return h.inner.mac }
+func (h *hookEndpoint) Deliver(f *bufpool.Buf) { h.hook(); h.inner.Deliver(f) }
 
 func TestBridgeLinkSerialisation(t *testing.T) {
 	// Many large frames at once: the link resource serialises them, so
@@ -106,7 +111,7 @@ func TestBridgeLinkSerialisation(t *testing.T) {
 	b.Attach(dst)
 	const frames = 100
 	for i := 0; i < frames; i++ {
-		b.Transmit(MAC{1}, frame(MAC{2}, MAC{1}, 1486))
+		b.TransmitBytes(MAC{1}, frame(MAC{2}, MAC{1}, 1486))
 	}
 	end, err := k.Run()
 	if err != nil {

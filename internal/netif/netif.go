@@ -47,6 +47,8 @@ type Netif struct {
 	nextID     uint16
 	txInflight map[uint16][]txFrag
 	txQueue    [][]txFrag // waiting for ring slots
+	tfFree     [][]txFrag // retired fragment slices recycled by enqueue
+	doneIDs    []uint16   // completion-drain scratch, reused across wakes
 	rxPosted   map[uint16]rxPost
 
 	// Stats live on the kernel's metrics registry; see Attach.
@@ -203,7 +205,32 @@ func (n *Netif) Send(p *sim.Proc, frags ...*cstruct.View) {
 	if len(frags) == 0 {
 		return
 	}
-	tf := make([]txFrag, len(frags))
+	if n.enqueue(frags) {
+		n.flushTx(p)
+	}
+}
+
+// SendFrames transmits a batch of single-fragment frames, staging every
+// frame into the ring and then publishing — and notifying the backend —
+// once for the whole batch (the §3.4.1 batched-notification discipline:
+// the backend drains all of them on a single wakeup).
+func (n *Netif) SendFrames(p *sim.Proc, frames []*cstruct.View) {
+	staged := false
+	for _, f := range frames {
+		if n.enqueue([]*cstruct.View{f}) {
+			staged = true
+		}
+	}
+	if staged {
+		n.flushTx(p)
+	}
+}
+
+// enqueue grants a frame's fragments and stages its requests in the ring
+// without publishing, reporting whether it was staged (false: ring full,
+// frame queued for completion-time drain).
+func (n *Netif) enqueue(frags []*cstruct.View) bool {
+	tf := n.getFrags(len(frags))
 	for i, f := range frags {
 		tf[i] = txFrag{
 			gref: n.vm.Dom.Grants.Grant(f, true),
@@ -214,17 +241,32 @@ func (n *Netif) Send(p *sim.Proc, frags ...*cstruct.View) {
 	if n.txFront.Free() < len(tf) {
 		n.txQueue = append(n.txQueue, tf)
 		n.mxTxQueued.Inc()
-		return
+		return false
 	}
-	n.pushTx(p, tf)
+	n.stageTx(tf)
+	return true
 }
 
-func (n *Netif) pushTx(p *sim.Proc, tf []txFrag) {
+// getFrags pops a retired fragment slice (or allocates one).
+func (n *Netif) getFrags(ln int) []txFrag {
+	if m := len(n.tfFree); m > 0 {
+		tf := n.tfFree[m-1]
+		n.tfFree[m-1] = nil
+		n.tfFree = n.tfFree[:m-1]
+		if cap(tf) >= ln {
+			return tf[:ln]
+		}
+	}
+	return make([]txFrag, ln, max(ln, 4))
+}
+
+// stageTx writes a frame's requests into ring slots (unpublished).
+func (n *Netif) stageTx(tf []txFrag) {
 	n.nextID++
 	id := n.nextID
 	n.txInflight[id] = tf
-	for _, f := range tf {
-		f := f
+	for i := range tf {
+		f := &tf[i]
 		n.txFront.PushRequest(func(s *cstruct.View) {
 			netback.EncodeTxReq(s, uint32(f.gref), 0, uint16(f.view.Len()), id, f.more)
 		})
@@ -238,6 +280,11 @@ func (n *Netif) pushTx(p *sim.Proc, tf []txFrag) {
 		k.Trace().Instant(k.TraceTime(), "net", "tx", n.vm.Dom.ID, 0,
 			obs.Int("bytes", int64(total)), obs.Int("frags", int64(len(tf))))
 	}
+}
+
+// flushTx publishes staged requests and notifies the backend if its event
+// threshold asks for it.
+func (n *Netif) flushTx(p *sim.Proc) {
 	if n.txFront.PushRequests() {
 		if p != nil {
 			n.port.Notify(p)
@@ -261,30 +308,38 @@ func (n *Netif) onEvent() {
 }
 
 func (n *Netif) drainCompletions() {
-	// TX completions: release grants and fragment views.
-	var doneIDs []uint16
+	// TX completions: release grants and fragment views. Multi-fragment
+	// frames complete with one response per fragment sharing an id; the
+	// inflight-map lookup dedups them.
+	n.doneIDs = n.doneIDs[:0]
 	for n.txFront.PopResponse(func(s *cstruct.View) {
 		id, _ := netback.DecodeTxRsp(s)
-		doneIDs = append(doneIDs, id)
+		n.doneIDs = append(n.doneIDs, id)
 	}) {
 	}
-	seen := map[uint16]bool{}
-	for _, id := range doneIDs {
-		if seen[id] {
+	for _, id := range n.doneIDs {
+		tf, ok := n.txInflight[id]
+		if !ok {
 			continue
 		}
-		seen[id] = true
-		for _, f := range n.txInflight[id] {
-			n.vm.Dom.Grants.End(f.gref)
-			f.view.Release()
+		for i := range tf {
+			n.vm.Dom.Grants.End(tf[i].gref)
+			tf[i].view.Release()
+			tf[i] = txFrag{}
 		}
 		delete(n.txInflight, id)
+		n.tfFree = append(n.tfFree, tf[:0])
 	}
-	// Drain queued frames into freed slots.
+	// Drain queued frames into freed slots, publishing once for the batch.
+	drained := false
 	for len(n.txQueue) > 0 && n.txFront.Free() >= len(n.txQueue[0]) {
 		tf := n.txQueue[0]
 		n.txQueue = n.txQueue[1:]
-		n.pushTx(nil, tf)
+		n.stageTx(tf)
+		drained = true
+	}
+	if drained {
+		n.flushTx(nil)
 	}
 
 	// RX completions: hand zero-copy sub-views to the stack and repost.

@@ -36,7 +36,7 @@ func hostileRig(t *testing.T) (*Stack, func(frame []byte), func(d time.Duration)
 		t.Fatal(err)
 	}
 	inject := func(frame []byte) {
-		r.bridge.Transmit(netback.MAC(mac(1)), frame)
+		r.bridge.TransmitBytes(netback.MAC(mac(1)), frame)
 	}
 	advance := func(d time.Duration) {
 		if _, err := r.k.RunFor(d); err != nil {

@@ -75,6 +75,10 @@ type Stack struct {
 	ipID  uint16
 	wake  *sim.Signal // re-enters the run loop after deferred processing
 
+	txBatch []*cstruct.View // frames built this burst, awaiting one flush
+	txSpare []*cstruct.View // drained batch backing, reused by the next burst
+	txGen   uint64          // invalidates stale flush events
+
 	// Stats
 	RxPackets, TxPackets int
 	RxDropped            int
@@ -134,17 +138,57 @@ func New(vm *pvboot.VM, nif *netif.Netif, cfg Config) *Stack {
 // other guest work).
 func (st *Stack) charge(d time.Duration) { st.VM.Dom.VCPU.Reserve(d) }
 
+// txBatchMax caps how many frames accumulate before an unconditional
+// flush, bounding the extra latency the first frame of a long burst pays.
+const txBatchMax = 16
+
 // tx transmits the first n bytes of page as one frame, releasing the
 // caller's page reference. The frame leaves once the vCPU has done the
 // header-construction work, so per-packet cost is visible as latency.
+//
+// Frames built in one burst (before the vCPU finishes their construction
+// work) are batched: each frame schedules a flush at its own completion
+// instant, and the generation counter makes every flush but the last a
+// no-op — so the whole burst enters the TX ring together and costs a
+// single publish/notification. A lone frame flushes at exactly the same
+// instant as the unbatched path did.
 func (st *Stack) tx(page *cstruct.View, n int) {
 	at := st.VM.Dom.VCPU.Reserve(st.Params.TxCost)
 	st.TxPackets++
 	frame := page.Sub(0, n)
 	page.Release()
+	if st.txBatch == nil && st.txSpare != nil {
+		st.txBatch, st.txSpare = st.txSpare, nil
+	}
+	st.txBatch = append(st.txBatch, frame)
+	st.txGen++
+	gen := st.txGen
+	if len(st.txBatch) >= txBatchMax {
+		batch := st.txBatch
+		st.txBatch = nil
+		st.VM.S.K.At(at, func() { st.sendBatch(batch) })
+		return
+	}
 	st.VM.S.K.At(at, func() {
-		st.NIC.Send(nil, frame)
+		if gen != st.txGen {
+			return // a later frame joined the burst; its flush covers us
+		}
+		batch := st.txBatch
+		st.txBatch = nil
+		st.sendBatch(batch)
 	})
+}
+
+// sendBatch hands a drained burst to the NIC, then parks the backing array
+// for the next burst (SendFrames does not retain the slice).
+func (st *Stack) sendBatch(batch []*cstruct.View) {
+	st.NIC.SendFrames(nil, batch)
+	for i := range batch {
+		batch[i] = nil
+	}
+	if st.txSpare == nil || cap(batch) > cap(st.txSpare) {
+		st.txSpare = batch[:0]
+	}
 }
 
 // SendIP sends one IP packet: build writes the transport payload (at most

@@ -35,6 +35,10 @@ const (
 // typically the frontend grants it and the backend maps it.
 type Shared struct {
 	page *cstruct.View
+	// slots caches the sub-view of each slot: ring geometry is fixed, so
+	// the 32 views are built once and reused for every push/pop instead of
+	// allocating a fresh sub-view per ring operation.
+	slots [Slots]*cstruct.View
 }
 
 // NewShared initialises a shared ring in page (which must be at least one
@@ -63,10 +67,15 @@ func (s *Shared) setReqEvent(v uint32) { s.page.PutLE32(offReqEvent, v) }
 func (s *Shared) setRspProd(v uint32)  { s.page.PutLE32(offRspProd, v) }
 func (s *Shared) setRspEvent(v uint32) { s.page.PutLE32(offRspEvent, v) }
 
-// slot returns the view of slot i (shared by requests and responses).
+// slot returns the cached view of slot i (shared by requests and
+// responses). The views pin the ring page, which lives for the life of the
+// ring anyway.
 func (s *Shared) slot(i uint32) *cstruct.View {
-	off := HeaderSize + int(i%Slots)*SlotSize
-	return s.page.Sub(off, SlotSize)
+	j := i % Slots
+	if s.slots[j] == nil {
+		s.slots[j] = s.page.Sub(HeaderSize+int(j)*SlotSize, SlotSize)
+	}
+	return s.slots[j]
 }
 
 // FrontHooks are optional observability callbacks for the frontend end.
@@ -110,9 +119,7 @@ func (f *Front) PushRequest(encode func(slot *cstruct.View)) bool {
 	if f.Free() == 0 {
 		return false
 	}
-	sl := f.sh.slot(f.reqProdPvt)
-	encode(sl)
-	sl.Release()
+	encode(f.sh.slot(f.reqProdPvt))
 	f.reqProdPvt++
 	return true
 }
@@ -140,9 +147,7 @@ func (f *Front) PopResponse(decode func(slot *cstruct.View)) bool {
 	if !f.PendingResponses() {
 		return false
 	}
-	sl := f.sh.slot(f.rspConsumed)
-	decode(sl)
-	sl.Release()
+	decode(f.sh.slot(f.rspConsumed))
 	f.rspConsumed++
 	if f.Hooks.OnPop != nil {
 		f.Hooks.OnPop()
@@ -180,9 +185,7 @@ func (b *Back) PopRequest(decode func(slot *cstruct.View)) bool {
 	if !b.PendingRequests() {
 		return false
 	}
-	sl := b.sh.slot(b.reqConsumed)
-	decode(sl)
-	sl.Release()
+	decode(b.sh.slot(b.reqConsumed))
 	b.reqConsumed++
 	if b.Hooks.OnPop != nil {
 		b.Hooks.OnPop()
@@ -197,9 +200,7 @@ func (b *Back) PushResponse(encode func(slot *cstruct.View)) bool {
 		// Cannot respond ahead of consuming the request.
 		return false
 	}
-	sl := b.sh.slot(b.rspProdPvt)
-	encode(sl)
-	sl.Release()
+	encode(b.sh.slot(b.rspProdPvt))
 	b.rspProdPvt++
 	return true
 }

@@ -71,7 +71,9 @@ func (h eventHeap) peek() *event { return h[0] }
 type Kernel struct {
 	now     Time
 	events  eventHeap
+	evFree  []*event // retired event structs recycled by At
 	runq    []*Proc
+	runqHd  int // index of the next runnable proc (drained head)
 	seq     uint64
 	rng     *rand.Rand
 	live    map[*Proc]struct{}
@@ -158,7 +160,16 @@ func (k *Kernel) At(t Time, fn func()) {
 		t = k.now
 	}
 	k.seq++
-	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+	var e *event
+	if n := len(k.evFree); n > 0 {
+		e = k.evFree[n-1]
+		k.evFree[n-1] = nil
+		k.evFree = k.evFree[:n-1]
+		e.at, e.seq, e.fn = t, k.seq, fn
+	} else {
+		e = &event{at: t, seq: k.seq, fn: fn}
+	}
+	heap.Push(&k.events, e)
 }
 
 // After schedules fn to run d after the current instant.
@@ -180,6 +191,8 @@ type Proc struct {
 	done   bool
 	daemon bool   // daemon procs may remain parked at simulation end
 	parkAt string // description of the current park site, for diagnostics
+
+	parkGen uint64 // bumped around each park; stale wake timers compare it
 
 	tracePid int // trace process the proc is attributed to (domain ID; 0 = host)
 }
@@ -255,20 +268,27 @@ func (k *Kernel) schedule(p *Proc) {
 // step runs one runnable proc or advances the clock to the next event.
 // It reports whether any progress was made.
 func (k *Kernel) step() bool {
-	for len(k.runq) == 0 && len(k.events) > 0 {
+	for k.runqHd == len(k.runq) && len(k.events) > 0 {
 		e := k.events.peek()
 		if k.limit != 0 && e.at > k.limit {
 			return false
 		}
 		heap.Pop(&k.events)
 		k.now = e.at
-		e.fn() // may schedule procs or more events
+		fn := e.fn
+		e.fn = nil // drop the closure before recycling
+		k.evFree = append(k.evFree, e)
+		fn() // may schedule procs or more events (and reuse e)
 	}
-	if len(k.runq) == 0 {
+	if k.runqHd == len(k.runq) {
 		return false
 	}
-	p := k.runq[0]
-	k.runq = k.runq[1:]
+	p := k.runq[k.runqHd]
+	k.runq[k.runqHd] = nil
+	k.runqHd++
+	if k.runqHd == len(k.runq) {
+		k.runq, k.runqHd = k.runq[:0], 0 // reuse the backing array
+	}
 	p.ready = false
 	if p.done {
 		return true
@@ -442,16 +462,17 @@ func (p *Proc) WaitAny(timeout time.Duration, sigs ...*Signal) int {
 	for _, s := range sigs {
 		s.waiters = append(s.waiters, p)
 	}
-	done := false
 	if timeout > 0 {
+		p.parkGen++
+		gen := p.parkGen
 		p.k.After(timeout, func() {
-			if !done {
+			if gen == p.parkGen {
 				p.k.schedule(p)
 			}
 		})
 	}
 	p.park("waitany")
-	done = true
+	p.parkGen++ // invalidate a still-pending wake timer
 	result := -1
 	for i, s := range sigs {
 		// Detect which signal fired and remove p from all waiter lists.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/cstruct"
 	"repro/internal/lwt"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -62,6 +63,14 @@ type pendingRead struct {
 	pr  *lwt.Promise[[]byte]
 }
 
+// rcvChunk is one in-order span of received payload. When view is non-nil
+// the bytes alias a pooled receive page kept alive by that view; the page
+// reference is dropped once the application has consumed the chunk.
+type rcvChunk struct {
+	data []byte
+	view *cstruct.View
+}
+
 type pendingWrite struct {
 	data []byte
 	pr   *lwt.Promise[int]
@@ -84,6 +93,7 @@ type Conn struct {
 	sendBuf             []byte
 	finQueued, finSent  bool
 	inflight            []inflightSeg
+	sendGen             uint64 // invalidates stale deferred trySend events
 
 	// Zero-window persist (RFC 1122 §4.2.2.17).
 	persistGen     int
@@ -98,19 +108,34 @@ type Conn struct {
 	recover        uint32
 	fastRecovery   bool
 
-	// RTT estimation / RTO (Jacobson/Karn).
+	// RTT estimation / RTO (Jacobson/Karn). The retransmission timer is a
+	// single reusable kernel event per connection: arming records only a
+	// deadline, and a tick that wakes before it re-schedules itself forward
+	// instead of allocating a new timer thread per (re)arm.
 	srtt, rttvar, rto time.Duration
-	rtoGen            int
+	rtoGen            int // TIME_WAIT one-shot only
+	rtoArmed          bool
+	rtoDeadline       sim.Time
+	rtoTickAt         sim.Time // fire time of the live tick event
+	rtoTickLive       bool
+	rtoTick           func()
 
 	// Receive sequence space.
 	irs, rcvNxt  uint32
 	myWndScale   int
-	rcvQueue     []byte
+	rcvChain     []rcvChunk // in-order payload spans awaiting the application
+	rcvLen       int        // total bytes across rcvChain
 	finRcvd      bool
 	ooo          map[uint32][]byte
 	segsSinceAck int
-	delAckGen    int
-	delAckArmed  bool
+	// Delayed ACK shares the reusable-kernel-event shape of the RTO timer.
+	delAckArmed    bool
+	delAckDeadline sim.Time
+	delAckTickAt   sim.Time
+	delAckTickLive bool
+	delAckTick     func()
+	ackGen         uint64 // invalidates stale same-instant ACK flushes
+	ackPending     bool
 
 	readers []pendingRead
 	writers []pendingWrite
@@ -167,12 +192,56 @@ func newConn(st *Stack, key connKey) *Conn {
 		myWndScale:   p.WndScale,
 		ooo:          map[uint32][]byte{},
 	}
+	// One persistent tick closure per timer for the life of the connection.
+	// A tick identifies itself by fire time: if it wakes at a time other
+	// than the recorded tick time it has been superseded by a re-schedule.
+	c.rtoTick = func() {
+		k := st.S.K
+		now := k.Now()
+		if now != c.rtoTickAt || c.state == StateClosed {
+			return
+		}
+		if !c.rtoArmed {
+			c.rtoTickLive = false
+			return
+		}
+		if now < c.rtoDeadline {
+			// The deadline moved forward since this tick was scheduled
+			// (new data or an ACK re-armed the timer); chase it.
+			c.rtoTickAt = c.rtoDeadline
+			k.At(c.rtoDeadline, c.rtoTick)
+			return
+		}
+		c.rtoTickLive = false
+		c.rtoArmed = false
+		if len(c.inflight) > 0 {
+			c.onTimeout()
+		}
+	}
+	c.delAckTick = func() {
+		k := st.S.K
+		now := k.Now()
+		if now != c.delAckTickAt || c.state == StateClosed {
+			return
+		}
+		if !c.delAckArmed {
+			c.delAckTickLive = false
+			return
+		}
+		if now < c.delAckDeadline {
+			c.delAckTickAt = c.delAckDeadline
+			k.At(c.delAckDeadline, c.delAckTick)
+			return
+		}
+		c.delAckTickLive = false
+		c.sendAck()
+	}
 	return c
 }
 
 // window returns the receive window to advertise.
 func (c *Conn) window() int {
-	w := c.st.Params.RcvBuf - len(c.rcvQueue)
+	w := c.st.Params.RcvBuf - c.rcvLen
 	if w < 0 {
 		w = 0
 	}
@@ -214,9 +283,31 @@ func (c *Conn) send(flags uint8, seq uint32, payload []byte, syn bool) {
 
 func (c *Conn) sendAck() {
 	c.segsSinceAck = 0
-	c.delAckGen++
 	c.delAckArmed = false
+	c.ackGen++ // a pending same-instant flush is now redundant
+	c.ackPending = false
 	c.send(FlagACK, c.sndNxt, nil, false)
+}
+
+// scheduleAckFlush defers the ACK to the current instant's end: every
+// in-order segment drained in the same wakeup (a ring batch) lands before
+// the flush event runs, so one cumulative ACK covers the whole batch
+// instead of one per segment pair (§3.4.1 batched acknowledgement). For
+// segments arriving at distinct instants this is indistinguishable from an
+// immediate ACK.
+func (c *Conn) scheduleAckFlush() {
+	if c.ackPending {
+		return
+	}
+	c.ackPending = true
+	c.ackGen++
+	gen := c.ackGen
+	k := c.st.S.K
+	k.At(k.Now(), func() {
+		if gen == c.ackGen && c.ackPending && c.state != StateClosed {
+			c.sendAck()
+		}
+	})
 }
 
 // scheduleDelayedAck arms the delayed-ACK timer (every-second-segment
@@ -225,15 +316,14 @@ func (c *Conn) scheduleDelayedAck() {
 	if c.delAckArmed {
 		return
 	}
+	k := c.st.S.K
 	c.delAckArmed = true
-	c.delAckGen++
-	gen := c.delAckGen
-	lwt.Map(c.st.S.Sleep(c.st.Params.DelayedAck), func(struct{}) struct{} {
-		if gen == c.delAckGen && c.state != StateClosed {
-			c.sendAck()
-		}
-		return struct{}{}
-	})
+	c.delAckDeadline = k.Now().Add(c.st.Params.DelayedAck)
+	if !c.delAckTickLive || c.delAckDeadline < c.delAckTickAt {
+		c.delAckTickLive = true
+		c.delAckTickAt = c.delAckDeadline
+		k.At(c.delAckDeadline, c.delAckTick)
+	}
 }
 
 // flightSize returns bytes in flight.
@@ -249,45 +339,75 @@ func (c *Conn) usableWindow() int {
 }
 
 // trySend segments and transmits buffered data within the send window,
-// then the queued FIN if the buffer has drained.
+// then the queued FIN if the buffer has drained. Queued writer data is
+// pulled into the send buffer BEFORE segments are cut, so several small
+// writes issued in one burst coalesce into MSS-sized segments rather than
+// one undersized segment per write. Segment payloads are capped reslices
+// of the send buffer — no per-segment copy: the consumed prefix is never
+// touched again (appends land past it) and peers never mutate payloads.
 func (c *Conn) trySend() {
+	c.sendGen++ // this call is the flush; pending deferred sends are stale
 	if c.state != StateEstablished && c.state != StateCloseWait &&
 		c.state != StateFinWait1 && c.state != StateClosing && c.state != StateLastAck {
 		return
 	}
-	for len(c.sendBuf) > 0 {
-		avail := c.usableWindow()
-		if avail <= 0 {
+	sent := false
+	for {
+		c.drainWriters()
+		progress := false
+		for len(c.sendBuf) > 0 {
+			avail := c.usableWindow()
+			if avail <= 0 {
+				break
+			}
+			n := len(c.sendBuf)
+			if n > c.mss {
+				n = c.mss
+			}
+			if n > avail {
+				n = avail
+			}
+			data := c.sendBuf[:n:n]
+			c.sendBuf = c.sendBuf[n:]
+			c.inflight = append(c.inflight, inflightSeg{seq: c.sndNxt, data: data, sentAt: c.st.S.K.Now()})
+			flags := uint8(FlagACK)
+			if len(c.sendBuf) == 0 && len(c.writers) == 0 {
+				flags |= FlagPSH
+			}
+			c.send(flags, c.sndNxt, data, false)
+			c.sndNxt += uint32(n)
+			c.BytesOut += n
+			progress, sent = true, true
+		}
+		if !progress {
 			break
 		}
-		n := len(c.sendBuf)
-		if n > c.mss {
-			n = c.mss
-		}
-		if n > avail {
-			n = avail
-		}
-		data := append([]byte(nil), c.sendBuf[:n]...)
-		c.sendBuf = c.sendBuf[n:]
-		c.inflight = append(c.inflight, inflightSeg{seq: c.sndNxt, data: data, sentAt: c.st.S.K.Now()})
-		flags := uint8(FlagACK)
-		if len(c.sendBuf) == 0 {
-			flags |= FlagPSH
-		}
-		c.send(flags, c.sndNxt, data, false)
-		c.sndNxt += uint32(n)
-		c.BytesOut += n
-		c.armRTO()
 	}
 	if c.finQueued && !c.finSent && len(c.sendBuf) == 0 && c.usableWindow() > 0 {
 		c.finSent = true
 		c.inflight = append(c.inflight, inflightSeg{seq: c.sndNxt, fin: true, sentAt: c.st.S.K.Now()})
 		c.send(FlagFIN|FlagACK, c.sndNxt, nil, false)
 		c.sndNxt++
-		c.armRTO()
+		sent = true
 	}
-	c.drainWriters()
+	if sent {
+		c.armRTO() // one timer (re)arm per burst, not per segment
+	}
 	c.maybeArmPersist()
+}
+
+// scheduleSend defers trySend to the end of the current instant, so every
+// Write issued in the same wakeup lands in the send buffer before any
+// segment is cut (the write-coalescing half of §3.4.1 batching).
+func (c *Conn) scheduleSend() {
+	c.sendGen++
+	gen := c.sendGen
+	k := c.st.S.K
+	k.At(k.Now(), func() {
+		if gen == c.sendGen && c.state != StateClosed {
+			c.trySend()
+		}
+	})
 }
 
 // drainWriters moves queued user writes into the send buffer as space
@@ -311,37 +431,13 @@ func (c *Conn) drainWriters() {
 			c.writers = c.writers[1:]
 			pr.Resolve(n)
 		}
-		c.sendMore()
-	}
-}
-
-// sendMore is trySend without the writer drain (avoids recursion).
-func (c *Conn) sendMore() {
-	for len(c.sendBuf) > 0 {
-		avail := c.usableWindow()
-		if avail <= 0 {
-			return
-		}
-		n := len(c.sendBuf)
-		if n > c.mss {
-			n = c.mss
-		}
-		if n > avail {
-			n = avail
-		}
-		data := append([]byte(nil), c.sendBuf[:n]...)
-		c.sendBuf = c.sendBuf[n:]
-		c.inflight = append(c.inflight, inflightSeg{seq: c.sndNxt, data: data, sentAt: c.st.S.K.Now()})
-		c.send(FlagACK|FlagPSH, c.sndNxt, data, false)
-		c.sndNxt += uint32(n)
-		c.BytesOut += n
-		c.armRTO()
 	}
 }
 
 // Write queues data for transmission. The promise resolves with len(data)
 // once everything is accepted into the send buffer (flow-controlled
-// against SndBuf).
+// against SndBuf). Transmission is deferred to the end of the instant so
+// that back-to-back small writes coalesce into full segments.
 func (c *Conn) Write(data []byte) *lwt.Promise[int] {
 	pr := lwt.NewPromise[int](c.st.S)
 	if c.err != nil {
@@ -354,7 +450,7 @@ func (c *Conn) Write(data []byte) *lwt.Promise[int] {
 	}
 	c.writers = append(c.writers, pendingWrite{data: data, pr: pr})
 	c.drainWriters()
-	c.trySend()
+	c.scheduleSend()
 	return pr
 }
 
@@ -381,16 +477,10 @@ func (c *Conn) wakeReaders() {
 		}
 	}()
 	for len(c.readers) > 0 {
-		if len(c.rcvQueue) > 0 {
+		if c.rcvLen > 0 {
 			r := c.readers[0]
 			c.readers = c.readers[1:]
-			n := len(c.rcvQueue)
-			if n > r.max {
-				n = r.max
-			}
-			out := append([]byte(nil), c.rcvQueue[:n]...)
-			c.rcvQueue = c.rcvQueue[n:]
-			r.pr.Resolve(out)
+			r.pr.Resolve(c.takeRcv(r.max))
 			continue
 		}
 		if c.finRcvd {
@@ -407,6 +497,44 @@ func (c *Conn) wakeReaders() {
 		}
 		return
 	}
+}
+
+// takeRcv consumes up to max buffered bytes. A heap-backed chunk that fits
+// entirely is handed to the application without a copy; page-backed chunks
+// are copied here — the application boundary — and their page references
+// released (the §3.4.1 discipline: the page stays pinned only while the
+// stack still holds unconsumed bytes).
+func (c *Conn) takeRcv(max int) []byte {
+	n := c.rcvLen
+	if n > max {
+		n = max
+	}
+	first := &c.rcvChain[0]
+	if first.view == nil && len(first.data) == n {
+		out := first.data
+		c.rcvChain[0] = rcvChunk{}
+		c.rcvChain = c.rcvChain[1:]
+		c.rcvLen -= n
+		return out
+	}
+	out := make([]byte, n)
+	got := 0
+	for got < n {
+		ch := &c.rcvChain[0]
+		take := copy(out[got:], ch.data)
+		got += take
+		if take == len(ch.data) {
+			if ch.view != nil {
+				ch.view.Release()
+			}
+			c.rcvChain[0] = rcvChunk{}
+			c.rcvChain = c.rcvChain[1:]
+		} else {
+			ch.data = ch.data[take:]
+		}
+	}
+	c.rcvLen -= n
+	return out
 }
 
 // Close queues a FIN after buffered data drains (active/passive close).
@@ -455,9 +583,22 @@ func (c *Conn) teardown(err error) {
 	c.setState(StateClosed)
 	c.err = err
 	c.rtoGen++ // disarm timers
-	c.delAckGen++
+	c.rtoArmed = false
+	c.delAckArmed = false
 	c.persistGen++
 	c.persistArmed = false
+	c.ackGen++
+	c.ackPending = false
+	c.sendGen++
+	// Unconsumed receive data still pins pages; let them go.
+	for i := range c.rcvChain {
+		if c.rcvChain[i].view != nil {
+			c.rcvChain[i].view.Release()
+		}
+		c.rcvChain[i] = rcvChunk{}
+	}
+	c.rcvChain = nil
+	c.rcvLen = 0
 	c.st.remove(c.key)
 	if c.doneP != nil && !c.doneP.Completed() {
 		c.doneP.Resolve(struct{}{})
@@ -482,17 +623,20 @@ func (c *Conn) teardown(err error) {
 // --- Timers ---
 
 func (c *Conn) armRTO() {
-	c.rtoGen++
-	gen := c.rtoGen
-	lwt.Map(c.st.S.Sleep(c.rto), func(struct{}) struct{} {
-		if gen == c.rtoGen && len(c.inflight) > 0 && c.state != StateClosed {
-			c.onTimeout()
-		}
-		return struct{}{}
-	})
+	k := c.st.S.K
+	c.rtoArmed = true
+	c.rtoDeadline = k.Now().Add(c.rto)
+	if !c.rtoTickLive || c.rtoDeadline < c.rtoTickAt {
+		// No tick in flight, or the live tick lands after the new deadline
+		// (the RTO shrank from a fresh RTT sample): schedule one that makes
+		// it. The late tick retires itself by the fire-time identity check.
+		c.rtoTickLive = true
+		c.rtoTickAt = c.rtoDeadline
+		k.At(c.rtoDeadline, c.rtoTick)
+	}
 }
 
-func (c *Conn) disarmRTO() { c.rtoGen++ }
+func (c *Conn) disarmRTO() { c.rtoArmed = false }
 
 // maybeArmPersist starts the zero-window probe timer when data (or a FIN)
 // is pending but the peer's window forbids sending and nothing is in
@@ -553,7 +697,7 @@ func (c *Conn) onPersist() {
 		c.retransmitFirst()
 	case len(c.sendBuf) > 0:
 		// Window probe: one byte past the advertised window.
-		data := append([]byte(nil), c.sendBuf[:1]...)
+		data := c.sendBuf[:1:1]
 		c.sendBuf = c.sendBuf[1:]
 		c.inflight = append(c.inflight, inflightSeg{seq: c.sndNxt, data: data, sentAt: c.st.S.K.Now()})
 		c.send(FlagACK|FlagPSH, c.sndNxt, data, false)

@@ -5,18 +5,22 @@ package tcp
 
 import "repro/internal/obs"
 
+// input consumes seg: every path either hands the payload view on to the
+// receive chain or releases it.
 func (c *Conn) input(seg Segment) {
 	if seg.Flags&FlagRST != 0 {
+		seg.releaseView()
 		c.inputRst(seg)
 		return
 	}
 	switch c.state {
 	case StateSynSent:
+		seg.releaseView() // payload on SYN|ACK is not supported
 		c.inputSynSent(seg)
 	case StateSynRcvd:
 		c.inputSynRcvd(seg)
 	case StateClosed:
-		// Late segment; ignore.
+		seg.releaseView() // late segment; ignore
 	default:
 		c.inputData(seg)
 	}
@@ -82,10 +86,12 @@ func (c *Conn) inputSynSent(seg Segment) {
 func (c *Conn) inputSynRcvd(seg Segment) {
 	if seg.Flags&FlagSYN != 0 && seg.Seq == c.irs {
 		// Duplicate SYN: re-send SYN|ACK.
+		seg.releaseView()
 		c.retransmitFirst()
 		return
 	}
 	if seg.Flags&FlagACK == 0 || seg.Ack != c.iss+1 {
+		seg.releaseView()
 		return
 	}
 	c.sndUna = seg.Ack
@@ -96,6 +102,7 @@ func (c *Conn) inputSynRcvd(seg Segment) {
 		l.halfOpen--
 		if l.closed {
 			// The listener went away mid-handshake: refuse the peer.
+			seg.releaseView()
 			c.Abort()
 			return
 		}
@@ -184,10 +191,17 @@ func (c *Conn) processAck(seg Segment) {
 			}
 		} else {
 			c.dupAcks = 0
+			// Appropriate Byte Counting (RFC 3465): grow by bytes newly
+			// acknowledged, not per ACK, so the batched cumulative ACKs
+			// the receiver now emits don't slow window growth.
 			if c.cwnd < c.ssthresh {
-				c.cwnd += c.mss // slow start
+				inc := acked
+				if inc > 2*c.mss {
+					inc = 2 * c.mss // slow start, L=2
+				}
+				c.cwnd += inc
 			} else {
-				c.cwnd += max2(c.mss*c.mss/c.cwnd, 1) // congestion avoidance
+				c.cwnd += max2(c.mss*acked/c.cwnd, 1) // congestion avoidance
 			}
 		}
 		if len(c.inflight) > 0 {
@@ -241,12 +255,16 @@ func (c *Conn) processPayload(seg Segment) {
 	p := c.st.Params
 	switch {
 	case seg.Seq == c.rcvNxt:
-		if len(c.rcvQueue)+len(seg.Payload) > p.RcvBuf+p.MSS {
+		if c.rcvLen+len(seg.Payload) > p.RcvBuf+p.MSS {
 			// Receive buffer overrun beyond advertised window: drop.
+			seg.releaseView()
 			c.sendAck()
 			return
 		}
-		c.rcvQueue = append(c.rcvQueue, seg.Payload...)
+		// Zero-copy enqueue: the chain takes ownership of the payload
+		// view (or aliases the heap slice on direct-injection paths).
+		c.rcvChain = append(c.rcvChain, rcvChunk{data: seg.Payload, view: seg.view})
+		c.rcvLen += len(seg.Payload)
 		c.rcvNxt += uint32(len(seg.Payload))
 		c.BytesIn += len(seg.Payload)
 		// Pull any contiguous out-of-order segments in.
@@ -256,29 +274,35 @@ func (c *Conn) processPayload(seg Segment) {
 				break
 			}
 			delete(c.ooo, c.rcvNxt)
-			c.rcvQueue = append(c.rcvQueue, data...)
+			c.rcvChain = append(c.rcvChain, rcvChunk{data: data})
+			c.rcvLen += len(data)
 			c.rcvNxt += uint32(len(data))
 			c.BytesIn += len(data)
 		}
 		c.wakeReaders()
-		// ACK every second segment immediately; otherwise delay.
+		// ACK every second segment; the flush runs at the end of the
+		// instant so one cumulative ACK covers a whole drained batch.
 		c.segsSinceAck++
 		if c.segsSinceAck >= 2 {
-			c.sendAck()
+			c.scheduleAckFlush()
 		} else {
 			c.scheduleDelayedAck()
 		}
 
 	case seqLT(c.rcvNxt, seg.Seq):
-		// Out of order: hold and send an immediate duplicate ACK to
-		// trigger the sender's fast retransmit.
+		// Out of order: hold (copied — the hole may persist long past the
+		// receive page's useful life) and send an immediate duplicate ACK
+		// to trigger the sender's fast retransmit. Never batched: fast
+		// retransmit counts individual duplicate ACKs.
 		if _, dup := c.ooo[seg.Seq]; !dup && len(c.ooo) < 256 {
 			c.ooo[seg.Seq] = append([]byte(nil), seg.Payload...)
 		}
+		seg.releaseView()
 		c.sendAck()
 
 	default:
 		// Old/overlapping data: re-ACK.
+		seg.releaseView()
 		c.sendAck()
 	}
 }
@@ -314,6 +338,7 @@ func (c *Conn) processFin(seg Segment) {
 
 func (c *Conn) enterTimeWait() {
 	c.setState(StateTimeWait)
+	c.disarmRTO()
 	gen := c.rtoGen + 1
 	c.rtoGen = gen
 	lwtMapUnit(c.st.S, c.st.Params.TimeWait, func() {

@@ -151,10 +151,12 @@ func (st *Stack) Input(src ipv4.Addr, seg Segment) {
 		return
 	}
 	if l, ok := st.listeners[seg.DstPort]; ok && seg.Flags&FlagSYN != 0 && seg.Flags&FlagACK == 0 {
+		seg.releaseView() // data on a SYN is not stored
 		st.accept(l, src, seg)
 		return
 	}
 	// No endpoint: RST (unless the segment is itself a RST).
+	seg.releaseView()
 	st.mxBadSegs.Inc()
 	if seg.Flags&FlagRST == 0 {
 		st.mxRstsSent.Inc()

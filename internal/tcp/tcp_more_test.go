@@ -50,7 +50,7 @@ func TestFlowControlZeroWindow(t *testing.T) {
 	// to buffer more than it advertised, and the sender must be stalled
 	// with undelivered data (Write resolves on buffering, so it may have
 	// completed — delivery is what flow control bounds).
-	if got := len(conn.rcvQueue); got > params.RcvBuf+params.MSS {
+	if got := conn.rcvLen; got > params.RcvBuf+params.MSS {
 		t.Fatalf("receiver buffered %d bytes, beyond its advertised window", got)
 	}
 	if conn.BytesIn >= len(payload) {
@@ -234,5 +234,57 @@ func TestRetransmitQueueDrainsAfterRecovery(t *testing.T) {
 	}
 	if c.Retransmits == 0 {
 		t.Error("lossy link produced no retransmissions")
+	}
+}
+
+// TestSameInstantWritesCoalesce: a burst of small writes issued in one
+// wakeup is merged into MSS-sized segments (§3.4.1 write coalescing)
+// instead of one undersized segment per write.
+func TestSameInstantWritesCoalesce(t *testing.T) {
+	k := sim.NewKernel(1)
+	a, b, p := newPair(k, time.Millisecond)
+	dataSegs := 0
+	p.drop = func(seg Segment) bool {
+		if len(seg.Payload) > 0 {
+			dataSegs++
+		}
+		return false
+	}
+	const writes, each = 20, 100
+	var got bytes.Buffer
+	k.SpawnDaemon("server", func(sp *sim.Proc) {
+		l, _ := b.st.Listen(80)
+		var loop func(c *Conn) *lwt.Promise[struct{}]
+		loop = func(c *Conn) *lwt.Promise[struct{}] {
+			return lwt.Bind(c.Read(64<<10), func(data []byte) *lwt.Promise[struct{}] {
+				got.Write(data)
+				if got.Len() >= writes*each {
+					return lwt.Return(b.s, struct{}{})
+				}
+				return loop(c)
+			})
+		}
+		b.s.Run(sp, lwt.Bind(l.Accept(), loop))
+	})
+	k.Spawn("client", func(cp *sim.Proc) {
+		main := lwt.Bind(a.st.Connect(b.st.LocalIP, 80), func(c *Conn) *lwt.Promise[struct{}] {
+			ws := make([]lwt.Waiter, writes)
+			for i := range ws {
+				ws[i] = c.Write(mkPayload(each))
+			}
+			return lwt.Join(a.s, ws...)
+		})
+		a.s.Run(cp, main)
+	})
+	if _, err := k.RunFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != writes*each {
+		t.Fatalf("delivered %d bytes, want %d", got.Len(), writes*each)
+	}
+	// 20 x 100B = 2000B fits two MSS-sized segments; an uncoalesced sender
+	// emits one segment per write.
+	if dataSegs > 3 {
+		t.Errorf("burst of %d small writes sent %d data segments, want <= 3", writes, dataSegs)
 	}
 }

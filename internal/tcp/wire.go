@@ -35,6 +35,19 @@ type Segment struct {
 	MSS      uint16
 	WndScale int // -1 if absent
 	Payload  []byte
+	// view, when non-nil, is a retained sub-view of the receive page that
+	// Payload aliases (zero-copy RX, §3.4.1). Whoever consumes the segment
+	// must release it exactly once; see releaseView.
+	view *cstruct.View
+}
+
+// releaseView drops the payload's page reference (no-op for segments whose
+// payload is a plain heap slice, e.g. locally built or directly injected).
+func (s *Segment) releaseView() {
+	if s.view != nil {
+		s.view.Release()
+		s.view = nil
+	}
 }
 
 func (s Segment) flagString() string {
@@ -111,8 +124,9 @@ func Encode(v *cstruct.View, src, dst ipv4.Addr, s Segment) int {
 }
 
 // Parse decodes a segment, verifying the checksum, and releases v. The
-// payload is copied out of the view (TCP must hold receive data past the
-// page's lifetime).
+// payload is NOT copied: it stays a sub-view of the receive page (held via
+// Segment.view), and the reassembly path keeps that view retained until the
+// application consumes the bytes — only the out-of-order map copies.
 func Parse(src, dst ipv4.Addr, v *cstruct.View) (Segment, error) {
 	defer v.Release()
 	if v.Len() < HeaderLen {
@@ -165,7 +179,8 @@ func Parse(src, dst ipv4.Addr, v *cstruct.View) (Segment, error) {
 		}
 	}
 	if n := v.Len() - dataOff; n > 0 {
-		s.Payload = append([]byte(nil), v.Slice(dataOff, n)...)
+		s.view = v.Sub(dataOff, n)
+		s.Payload = s.view.Bytes()
 	}
 	return s, nil
 }
