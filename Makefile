@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test race trace bench
+.PHONY: all check fmt vet staticcheck build test race trace bench scalesweep
 
 all: check
 
-check: fmt vet build test race
+check: fmt vet staticcheck build test race
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -14,6 +14,15 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Runs only when the binary is on PATH (the base image does not ship it);
+# install with: go install honnef.co/go/tools/cmd/staticcheck@latest
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -29,6 +38,15 @@ race: build
 bench: build
 	$(GO) test -run '^$$' -bench Fastpath -benchmem ./internal/bench | \
 		$(GO) run ./cmd/benchjson -out BENCH_fastpath.json -section fastpath
+
+# Autoscaling fleet sweep -> BENCH_scalesweep.json; runs the experiment
+# twice on the same seed and asserts the rendered output is byte-identical.
+scalesweep: build
+	$(GO) run ./cmd/repro -experiment scalesweep -json BENCH_scalesweep.json > /tmp/scalesweep.1
+	$(GO) run ./cmd/repro -experiment scalesweep > /tmp/scalesweep.2
+	@cat /tmp/scalesweep.1
+	cmp /tmp/scalesweep.1 /tmp/scalesweep.2
+	@echo "scalesweep deterministic: same-seed runs byte-identical; JSON in BENCH_scalesweep.json"
 
 # Quick smoke: run one experiment with tracing and validate the output.
 trace:

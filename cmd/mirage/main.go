@@ -10,6 +10,8 @@
 //	mirage boot   -trace boot.json     # also write a Chrome trace of the boot
 //	mirage boot   -loss 0.01           # impair the host bridge (also -dup, -reorder, -jitter)
 //	mirage list                        # module registry (Table 1)
+//	mirage experiment -id scalesweep   # run a registered experiment (shared with cmd/repro)
+//	mirage experiment -list            # list the registry
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 
 	"repro/internal/build"
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/netback"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -55,6 +58,12 @@ func main() {
 	dup := fs.Float64("dup", 0, "boot: bridge frame duplication probability [0,1]")
 	reorder := fs.Float64("reorder", 0, "boot: bridge frame reorder probability [0,1]")
 	jitter := fs.Duration("jitter", 0, "boot: max extra per-frame delivery delay")
+	expID := fs.String("id", "", "experiment: id to run (see -list)")
+	expList := fs.Bool("list", false, "experiment: list the registry and exit")
+	quick := fs.Bool("quick", false, "experiment: reduced workload sizes")
+	replicasMin := fs.Int("replicas-min", 0, "experiment: scalesweep minimum fleet replicas (0 = default)")
+	replicasMax := fs.Int("replicas-max", 0, "experiment: scalesweep maximum fleet replicas (0 = default)")
+	lbPolicy := fs.String("lb-policy", "", "experiment: scalesweep balancer policy (round-robin or least-conns)")
 	fs.Parse(os.Args[2:])
 
 	if *loss > 0 || *dup > 0 || *reorder > 0 || *jitter > 0 {
@@ -66,6 +75,15 @@ func main() {
 	switch cmd {
 	case "list":
 		listModules()
+		return
+	case "experiment":
+		runExperiment(*expID, experiments.Options{
+			Quick:       *quick,
+			Seed:        *seed,
+			ReplicasMin: *replicasMin,
+			ReplicasMax: *replicasMax,
+			LBPolicy:    *lbPolicy,
+		}, *expList)
 		return
 	}
 
@@ -151,6 +169,30 @@ func main() {
 	}
 }
 
+// runExperiment dispatches into the shared experiment registry (the same
+// catalogue cmd/repro serves).
+func runExperiment(id string, opts experiments.Options, list bool) {
+	if list || id == "" {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		if !list {
+			fmt.Fprintln(os.Stderr, "mirage: pick one with: mirage experiment -id <id>")
+			os.Exit(2)
+		}
+		return
+	}
+	e, ok := experiments.Get(id)
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q (mirage experiment -list)", id))
+	}
+	out, err := e.Run(opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(out.Text())
+}
+
 func listModules() {
 	reg := build.Registry()
 	var names []string
@@ -166,7 +208,7 @@ func listModules() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mirage {build|graph|boot|list} [-appliance name] [-no-dce] [-seed N]")
+	fmt.Fprintln(os.Stderr, "usage: mirage {build|graph|boot|list|experiment} [-appliance name] [-no-dce] [-seed N] [-id experiment]")
 	os.Exit(2)
 }
 

@@ -1,5 +1,6 @@
 // Command repro runs the paper's experiments and prints each table and
-// figure in text form.
+// figure in text form. The experiment catalogue lives in
+// internal/experiments and is shared with `mirage experiment`.
 //
 // Usage:
 //
@@ -12,130 +13,22 @@
 //	repro -experiment fig10 -metrics        # dump the metrics registry
 //	repro -experiment losssweep             # TCP goodput under frame loss
 //	repro -loss 0.01 -jitter 500us ...      # impair every virtual bridge
+//	repro -experiment scalesweep -replicas-max 4 -lb-policy least-conns
+//	repro -experiment scalesweep -json BENCH_scalesweep.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 
-	"repro/internal/bench"
+	"repro/internal/experiments"
 	"repro/internal/netback"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
-
-type experiment struct {
-	id    string
-	title string
-	run   func(quick bool) string
-}
-
-func asText(r *bench.Result) string { return r.Format() }
-
-func experiments() []experiment {
-	return []experiment{
-		{"fig5", "Boot time, synchronous toolstack", func(q bool) string {
-			mems := bench.DefaultBootMems
-			if q {
-				mems = []int{64, 512, 3072}
-			}
-			return asText(bench.Fig5BootTime(mems))
-		}},
-		{"fig6", "VM startup, asynchronous toolstack", func(q bool) string {
-			return asText(bench.Fig6BootAsync(nil))
-		}},
-		{"fig7a", "Thread construction time", func(q bool) string {
-			counts := bench.DefaultThreadCounts
-			if q {
-				counts = []int{1_000_000, 5_000_000}
-			}
-			return asText(bench.Fig7aThreads(counts))
-		}},
-		{"fig7b", "Wakeup jitter CDF", func(q bool) string {
-			n := 1_000_000
-			if q {
-				n = 200_000
-			}
-			r, stats := bench.Fig7bJitter(n)
-			out := asText(r)
-			for _, s := range stats {
-				out += fmt.Sprintf("note: %s p50=%v p90=%v p99=%v max=%v\n", s.Name, s.P50, s.P90, s.P99, s.Max)
-			}
-			return out
-		}},
-		{"ping", "ICMP flood-ping latency", func(q bool) string {
-			n := 100_000
-			if q {
-				n = 5_000
-			}
-			return asText(bench.PingLatency(n))
-		}},
-		{"fig8", "TCP throughput table", func(q bool) string {
-			bytes := 16 << 20
-			if q {
-				bytes = 2 << 20
-			}
-			return asText(bench.Fig8TCP(bytes))
-		}},
-		{"losssweep", "TCP goodput under frame loss", func(q bool) string {
-			bytes := 4 << 20
-			if q {
-				bytes = 1 << 20
-			}
-			return asText(bench.LossSweep(bytes, nil))
-		}},
-		{"fig9", "Random block read throughput", func(q bool) string {
-			sizes, reqs := bench.DefaultBlockSizes, 1024
-			if q {
-				sizes, reqs = []int{4, 64, 1024, 4096}, 256
-			}
-			return asText(bench.Fig9BlockRead(sizes, reqs))
-		}},
-		{"fig10", "DNS throughput vs zone size", func(q bool) string {
-			zones, queries := bench.DefaultZoneSizes, 50_000
-			if q {
-				zones, queries = []int{100, 1000, 10000}, 5_000
-			}
-			return asText(bench.Fig10DNS(zones, queries))
-		}},
-		{"fig11", "OpenFlow controller throughput", func(q bool) string {
-			n := 200_000
-			if q {
-				n = 50_000
-			}
-			return asText(bench.Fig11OpenFlow(n))
-		}},
-		{"fig12", "Dynamic web appliance", func(q bool) string {
-			return asText(bench.Fig12DynWeb(nil))
-		}},
-		{"fig13", "Static page serving", func(q bool) string {
-			return asText(bench.Fig13StaticWeb())
-		}},
-		{"fig14", "Lines of code", func(q bool) string {
-			return asText(bench.Fig14LoC())
-		}},
-		{"table1", "System facilities (libraries)", func(q bool) string {
-			return bench.Table1Facilities()
-		}},
-		{"table2", "Image sizes", func(q bool) string {
-			return asText(bench.Table2Sizes())
-		}},
-		{"ablations", "Design-choice ablations", func(q bool) string {
-			n := 5000
-			if q {
-				n = 1000
-			}
-			return asText(bench.AblationSeal()) +
-				asText(bench.AblationVchan()) +
-				asText(bench.AblationDNSCompression(0)) +
-				asText(bench.AblationToolstack(4, 256)) +
-				asText(bench.AblationZeroCopy(n))
-		}},
-	}
-}
 
 func main() {
 	which := flag.String("experiment", "all", "comma-separated experiment ids, or 'all'")
@@ -143,10 +36,15 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
 	metrics := flag.Bool("metrics", false, "print the full metrics registry after the run")
+	jsonOut := flag.String("json", "", "write the structured results (id -> series) as JSON to this file")
+	seed := flag.Int64("seed", 0, "override the experiment's default seed (0 = default)")
 	loss := flag.Float64("loss", 0, "bridge frame drop probability [0,1] for every platform run")
 	dup := flag.Float64("dup", 0, "bridge frame duplication probability [0,1]")
 	reorder := flag.Float64("reorder", 0, "bridge frame reorder probability [0,1]")
 	jitter := flag.Duration("jitter", 0, "max extra per-frame delivery delay (e.g. 500us)")
+	replicasMin := flag.Int("replicas-min", 0, "scalesweep: minimum fleet replicas (0 = default)")
+	replicasMax := flag.Int("replicas-max", 0, "scalesweep: maximum fleet replicas (0 = default)")
+	lbPolicy := flag.String("lb-policy", "", "scalesweep: round-robin or least-conns (default round-robin)")
 	flag.Parse()
 
 	if *loss > 0 || *dup > 0 || *reorder > 0 || *jitter > 0 {
@@ -168,37 +66,61 @@ func main() {
 	// one trace file covers the whole invocation end to end.
 	sim.SetDefaultObs(tracer, registry)
 
-	exps := experiments()
+	exps := experiments.All()
 	if *list {
 		for _, e := range exps {
-			fmt.Printf("%-10s %s\n", e.id, e.title)
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+
+	opts := experiments.Options{
+		Quick:       *quick,
+		Seed:        *seed,
+		ReplicasMin: *replicasMin,
+		ReplicasMax: *replicasMax,
+		LBPolicy:    *lbPolicy,
 	}
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*which, ",") {
 		want[strings.TrimSpace(id)] = true
 	}
+	structured := map[string]any{}
 	ran := 0
 	for _, e := range exps {
-		if !want["all"] && !want[e.id] {
+		if !want["all"] && !want[e.ID] {
 			continue
 		}
-		fmt.Print(e.run(*quick))
+		out, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Print(out.Text())
 		fmt.Println()
+		if len(out.Results) > 0 {
+			structured[e.ID] = out.Results
+		}
 		ran++
 	}
 	if ran == 0 {
-		var ids []string
-		for _, e := range exps {
-			ids = append(ids, e.id)
-		}
-		sort.Strings(ids)
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %s\n", *which, strings.Join(ids, " "))
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %s\n",
+			*which, strings.Join(experiments.IDs(), " "))
 		os.Exit(2)
 	}
 
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(structured, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "results written to %s\n", *jsonOut)
+	}
 	if *metrics {
 		fmt.Println("== metrics registry ==")
 		fmt.Print(registry.Snapshot().Format())

@@ -1,0 +1,106 @@
+// Elastic fleet example (§1, §7): web-server unikernels are "summoned" by
+// incoming load instead of provisioned ahead of it. A dom0 orchestrator
+// boots replicas behind a virtual L4 balancer on a shared VIP; a burst of
+// keep-alive HTTP sessions drives the fleet up, and the quiet period after
+// it drains the extra replicas away. The lifecycle trace is printed at the
+// end — same seed, same trace, byte for byte.
+//
+//	go run ./examples/fleet
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/build"
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/httpd"
+	"repro/internal/ipv4"
+	"repro/internal/lwt"
+	"repro/internal/netstack"
+)
+
+var (
+	mask   = ipv4.AddrFrom4(255, 255, 255, 0)
+	vip    = ipv4.AddrFrom4(10, 0, 0, 100)
+	baseIP = ipv4.AddrFrom4(10, 0, 0, 10)
+	lbIP   = ipv4.AddrFrom4(10, 0, 0, 9)
+)
+
+func main() {
+	pl := core.NewPlatform(7)
+	f := fleet.New(pl, fleet.Spec{
+		Name:          "web",
+		Build:         build.WebAppliance(),
+		Memory:        64 << 20,
+		Main:          fleet.WebMain(5*time.Millisecond, []byte("<html>hello from the fleet</html>"), 500*time.Millisecond),
+		VIP:           vip,
+		BaseIP:        baseIP,
+		Netmask:       mask,
+		LBIP:          lbIP,
+		MACBase:       0x10,
+		Min:           1,
+		Max:           3,
+		Policy:        fleet.LeastConns,
+		ScaleUpConns:  2,
+		Interval:      200 * time.Millisecond,
+		ProbeInterval: 50 * time.Millisecond,
+	})
+
+	// The burst: twelve keep-alive sessions of 200 requests each, arriving
+	// 250ms apart from T+3s — late arrivals land on freshly summoned
+	// replicas.
+	ok, fail := 0, 0
+	pl.Deploy(core.Unikernel{
+		Build:  build.Config{Name: "client", Roots: []string{"http"}},
+		Memory: 32 << 20,
+		Main: func(env *core.Env) int {
+			all := lwt.NewPromise[struct{}](env.VM.S)
+			pending := 12
+			for i := 0; i < 12; i++ {
+				i := i
+				lwt.Map(env.VM.S.Sleep(3*time.Second+time.Duration(i)*250*time.Millisecond), func(struct{}) struct{} {
+					var reqs []*httpd.Request
+					for j := 0; j < 200; j++ {
+						reqs = append(reqs, &httpd.Request{Method: "GET", Path: "/"})
+					}
+					sess := httpd.Session(env.VM.S, env.Net.TCP, vip, 80, reqs)
+					lwt.Always(sess, func() {
+						if sess.Failed() != nil {
+							fail++
+						} else {
+							ok++
+						}
+						pending--
+						if pending == 0 {
+							all.Resolve(struct{}{})
+						}
+					})
+					return struct{}{}
+				})
+			}
+			return env.VM.Main(env.P, all)
+		},
+	}, core.DeployOpts{
+		Net:  &netstack.Config{MAC: core.MAC(2), IP: ipv4.AddrFrom4(10, 0, 0, 2), Netmask: mask},
+		PCPU: -1,
+	})
+
+	if _, err := pl.RunFor(45 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	if err := pl.Check(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("sessions: %d ok, %d failed; peak replicas %d, live now %d\n",
+		ok, fail, f.MaxReplicas, f.Live())
+	fmt.Printf("boot-to-first-byte ms by replica: %v\n", f.BootToFirstByteMS())
+	fmt.Println("fleet lifecycle:")
+	for _, e := range f.Events {
+		fmt.Println(" ", e)
+	}
+	fmt.Println("(the stepped-load sweep: go run ./cmd/repro -experiment scalesweep)")
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/ipv4"
 	"repro/internal/lwt"
 	"repro/internal/netstack"
+	"repro/internal/sim"
 	"repro/internal/storage"
 )
 
@@ -73,7 +74,7 @@ func main() {
 			ts.tree = tree
 
 			srv = httpd.NewServer(env.VM.S, nil)
-			srv.Charge = func(d time.Duration) { env.VM.Dom.VCPU.Reserve(d) }
+			srv.Charge = func(d time.Duration) sim.Time { return env.VM.Dom.VCPU.Reserve(d) }
 			srv.HandlerAsync = func(req *httpd.Request) *lwt.Promise[*httpd.Response] {
 				switch {
 				case req.Method == "POST" && strings.HasPrefix(req.Path, "/tweet/"):

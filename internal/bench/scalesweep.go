@@ -1,0 +1,371 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/build"
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/httpd"
+	"repro/internal/ipv4"
+	"repro/internal/lwt"
+	"repro/internal/netstack"
+)
+
+// ScaleSweep drives stepped offered load (httperf-style sessions, §4.4)
+// against two platforms sharing one seed: an autoscaled fleet that summons
+// web-server replicas on demand behind the virtual balancer (§5.2), and a
+// fixed single-replica baseline. The fleet should hold tail latency as the
+// load steps up; the baseline should degrade. Per phase it reports
+// client-observed p50/p99 and goodput, plus the fleet's replica high-water
+// mark and boot-to-first-byte for every summoned replica.
+
+var (
+	swVIP    = ipv4.AddrFrom4(10, 0, 0, 100)
+	swBaseIP = ipv4.AddrFrom4(10, 0, 0, 10)
+	swLBIP   = ipv4.AddrFrom4(10, 0, 0, 99)
+)
+
+// swPhase is one step of offered load.
+type swPhase struct {
+	sessPerSec int           // session arrival rate across all clients
+	reqs       int           // requests per session (one keep-alive conn)
+	think      time.Duration // client think time between requests
+	dur        time.Duration
+}
+
+// swStats accumulates client-observed results for one phase. reqsDone
+// counts only requests completing inside the phase window, so goodput
+// penalises an overloaded server that spills work past its step.
+type swStats struct {
+	lats     []float64 // per-request latency, µs
+	reqsDone int
+	sessOK   int
+	sessFail int
+}
+
+func (st *swStats) pct(q float64) float64 {
+	if len(st.lats) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), st.lats...)
+	sort.Float64s(s)
+	i := int(q*float64(len(s))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
+func swPhases(quick bool) []swPhase {
+	if quick {
+		return []swPhase{
+			{sessPerSec: 10, reqs: 8, think: 25 * time.Millisecond, dur: 1500 * time.Millisecond},
+			{sessPerSec: 40, reqs: 8, think: 25 * time.Millisecond, dur: 1500 * time.Millisecond},
+			{sessPerSec: 90, reqs: 8, think: 25 * time.Millisecond, dur: 1500 * time.Millisecond},
+		}
+	}
+	return []swPhase{
+		{sessPerSec: 30, reqs: 8, think: 25 * time.Millisecond, dur: 3 * time.Second},
+		{sessPerSec: 100, reqs: 8, think: 25 * time.Millisecond, dur: 3 * time.Second},
+		{sessPerSec: 200, reqs: 8, think: 25 * time.Millisecond, dur: 3 * time.Second},
+		{sessPerSec: 350, reqs: 8, think: 25 * time.Millisecond, dur: 3 * time.Second},
+	}
+}
+
+// swRun is the outcome of one platform run.
+type swRun struct {
+	stats   []*swStats
+	peak    []int // per-phase peak live replicas
+	fleet   *fleet.Fleet
+	metrics []string
+}
+
+// sweepSession runs one keep-alive session against the VIP, recording each
+// request's client-observed latency (write to parsed response) into st.
+func sweepSession(env *core.Env, st *swStats, reqs int, think time.Duration,
+	phaseEnd time.Duration, done func()) {
+	s := env.VM.S
+	cn := env.Net.TCP.Connect(swVIP, 80)
+	lwt.Always(cn, func() {
+		if cn.Failed() != nil {
+			st.sessFail++
+			done()
+			return
+		}
+		c := cn.Value()
+		var buf []byte
+		abort := func() {
+			st.sessFail++
+			c.Close()
+			done()
+		}
+		readResp := func(then func(*httpd.Response)) {
+			var step func()
+			step = func() {
+				if resp, n, err := httpd.ParseResponse(buf); err != nil {
+					then(nil)
+					return
+				} else if resp != nil {
+					buf = buf[n:]
+					then(resp)
+					return
+				}
+				rd := c.Read(64 << 10)
+				lwt.Always(rd, func() {
+					if rd.Failed() != nil || len(rd.Value()) == 0 {
+						then(nil)
+						return
+					}
+					buf = append(buf, rd.Value()...)
+					step()
+				})
+			}
+			step()
+		}
+		var issue func(i int)
+		issue = func(i int) {
+			if i == reqs {
+				c.Close()
+				st.sessOK++
+				done()
+				return
+			}
+			start := s.K.Now()
+			wr := c.Write(httpd.EncodeRequest(&httpd.Request{Method: "GET", Path: "/"}))
+			lwt.Always(wr, func() {
+				if wr.Failed() != nil {
+					abort()
+					return
+				}
+				readResp(func(resp *httpd.Response) {
+					if resp == nil {
+						abort()
+						return
+					}
+					st.lats = append(st.lats, float64(s.K.Now().Sub(start).Microseconds()))
+					if s.K.Now().Duration() <= phaseEnd {
+						st.reqsDone++
+					}
+					if i+1 == reqs {
+						issue(i + 1)
+						return
+					}
+					lwt.Map(s.Sleep(think), func(struct{}) struct{} {
+						issue(i + 1)
+						return struct{}{}
+					})
+				})
+			})
+		}
+		issue(0)
+	})
+}
+
+// deploySweepClient deploys one load-generator guest. It launches its share
+// of each phase's sessions (index mod nClients) at deterministic arrival
+// offsets from warmup.
+func deploySweepClient(pl *core.Platform, idx, nClients int, phases []swPhase,
+	stats []*swStats, warmup time.Duration) {
+	type launch struct {
+		at    time.Duration
+		end   time.Duration
+		phase int
+	}
+	var plan []launch
+	base := warmup
+	for p, ph := range phases {
+		total := ph.sessPerSec * int(ph.dur/time.Second)
+		if rem := ph.dur % time.Second; rem != 0 {
+			total += ph.sessPerSec * int(rem) / int(time.Second)
+		}
+		gap := ph.dur / time.Duration(total)
+		for j := 0; j < total; j++ {
+			if j%nClients != idx {
+				continue
+			}
+			plan = append(plan, launch{at: base + time.Duration(j)*gap, end: base + ph.dur, phase: p})
+		}
+		base += ph.dur
+	}
+	pl.Deploy(core.Unikernel{
+		Build:  build.Config{Name: fmt.Sprintf("loadgen-%d", idx), Roots: []string{"http"}},
+		Memory: 64 << 20,
+		Main: func(env *core.Env) int {
+			all := lwt.NewPromise[struct{}](env.VM.S)
+			pending := len(plan)
+			done := func() {
+				pending--
+				if pending == 0 {
+					all.Resolve(struct{}{})
+				}
+			}
+			for _, ln := range plan {
+				ln := ln
+				ph := phases[ln.phase]
+				lwt.Map(env.VM.S.Sleep(ln.at), func(struct{}) struct{} {
+					sweepSession(env, stats[ln.phase], ph.reqs, ph.think, ln.end, done)
+					return struct{}{}
+				})
+			}
+			if pending == 0 {
+				all.Resolve(struct{}{})
+			}
+			return env.VM.Main(env.P, all)
+		},
+	}, core.DeployOpts{
+		Net: &netstack.Config{
+			MAC: core.MAC(0x20 + byte(idx)), IP: ipv4.AddrFrom4(10, 0, 0, 200+uint8(idx)),
+			Netmask: benchMask,
+		},
+		PCPU: -1,
+	})
+}
+
+// scalesweepRun boots one fleet (Min..Max replicas) and drives the phased
+// load at it, sampling the live-replica count through the run.
+func scalesweepRun(seed int64, minR, maxR int, policy fleet.Policy,
+	phases []swPhase, handlerCost time.Duration) *swRun {
+	pl := core.NewPlatform(seed)
+	before := pl.K.Metrics().Snapshot()
+	f := fleet.New(pl, fleet.Spec{
+		Name:          "web",
+		Build:         build.WebAppliance(),
+		Memory:        64 << 20,
+		Main:          fleet.WebMain(handlerCost, []byte("<html>unikernel fleet</html>"), 250*time.Millisecond),
+		VIP:           swVIP,
+		BaseIP:        swBaseIP,
+		Netmask:       benchMask,
+		LBIP:          swLBIP,
+		MACBase:       0x40,
+		Min:           minR,
+		Max:           maxR,
+		Policy:        policy,
+		ScaleUpConns:  16,
+		P99TargetUS:   50_000,
+		Interval:      250 * time.Millisecond,
+		ProbeInterval: 50 * time.Millisecond,
+	})
+
+	run := &swRun{fleet: f}
+	for range phases {
+		run.stats = append(run.stats, &swStats{})
+		run.peak = append(run.peak, 0)
+	}
+	const warmup = 2 * time.Second
+	const nClients = 4
+	for c := 0; c < nClients; c++ {
+		deploySweepClient(pl, c, nClients, phases, run.stats, warmup)
+	}
+
+	// Sample the live-replica count every 100ms, folding each sample into
+	// the phase whose window covers it.
+	end := warmup
+	for _, ph := range phases {
+		end += ph.dur
+	}
+	var sample func()
+	sample = func() {
+		now := pl.K.Now().Duration()
+		base := warmup
+		for p, ph := range phases {
+			if now >= base && now < base+ph.dur {
+				if live := f.Live(); live > run.peak[p] {
+					run.peak[p] = live
+				}
+			}
+			base += ph.dur
+		}
+		if now < end {
+			pl.K.After(100*time.Millisecond, sample)
+		}
+	}
+	pl.K.After(warmup, sample)
+
+	// Tail: let in-flight sessions finish and the fleet scale back down.
+	if _, err := pl.RunFor(end + 8*time.Second); err != nil {
+		panic(fmt.Sprintf("scalesweep: %v", err))
+	}
+	if err := pl.Check(); err != nil {
+		panic(fmt.Sprintf("scalesweep: %v", err))
+	}
+	run.metrics = metricsAppendix(pl.K, before, "fleet_", "lb_", "httpd_")
+	return run
+}
+
+// ScaleSweep runs the sweep against the autoscaled fleet (minR..maxR) and
+// the fixed single-replica baseline, same seed, and reports both.
+func ScaleSweep(seed int64, quick bool, minR, maxR int, policy fleet.Policy) *Result {
+	if minR <= 0 {
+		minR = 1
+	}
+	if maxR <= 0 {
+		maxR = 4
+		if quick {
+			maxR = 3
+		}
+	}
+	phases := swPhases(quick)
+	handlerCost := time.Millisecond
+	if quick {
+		handlerCost = 2 * time.Millisecond
+	}
+
+	auto := scalesweepRun(seed, minR, maxR, policy, phases, handlerCost)
+	fixed := scalesweepRun(seed, 1, 1, policy, phases, handlerCost)
+
+	res := &Result{
+		ID:     "scalesweep",
+		Title:  "Autoscaled fleet vs fixed appliance under stepped load",
+		XLabel: "offered req/s",
+		YLabel: "ms / req/s / replicas",
+	}
+	series := []struct {
+		name string
+		f    func(p int) float64
+	}{
+		{"fleet p99 ms", func(p int) float64 { return auto.stats[p].pct(0.99) / 1000 }},
+		{"fixed p99 ms", func(p int) float64 { return fixed.stats[p].pct(0.99) / 1000 }},
+		{"fleet p50 ms", func(p int) float64 { return auto.stats[p].pct(0.50) / 1000 }},
+		{"fixed p50 ms", func(p int) float64 { return fixed.stats[p].pct(0.50) / 1000 }},
+		{"fleet goodput", func(p int) float64 {
+			return float64(auto.stats[p].reqsDone) / phases[p].dur.Seconds()
+		}},
+		{"fixed goodput", func(p int) float64 {
+			return float64(fixed.stats[p].reqsDone) / phases[p].dur.Seconds()
+		}},
+		{"fleet replicas", func(p int) float64 { return float64(auto.peak[p]) }},
+	}
+	for _, sp := range series {
+		s := Series{Name: sp.name}
+		for p, ph := range phases {
+			s.X = append(s.X, float64(ph.sessPerSec*ph.reqs))
+			s.Y = append(s.Y, sp.f(p))
+		}
+		res.Series = append(res.Series, s)
+	}
+
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"fleet %d..%d replicas, policy %s, handler %v, seed %d; baseline fixed at 1 replica",
+		minR, maxR, policy, handlerCost, seed))
+	for p, ph := range phases {
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"phase %d (%d req/s offered): fleet sessions ok=%d fail=%d, fixed ok=%d fail=%d",
+			p, ph.sessPerSec*ph.reqs,
+			auto.stats[p].sessOK, auto.stats[p].sessFail,
+			fixed.stats[p].sessOK, fixed.stats[p].sessFail))
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"fleet boot-to-first-byte ms by replica: %v (-1 = never served)",
+		auto.fleet.BootToFirstByteMS()))
+	for _, e := range auto.fleet.Events {
+		res.Notes = append(res.Notes, "fleet "+e)
+	}
+	res.Metrics = auto.metrics
+	return res
+}

@@ -183,6 +183,28 @@ type VBD struct {
 	Errors   int
 }
 
+// VBDBackend is the device-seam backend for the block device class: it
+// satisfies device.Backend structurally (no import of the seam package
+// needed). Connect fills VBD with the attached backend.
+type VBDBackend struct {
+	SSD *SSD
+	VBD *VBD
+}
+
+// Kind implements the device backend signature.
+func (vb *VBDBackend) Kind() string { return "vbd" }
+
+// Connect maps the single block ring published by the frontend and spawns
+// the backend worker.
+func (vb *VBDBackend) Connect(guest *hypervisor.Domain, rings map[string]*cstruct.View, fields map[string]string, port *hypervisor.Port) error {
+	page := rings[""]
+	if page == nil {
+		return fmt.Errorf("blkback: handshake missing ring")
+	}
+	vb.VBD = NewVBD(vb.SSD, guest, page, port)
+	return nil
+}
+
 // NewVBD attaches a backend over the guest's shared ring page and spawns
 // its worker.
 func NewVBD(ssd *SSD, guest *hypervisor.Domain, ringPage *cstruct.View, port *hypervisor.Port) *VBD {

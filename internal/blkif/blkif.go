@@ -7,10 +7,10 @@ package blkif
 
 import (
 	"fmt"
-	"strconv"
 
 	"repro/internal/blkback"
 	"repro/internal/cstruct"
+	"repro/internal/device"
 	"repro/internal/grant"
 	"repro/internal/hypervisor"
 	"repro/internal/lwt"
@@ -29,9 +29,10 @@ const SectorsPerPage = blkback.SectorsPerPage
 
 // Blkif is a connected guest block device.
 type Blkif struct {
-	vm    *pvboot.VM
-	front *ring.Front
-	port  *hypervisor.Port
+	vm       *pvboot.VM
+	front    *ring.Front
+	ringPage *cstruct.View
+	port     *hypervisor.Port
 
 	nextID   uint16
 	inflight map[uint16]*op
@@ -57,14 +58,16 @@ type op struct {
 	started sim.Time
 }
 
-// Attach creates and connects a block device for vm against ssd, with the
-// xenstore handshake under /local/domain/<id>/device/vbd/0.
+// Attach creates and connects a block device for vm against ssd through
+// the unified device seam, with the xenstore handshake under
+// /local/domain/<id>/device/vbd/0.
 func Attach(vm *pvboot.VM, ssd *blkback.SSD, dom0 *hypervisor.Domain, st *xenstore.Store) (*Blkif, error) {
 	d := vm.Dom
 	ringPage := d.Pool.Get()
 	b := &Blkif{
 		vm:       vm,
 		front:    ring.NewFront(ringPage),
+		ringPage: ringPage,
 		inflight: map[uint16]*op{},
 	}
 	k := vm.S.K
@@ -77,32 +80,26 @@ func Attach(vm *pvboot.VM, ssd *blkback.SSD, dom0 *hypervisor.Domain, st *xensto
 		occ.Observe(float64(inFlight))
 	}
 
-	gref := d.Grants.Grant(ringPage, false)
-	gport, bport := hypervisor.Connect(d, dom0)
-	b.port = gport
-
-	path := fmt.Sprintf("/local/domain/%d/device/vbd/0", d.ID)
-	if err := st.Write(path+"/ring-ref", strconv.Itoa(int(gref))); err != nil {
+	if _, err := vm.Attach(dom0, st, 0, b, &blkback.VBDBackend{SSD: ssd}); err != nil {
 		return nil, err
 	}
-	st.Write(path+"/event-channel", strconv.Itoa(gport.Index))
-	st.Write(path+"/state", "3")
-
-	refStr, err := st.Read(path + "/ring-ref")
-	if err != nil {
-		return nil, err
-	}
-	refVal, _ := strconv.Atoi(refStr)
-	backPage, err := d.Grants.Map(grant.Ref(refVal))
-	if err != nil {
-		return nil, err
-	}
-	blkback.NewVBD(ssd, d, backPage, bport)
-	st.Write(path+"/state", "4")
-
-	vm.WatchPort(gport, b.onEvent)
 	return b, nil
 }
+
+// Kind implements device.Frontend.
+func (b *Blkif) Kind() string { return "vbd" }
+
+// Rings implements device.Frontend: block devices use a single unnamed
+// ring, published as plain "ring-ref".
+func (b *Blkif) Rings() []device.Ring {
+	return []device.Ring{{Name: "", Page: b.ringPage}}
+}
+
+// Fields implements device.Frontend.
+func (b *Blkif) Fields() map[string]string { return nil }
+
+// Connected implements device.Frontend.
+func (b *Blkif) Connected(port *hypervisor.Port) { b.port = port }
 
 // Read reads sectors (1..8) starting at sector into a fresh I/O page and
 // resolves with a view of the data. The caller owns the view.
@@ -177,8 +174,9 @@ func (b *Blkif) scheduleFlush() {
 	})
 }
 
-// onEvent drains completions inside the scheduler run loop.
-func (b *Blkif) onEvent() {
+// OnEvent implements device.Frontend: it drains completions inside the
+// scheduler run loop.
+func (b *Blkif) OnEvent() {
 	for {
 		for {
 			var id uint16

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/fleet"
+)
+
+// results wraps plain bench results in an Output.
+func results(rs ...*bench.Result) (Output, error) {
+	return Output{Results: rs}, nil
+}
+
+func init() {
+	Register(Experiment{"fig5", "Boot time, synchronous toolstack", func(o Options) (Output, error) {
+		mems := bench.DefaultBootMems
+		if o.Quick {
+			mems = []int{64, 512, 3072}
+		}
+		return results(bench.Fig5BootTime(mems))
+	}})
+	Register(Experiment{"fig6", "VM startup, asynchronous toolstack", func(o Options) (Output, error) {
+		return results(bench.Fig6BootAsync(nil))
+	}})
+	Register(Experiment{"fig7a", "Thread construction time", func(o Options) (Output, error) {
+		counts := bench.DefaultThreadCounts
+		if o.Quick {
+			counts = []int{1_000_000, 5_000_000}
+		}
+		return results(bench.Fig7aThreads(counts))
+	}})
+	Register(Experiment{"fig7b", "Wakeup jitter CDF", func(o Options) (Output, error) {
+		n := 1_000_000
+		if o.Quick {
+			n = 200_000
+		}
+		r, stats := bench.Fig7bJitter(n)
+		out := Output{Results: []*bench.Result{r}}
+		for _, s := range stats {
+			out.Extra = append(out.Extra, fmt.Sprintf(
+				"note: %s p50=%v p90=%v p99=%v max=%v", s.Name, s.P50, s.P90, s.P99, s.Max))
+		}
+		return out, nil
+	}})
+	Register(Experiment{"ping", "ICMP flood-ping latency", func(o Options) (Output, error) {
+		n := 100_000
+		if o.Quick {
+			n = 5_000
+		}
+		return results(bench.PingLatency(n))
+	}})
+	Register(Experiment{"fig8", "TCP throughput table", func(o Options) (Output, error) {
+		bytes := 16 << 20
+		if o.Quick {
+			bytes = 2 << 20
+		}
+		return results(bench.Fig8TCP(bytes))
+	}})
+	Register(Experiment{"losssweep", "TCP goodput under frame loss", func(o Options) (Output, error) {
+		bytes := 4 << 20
+		if o.Quick {
+			bytes = 1 << 20
+		}
+		return results(bench.LossSweep(bytes, nil))
+	}})
+	Register(Experiment{"fig9", "Random block read throughput", func(o Options) (Output, error) {
+		sizes, reqs := bench.DefaultBlockSizes, 1024
+		if o.Quick {
+			sizes, reqs = []int{4, 64, 1024, 4096}, 256
+		}
+		return results(bench.Fig9BlockRead(sizes, reqs))
+	}})
+	Register(Experiment{"fig10", "DNS throughput vs zone size", func(o Options) (Output, error) {
+		zones, queries := bench.DefaultZoneSizes, 50_000
+		if o.Quick {
+			zones, queries = []int{100, 1000, 10000}, 5_000
+		}
+		return results(bench.Fig10DNS(zones, queries))
+	}})
+	Register(Experiment{"fig11", "OpenFlow controller throughput", func(o Options) (Output, error) {
+		n := 200_000
+		if o.Quick {
+			n = 50_000
+		}
+		return results(bench.Fig11OpenFlow(n))
+	}})
+	Register(Experiment{"fig12", "Dynamic web appliance", func(o Options) (Output, error) {
+		return results(bench.Fig12DynWeb(nil))
+	}})
+	Register(Experiment{"fig13", "Static page serving", func(o Options) (Output, error) {
+		return results(bench.Fig13StaticWeb())
+	}})
+	Register(Experiment{"fig14", "Lines of code", func(o Options) (Output, error) {
+		return results(bench.Fig14LoC())
+	}})
+	Register(Experiment{"table1", "System facilities (libraries)", func(o Options) (Output, error) {
+		return Output{Extra: []string{strings.TrimRight(bench.Table1Facilities(), "\n")}}, nil
+	}})
+	Register(Experiment{"table2", "Image sizes", func(o Options) (Output, error) {
+		return results(bench.Table2Sizes())
+	}})
+	Register(Experiment{"ablations", "Design-choice ablations", func(o Options) (Output, error) {
+		n := 5000
+		if o.Quick {
+			n = 1000
+		}
+		return results(
+			bench.AblationSeal(),
+			bench.AblationVchan(),
+			bench.AblationDNSCompression(0),
+			bench.AblationToolstack(4, 256),
+			bench.AblationZeroCopy(n))
+	}})
+	Register(Experiment{"scalesweep", "Autoscaled fleet vs fixed appliance", func(o Options) (Output, error) {
+		seed := o.Seed
+		if seed == 0 {
+			seed = 42
+		}
+		policy := fleet.RoundRobin
+		if o.LBPolicy != "" {
+			var err error
+			if policy, err = fleet.ParsePolicy(o.LBPolicy); err != nil {
+				return Output{}, err
+			}
+		}
+		return results(bench.ScaleSweep(seed, o.Quick, o.ReplicasMin, o.ReplicasMax, policy))
+	}})
+}

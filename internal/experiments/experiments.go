@@ -1,0 +1,90 @@
+// Package experiments is the single registry of runnable experiments.
+// cmd/repro and cmd/mirage used to carry parallel hand-written experiment
+// lists; both now consume this registry, so an experiment (id, title, run
+// function, option plumbing) is declared exactly once and every CLI picks
+// it up — the same consolidation the device package applies to drivers.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+// Options carries the CLI knobs an experiment may honour. Zero values mean
+// "use the experiment's default", so both CLIs can pass their flag set
+// straight through.
+type Options struct {
+	Quick bool
+	Seed  int64
+
+	// Fleet experiments (scalesweep).
+	ReplicasMin int
+	ReplicasMax int
+	LBPolicy    string // round-robin | least-conns (also rr | lc)
+}
+
+// Output is one experiment's product: structured results (what -json
+// serialises) plus free-form extra lines printed after them.
+type Output struct {
+	Results []*bench.Result
+	Extra   []string
+}
+
+// Text renders the output as the CLIs print it.
+func (o Output) Text() string {
+	var b strings.Builder
+	for _, r := range o.Results {
+		b.WriteString(r.Format())
+	}
+	for _, l := range o.Extra {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Experiment is one registered experiment. Run must be deterministic for a
+// fixed Options value.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) (Output, error)
+}
+
+var registry []Experiment
+
+// Register adds an experiment at init time; duplicate ids panic.
+func Register(e Experiment) {
+	for _, x := range registry {
+		if x.ID == e.ID {
+			panic(fmt.Sprintf("experiments: duplicate id %q", e.ID))
+		}
+	}
+	registry = append(registry, e)
+}
+
+// All returns the experiments in registration order.
+func All() []Experiment { return append([]Experiment(nil), registry...) }
+
+// Get finds an experiment by id.
+func Get(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns every registered id, sorted.
+func IDs() []string {
+	var ids []string
+	for _, e := range registry {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,511 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/build"
+	"repro/internal/core"
+	"repro/internal/ethernet"
+	"repro/internal/httpd"
+	"repro/internal/hypervisor"
+	"repro/internal/ipv4"
+	"repro/internal/lwt"
+	"repro/internal/netback"
+	"repro/internal/netstack"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// State is a replica's lifecycle position.
+type State int
+
+const (
+	// Booting: summoned, domain building or stack coming up.
+	Booting State = iota
+	// Healthy: answering probes, eligible for new connections.
+	Healthy
+	// Draining: no new connections; retires when the last one closes.
+	Draining
+	// Dead: declared crashed (probe silence or guest exit); replaced.
+	Dead
+	// Retired: drained and shut down cleanly.
+	Retired
+)
+
+func (s State) String() string {
+	switch s {
+	case Booting:
+		return "booting"
+	case Healthy:
+		return "healthy"
+	case Draining:
+		return "draining"
+	case Dead:
+		return "dead"
+	case Retired:
+		return "retired"
+	}
+	return "unknown"
+}
+
+// Replica is one member of the fleet.
+type Replica struct {
+	Index int
+	Name  string
+	IP    ipv4.Addr
+	MAC   ethernet.MAC
+	Dep   *core.Deployment
+	State State
+	// Srv, when the appliance main sets it, lets the fleet read serving
+	// stats (first-response instant for boot-to-first-byte).
+	Srv *httpd.Server
+
+	SummonedAt sim.Time
+	UpAt       sim.Time
+
+	lastReply  sim.Time
+	drainStart sim.Time
+	stop       *sim.Signal
+	fleet      *Fleet
+}
+
+// Fleet returns the fleet this replica belongs to.
+func (r *Replica) Fleet() *Fleet { return r.fleet }
+
+// Done resolves when the fleet asks this replica to shut down; the
+// appliance main waits on it and returns.
+func (r *Replica) Done(env *core.Env) *lwt.Promise[struct{}] {
+	pr := lwt.NewPromise[struct{}](env.VM.S)
+	env.VM.S.OnSignal(r.stop, func() {
+		if !pr.Completed() {
+			pr.Resolve(struct{}{})
+		}
+	})
+	return pr
+}
+
+// Spec configures a fleet.
+type Spec struct {
+	Name   string
+	Build  build.Config
+	Memory uint64
+	// Main runs inside each replica; it should serve on the VIP and wait
+	// on r.Done(env). Setting r.Srv lets the fleet read serving stats.
+	Main func(env *core.Env, r *Replica) int
+
+	// Addressing: replica i gets BaseIP+i and MAC core.MAC(MACBase+i);
+	// the balancer takes LBIP and core.MAC(MACBase-1).
+	VIP     ipv4.Addr
+	BaseIP  ipv4.Addr
+	Netmask ipv4.Addr
+	LBIP    ipv4.Addr
+	MACBase byte
+
+	Min, Max int
+	Policy   Policy
+
+	// ScaleUpConns is the active-connection capacity budgeted per replica:
+	// the controller keeps ceil(active/ScaleUpConns) replicas (within
+	// Min..Max). ScaleDownConns (< ScaleUpConns) is the hysteresis floor:
+	// one replica drains when the remaining ones would still be under it.
+	ScaleUpConns   int
+	ScaleDownConns int
+	// P99TargetUS, when >0, also summons a replica whenever the fleet's
+	// request p99 over the last control interval exceeds it (µs).
+	P99TargetUS float64
+
+	Interval      time.Duration // control-loop period
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration // probe silence before a replica is declared dead
+	BootTimeout   time.Duration // summon-to-first-probe-reply deadline
+	DrainTimeout  time.Duration // force retirement of a stuck drain
+}
+
+func (s *Spec) defaults() {
+	if s.Min <= 0 {
+		s.Min = 1
+	}
+	if s.Max < s.Min {
+		s.Max = s.Min
+	}
+	if s.ScaleUpConns <= 0 {
+		s.ScaleUpConns = 4
+	}
+	if s.ScaleDownConns <= 0 {
+		s.ScaleDownConns = (s.ScaleUpConns + 3) / 4
+	}
+	if s.Interval <= 0 {
+		s.Interval = 250 * time.Millisecond
+	}
+	if s.ProbeInterval <= 0 {
+		s.ProbeInterval = 100 * time.Millisecond
+	}
+	if s.ProbeTimeout <= 0 {
+		s.ProbeTimeout = 4 * s.ProbeInterval
+	}
+	if s.BootTimeout <= 0 {
+		s.BootTimeout = 5 * time.Second
+	}
+	if s.DrainTimeout <= 0 {
+		s.DrainTimeout = 10 * time.Second
+	}
+}
+
+// Fleet is the dom0-side controller: it owns the balancer, the replica set
+// and the control loop that summons, drains, retires and replaces.
+type Fleet struct {
+	pl   *core.Platform
+	spec Spec
+	LB   *LB
+
+	replicas []*Replica
+	probeSeq uint16
+	stopped  bool
+
+	// ReqLatency is the fleet-wide request-latency histogram (µs); replica
+	// mains should wire it into their servers.
+	ReqLatency *obs.Histogram
+	latPrev    []int64
+	latPrevN   int64
+
+	// Events is the human-readable, deterministic lifecycle trace.
+	Events []string
+
+	// MaxReplicas is the high-water mark of live replicas.
+	MaxReplicas int
+
+	mxReplicas *obs.Gauge
+	mxSummons  *obs.Counter
+	mxRetires  *obs.Counter
+	mxCrashes  *obs.Counter
+}
+
+// LatencyBounds are the histogram buckets (µs) used for fleet p99 control.
+var LatencyBounds = []float64{100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000, 1e6}
+
+// New creates the balancer, summons Min replicas and starts the probe and
+// control loops. Call before Platform.Run/RunFor.
+func New(pl *core.Platform, spec Spec) *Fleet {
+	spec.defaults()
+	k := pl.K
+	f := &Fleet{
+		pl:   pl,
+		spec: spec,
+		ReqLatency: k.Metrics().Histogram("httpd_request_us", LatencyBounds,
+			obs.L("fleet", spec.Name)),
+		mxReplicas: k.Metrics().Gauge("fleet_replicas", obs.L("fleet", spec.Name)),
+		mxSummons:  k.Metrics().Counter("fleet_summons_total", obs.L("fleet", spec.Name)),
+		mxRetires:  k.Metrics().Counter("fleet_retires_total", obs.L("fleet", spec.Name)),
+		mxCrashes:  k.Metrics().Counter("fleet_crashes_total", obs.L("fleet", spec.Name)),
+	}
+	lbMAC := netback.MAC(core.MAC(spec.MACBase - 1))
+	f.LB = NewLB(k, pl.Bridge, lbMAC, spec.LBIP, spec.VIP, spec.Policy)
+	f.LB.OnProbeReply = f.probeReply
+	for i := 0; i < spec.Min; i++ {
+		f.summon()
+	}
+	k.After(spec.ProbeInterval, f.probeTick)
+	k.After(spec.Interval, f.tick)
+	return f
+}
+
+// Replicas returns the replica list (all lifetimes, index order).
+func (f *Fleet) Replicas() []*Replica { return f.replicas }
+
+// Live counts replicas that are booting, healthy or draining.
+func (f *Fleet) Live() int {
+	n := 0
+	for _, r := range f.replicas {
+		switch r.State {
+		case Booting, Healthy, Draining:
+			n++
+		}
+	}
+	return n
+}
+
+// serving counts replicas that are booting or healthy (drainers don't
+// count toward capacity).
+func (f *Fleet) serving() int {
+	n := 0
+	for _, r := range f.replicas {
+		switch r.State {
+		case Booting, Healthy:
+			n++
+		}
+	}
+	return n
+}
+
+// Stop halts the probe and control loops (the fleet stays as it is).
+func (f *Fleet) Stop() { f.stopped = true }
+
+func (f *Fleet) event(format string, args ...any) {
+	f.Events = append(f.Events,
+		fmt.Sprintf("%10.3fs %s", f.pl.K.Now().Seconds(), fmt.Sprintf(format, args...)))
+}
+
+// summon boots a new replica and registers it with the balancer.
+func (f *Fleet) summon() *Replica {
+	k := f.pl.K
+	idx := len(f.replicas)
+	r := &Replica{
+		Index:      idx,
+		Name:       fmt.Sprintf("%s-%d", f.spec.Name, idx),
+		IP:         f.spec.BaseIP + ipv4.Addr(idx),
+		MAC:        core.MAC(f.spec.MACBase + byte(idx)),
+		SummonedAt: k.Now(),
+		fleet:      f,
+	}
+	r.stop = k.NewSignal(r.Name + "-stop")
+	f.replicas = append(f.replicas, r)
+	f.LB.AddBackend(idx, netback.MAC(r.MAC))
+
+	cfg := f.spec.Build
+	cfg.Name = r.Name
+	r.Dep = f.pl.Deploy(core.Unikernel{
+		Build:  cfg,
+		Memory: f.spec.Memory,
+		Main: func(env *core.Env) int {
+			env.VM.Dom.OnShutdown(func(code int, reason hypervisor.ShutdownReason) {
+				f.onExit(r, reason)
+			})
+			return f.spec.Main(env, r)
+		},
+	}, core.DeployOpts{
+		Net:               &netstack.Config{MAC: r.MAC, IP: r.IP, Netmask: f.spec.Netmask, VIP: f.spec.VIP},
+		ParallelToolstack: true,
+		PCPU:              -1,
+	})
+	f.mxSummons.Inc()
+	if live := f.Live(); live > f.MaxReplicas {
+		f.MaxReplicas = live
+	}
+	f.mxReplicas.Set(float64(f.Live()))
+	f.event("summon %s", r.Name)
+	return r
+}
+
+// probeTick sends one health probe to every probe-worthy replica.
+func (f *Fleet) probeTick() {
+	if f.stopped {
+		return
+	}
+	f.probeSeq++
+	for _, r := range f.replicas {
+		switch r.State {
+		case Booting, Healthy, Draining:
+			f.LB.Probe(r.Index, f.probeSeq)
+		}
+	}
+	f.pl.K.After(f.spec.ProbeInterval, f.probeTick)
+}
+
+// probeReply handles a replica's echo reply; the first one marks it up.
+func (f *Fleet) probeReply(idx int, seq uint16) {
+	if idx < 0 || idx >= len(f.replicas) {
+		return
+	}
+	r := f.replicas[idx]
+	if r.State == Dead || r.State == Retired {
+		return
+	}
+	k := f.pl.K
+	r.lastReply = k.Now()
+	if r.State == Booting {
+		r.State = Healthy
+		r.UpAt = k.Now()
+		f.LB.SetUp(idx)
+		f.event("up %s boot_ms=%d", r.Name, r.UpAt.Sub(r.SummonedAt).Milliseconds())
+	}
+}
+
+// tick is the control loop: health, retirement, then capacity.
+func (f *Fleet) tick() {
+	if f.stopped {
+		return
+	}
+	k := f.pl.K
+	now := k.Now()
+
+	// Health: probe silence or a boot that never answered means dead.
+	for _, r := range f.replicas {
+		switch r.State {
+		case Healthy, Draining:
+			if now.Sub(r.lastReply) > f.spec.ProbeTimeout {
+				f.declareDead(r, "probe-timeout")
+			}
+		case Booting:
+			if now.Sub(r.SummonedAt) > f.spec.BootTimeout {
+				f.declareDead(r, "boot-timeout")
+			}
+		}
+	}
+
+	// Retirement: a drain finishes when its last connection closes, or is
+	// forced when it overstays DrainTimeout.
+	for _, r := range f.replicas {
+		if r.State != Draining {
+			continue
+		}
+		if f.LB.BackendActive(r.Index) == 0 {
+			f.retire(r, "drained")
+		} else if now.Sub(r.drainStart) > f.spec.DrainTimeout {
+			f.retire(r, "drain-timeout")
+		}
+	}
+
+	// Capacity: connection pressure plus the optional latency trigger.
+	active := f.LB.ActiveConns()
+	avail := f.serving()
+	need := (active + f.spec.ScaleUpConns - 1) / f.spec.ScaleUpConns
+	if f.spec.P99TargetUS > 0 && avail < f.spec.Max {
+		if p99, samples := f.intervalP99(); samples >= 10 && p99 > f.spec.P99TargetUS {
+			if need <= avail {
+				need = avail + 1
+			}
+			f.event("p99-trigger %.0fus over %.0fus (%d samples)", p99, f.spec.P99TargetUS, samples)
+		}
+	}
+	if need < f.spec.Min {
+		need = f.spec.Min
+	}
+	if need > f.spec.Max {
+		need = f.spec.Max
+	}
+	for avail < need {
+		f.summon()
+		avail++
+	}
+	if avail > need && avail > f.spec.Min && f.calm() &&
+		active <= f.spec.ScaleDownConns*(avail-1) {
+		f.drainOne()
+	}
+
+	f.mxReplicas.Set(float64(f.Live()))
+	k.After(f.spec.Interval, f.tick)
+}
+
+// calm reports that no replica is mid-transition (boot or drain), the
+// quiet precondition for a scale-down step.
+func (f *Fleet) calm() bool {
+	for _, r := range f.replicas {
+		if r.State == Booting || r.State == Draining {
+			return false
+		}
+	}
+	return true
+}
+
+// intervalP99 estimates p99 request latency over observations since the
+// previous call (the control interval), from the shared histogram.
+func (f *Fleet) intervalP99() (float64, int64) {
+	bounds, counts := f.ReqLatency.Buckets()
+	total := f.ReqLatency.Count()
+	dCounts := make([]int64, len(counts))
+	var dTotal int64
+	for i, c := range counts {
+		prev := int64(0)
+		if i < len(f.latPrev) {
+			prev = f.latPrev[i]
+		}
+		dCounts[i] = c - prev
+	}
+	dTotal = total - f.latPrevN
+	f.latPrev = counts
+	f.latPrevN = total
+	if dTotal <= 0 {
+		return 0, 0
+	}
+	return obs.QuantileFromBuckets(bounds, dCounts, dTotal, 0.99), dTotal
+}
+
+// drainOne picks the least-loaded healthy replica (tie: highest index, so
+// the longest-lived replicas stay) and starts draining it.
+func (f *Fleet) drainOne() {
+	var victim *Replica
+	for _, r := range f.replicas {
+		if r.State != Healthy {
+			continue
+		}
+		if victim == nil || f.LB.BackendActive(r.Index) <= f.LB.BackendActive(victim.Index) {
+			victim = r
+		}
+	}
+	if victim != nil {
+		f.Drain(victim.Index)
+	}
+}
+
+// Drain starts draining replica idx: the balancer stops steering new
+// connections to it, established ones finish undisturbed, and the replica
+// retires when the last connection closes.
+func (f *Fleet) Drain(idx int) {
+	if idx < 0 || idx >= len(f.replicas) {
+		return
+	}
+	r := f.replicas[idx]
+	if r.State != Healthy && r.State != Booting {
+		return
+	}
+	r.State = Draining
+	r.drainStart = f.pl.K.Now()
+	f.LB.SetDraining(idx)
+	f.event("drain %s active=%d", r.Name, f.LB.BackendActive(idx))
+}
+
+// retire shuts a drained replica down cleanly.
+func (f *Fleet) retire(r *Replica, why string) {
+	r.State = Retired
+	f.LB.RemoveBackend(r.Index)
+	f.mxRetires.Inc()
+	f.event("retire %s (%s)", r.Name, why)
+	r.stop.Set()
+}
+
+// declareDead handles a crashed replica: deregister, cut its bridge port
+// (a hung guest may still transmit), and kill the domain if it is somehow
+// still alive. The capacity loop summons the replacement (microreboot as a
+// first-class fleet operation, §5.3).
+func (f *Fleet) declareDead(r *Replica, why string) {
+	if r.State == Dead || r.State == Retired {
+		return
+	}
+	r.State = Dead
+	f.LB.RemoveBackend(r.Index)
+	f.pl.Bridge.DetachMAC(netback.MAC(r.MAC))
+	f.mxCrashes.Inc()
+	f.event("dead %s (%s)", r.Name, why)
+	if d := r.Dep.Domain; d != nil && !d.Dead {
+		d.Shutdown(137, hypervisor.ShutdownCrash)
+	}
+	r.stop.Set()
+}
+
+// onExit is the domain lifecycle hook: a guest that powers off or crashes
+// outside the fleet's control is detected here and replaced.
+func (f *Fleet) onExit(r *Replica, reason hypervisor.ShutdownReason) {
+	f.pl.Bridge.DetachMAC(netback.MAC(r.MAC))
+	if r.State == Dead || r.State == Retired {
+		f.event("exit %s reason=%s", r.Name, reason)
+		return
+	}
+	f.event("exit %s reason=%s", r.Name, reason)
+	f.declareDead(r, "guest-exit")
+}
+
+// BootToFirstByteMS returns, for each replica whose server answered at
+// least one request, summon-to-first-response in milliseconds (index
+// order; -1 for replicas that never served).
+func (f *Fleet) BootToFirstByteMS() []int64 {
+	out := make([]int64, len(f.replicas))
+	for i, r := range f.replicas {
+		if r.Srv != nil && r.Srv.FirstRespAt != 0 {
+			out[i] = r.Srv.FirstRespAt.Sub(r.SummonedAt).Milliseconds()
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}

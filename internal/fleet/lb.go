@@ -1,0 +1,406 @@
+// Package fleet is the dom0 orchestrator for elastic appliance fleets
+// (paper §5.2: "new appliances can be provisioned in response to load
+// spikes" — the summoned-on-demand model where a unikernel's boot time is
+// short enough to hide behind a TCP handshake). It pairs a virtual L4 load
+// balancer living in the bridge path with a controller that boots and
+// retires web-server replicas as observed load moves, treating microreboot
+// of a crashed replica as a first-class operation.
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bufpool"
+	"repro/internal/cstruct"
+	"repro/internal/ethernet"
+	"repro/internal/icmp"
+	"repro/internal/ipv4"
+	"repro/internal/netback"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Policy selects how the balancer spreads new connections.
+type Policy int
+
+const (
+	// RoundRobin rotates new connections across healthy replicas.
+	RoundRobin Policy = iota
+	// LeastConns sends each new connection to the replica with the fewest
+	// active connections (ties break toward the lowest index).
+	LeastConns
+)
+
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case LeastConns:
+		return "least-conns"
+	}
+	return "unknown"
+}
+
+// ParsePolicy parses the CLI spelling of a policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "round-robin", "rr":
+		return RoundRobin, nil
+	case "least-conns", "lc":
+		return LeastConns, nil
+	}
+	return 0, fmt.Errorf("fleet: unknown lb policy %q (want round-robin or least-conns)", s)
+}
+
+// drainLinger is how long a FIN-ed connection's steering entry survives so
+// the closing handshake still routes to the same replica.
+const drainLinger = 2 * time.Second
+
+// backend is one replica from the balancer's point of view.
+type backend struct {
+	idx      int
+	mac      netback.MAC
+	up       bool // passed its first health probe
+	draining bool // no new connections
+	active   int  // connections currently steered here
+}
+
+type connKey struct {
+	ip   ipv4.Addr
+	port uint16
+}
+
+type conn struct {
+	be      *backend
+	closing bool
+	done    bool // active already released
+}
+
+// LB is the virtual L4 balancer: a bridge endpoint that owns the VIP's
+// hardware address and steers each new TCP connection to a replica, which
+// then answers the client directly with the VIP as its source (direct
+// server return) — established traffic costs the balancer nothing on the
+// reply path. It also runs ICMP health probes to every replica through the
+// same (impaired) bridge the clients use.
+type LB struct {
+	K      *sim.Kernel
+	bridge *netback.Bridge
+	mac    netback.MAC
+	ip     ipv4.Addr // probe source address (the balancer answers ARP for it)
+	vip    ipv4.Addr
+	policy Policy
+
+	backends []*backend // index order; nil slots for removed replicas
+	conns    map[connKey]*conn
+	rr       int
+
+	// OnProbeReply is called when replica idx answers probe seq.
+	OnProbeReply func(idx int, seq uint16)
+
+	// Stats
+	Steered   int
+	NoBackend int
+
+	mxSteered   *obs.Counter
+	mxNoBackend *obs.Counter
+	mxProbes    *obs.Counter
+	mxReplies   *obs.Counter
+	mxActive    *obs.Gauge
+}
+
+// NewLB creates the balancer and attaches it to the bridge.
+func NewLB(k *sim.Kernel, b *netback.Bridge, mac netback.MAC, ip, vip ipv4.Addr, policy Policy) *LB {
+	lb := &LB{
+		K: k, bridge: b, mac: mac, ip: ip, vip: vip, policy: policy,
+		conns:       map[connKey]*conn{},
+		mxSteered:   k.Metrics().Counter("lb_steered_conns_total"),
+		mxNoBackend: k.Metrics().Counter("lb_no_backend_total"),
+		mxProbes:    k.Metrics().Counter("lb_probes_total"),
+		mxReplies:   k.Metrics().Counter("lb_probe_replies_total"),
+		mxActive:    k.Metrics().Gauge("lb_active_conns"),
+	}
+	b.Attach(lb)
+	return lb
+}
+
+// MAC implements netback.Endpoint.
+func (lb *LB) MAC() netback.MAC { return lb.mac }
+
+// AddBackend registers replica idx (not yet up — it goes live on its first
+// probe reply via SetUp).
+func (lb *LB) AddBackend(idx int, mac netback.MAC) {
+	for len(lb.backends) <= idx {
+		lb.backends = append(lb.backends, nil)
+	}
+	lb.backends[idx] = &backend{idx: idx, mac: mac}
+}
+
+// SetUp marks replica idx healthy (eligible for new connections).
+func (lb *LB) SetUp(idx int) {
+	if be := lb.byIdx(idx); be != nil {
+		be.up = true
+	}
+}
+
+// SetDraining stops steering new connections to replica idx; established
+// connections keep flowing to it.
+func (lb *LB) SetDraining(idx int) {
+	if be := lb.byIdx(idx); be != nil {
+		be.draining = true
+	}
+}
+
+// BackendActive returns how many connections are steered to replica idx.
+func (lb *LB) BackendActive(idx int) int {
+	if be := lb.byIdx(idx); be != nil {
+		return be.active
+	}
+	return 0
+}
+
+// ActiveConns returns the total steered connections still open.
+func (lb *LB) ActiveConns() int {
+	total := 0
+	for _, be := range lb.backends {
+		if be != nil {
+			total += be.active
+		}
+	}
+	return total
+}
+
+// RemoveBackend drops replica idx and forgets its connections (a crashed or
+// retired replica); clients recover by retransmitting, which re-steers.
+func (lb *LB) RemoveBackend(idx int) {
+	be := lb.byIdx(idx)
+	if be == nil {
+		return
+	}
+	lb.backends[idx] = nil
+	for key, cn := range lb.conns { // deletions only: order-independent
+		if cn.be == be {
+			lb.releaseConn(cn)
+			delete(lb.conns, key)
+		}
+	}
+}
+
+func (lb *LB) byIdx(idx int) *backend {
+	if idx < 0 || idx >= len(lb.backends) {
+		return nil
+	}
+	return lb.backends[idx]
+}
+
+// pick chooses the replica for a new connection.
+func (lb *LB) pick() *backend {
+	var cands []*backend
+	for _, be := range lb.backends {
+		if be != nil && be.up && !be.draining {
+			cands = append(cands, be)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	switch lb.policy {
+	case LeastConns:
+		best := cands[0]
+		for _, be := range cands[1:] {
+			if be.active < best.active {
+				best = be
+			}
+		}
+		return best
+	default: // RoundRobin
+		be := cands[lb.rr%len(cands)]
+		lb.rr++
+		return be
+	}
+}
+
+// Probe sends one ICMP echo to replica idx with the given sequence number;
+// the echo ID carries the replica index so replies demux without state.
+// Probes traverse the same bridge as client traffic, so loss and latency
+// impairments apply to them too.
+func (lb *LB) Probe(idx int, seq uint16) {
+	be := lb.byIdx(idx)
+	if be == nil {
+		return
+	}
+	lb.mxProbes.Inc()
+	v := cstruct.Make(ethernet.HeaderLen + ipv4.HeaderLen + icmp.HeaderLen)
+	ethernet.Encode(v, ethernet.MAC(be.mac), ethernet.MAC(lb.mac), ethernet.TypeIPv4)
+	body := v.Sub(ethernet.HeaderLen+ipv4.HeaderLen, icmp.HeaderLen)
+	n := icmp.EncodeEcho(body, icmp.Echo{Type: icmp.TypeEchoRequest, ID: uint16(idx), Seq: seq})
+	body.Release()
+	iph := v.Sub(ethernet.HeaderLen, ipv4.HeaderLen)
+	ipv4.Encode(iph, ipv4.Header{ID: seq, Proto: ipv4.ProtoICMP, Src: lb.ip, Dst: lb.vip}, n)
+	iph.Release()
+	lb.bridge.TransmitBytes(lb.mac, v.Slice(0, ethernet.HeaderLen+ipv4.HeaderLen+n))
+	v.Release()
+}
+
+// Deliver implements netback.Endpoint: the balancer's receive path.
+func (lb *LB) Deliver(f *bufpool.Buf) { lb.deliver(f) }
+
+func (lb *LB) deliver(f *bufpool.Buf) {
+	b := f.Bytes()
+	if len(b) < ethernet.HeaderLen {
+		f.Release()
+		return
+	}
+	switch etype := uint16(b[12])<<8 | uint16(b[13]); etype {
+	case ethernet.TypeARP:
+		lb.arpInput(b)
+		f.Release()
+	case ethernet.TypeIPv4:
+		lb.ipInput(b, f)
+	default:
+		f.Release()
+	}
+}
+
+// arpInput answers requests for the VIP and the balancer's probe address.
+func (lb *LB) arpInput(b []byte) {
+	if len(b) < ethernet.HeaderLen+28 {
+		return
+	}
+	p := b[ethernet.HeaderLen:]
+	op := uint16(p[6])<<8 | uint16(p[7])
+	if op != 1 {
+		return
+	}
+	var sha ethernet.MAC
+	copy(sha[:], p[8:14])
+	spa := ipv4.Addr(uint32(p[14])<<24 | uint32(p[15])<<16 | uint32(p[16])<<8 | uint32(p[17]))
+	tpa := ipv4.Addr(uint32(p[24])<<24 | uint32(p[25])<<16 | uint32(p[26])<<8 | uint32(p[27]))
+	if tpa != lb.vip && tpa != lb.ip {
+		return
+	}
+	v := cstruct.Make(ethernet.HeaderLen + 28)
+	ethernet.Encode(v, sha, ethernet.MAC(lb.mac), ethernet.TypeARP)
+	r := v.Sub(ethernet.HeaderLen, 28)
+	r.PutBE16(0, 1)
+	r.PutBE16(2, 0x0800)
+	r.PutU8(4, 6)
+	r.PutU8(5, 4)
+	r.PutBE16(6, 2) // reply
+	r.PutBytes(8, lb.mac[:])
+	r.PutBE32(14, uint32(tpa))
+	r.PutBytes(18, sha[:])
+	r.PutBE32(24, uint32(spa))
+	r.Release()
+	lb.bridge.TransmitBytes(lb.mac, v.Bytes())
+	v.Release()
+}
+
+// ipInput handles probe replies (to the balancer's own address) and steers
+// TCP segments addressed to the VIP.
+func (lb *LB) ipInput(b []byte, f *bufpool.Buf) {
+	if len(b) < ethernet.HeaderLen+ipv4.HeaderLen {
+		f.Release()
+		return
+	}
+	ip := b[ethernet.HeaderLen:]
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < ipv4.HeaderLen || len(ip) < ihl {
+		f.Release()
+		return
+	}
+	proto := ip[9]
+	src := ipv4.Addr(uint32(ip[12])<<24 | uint32(ip[13])<<16 | uint32(ip[14])<<8 | uint32(ip[15]))
+	dst := ipv4.Addr(uint32(ip[16])<<24 | uint32(ip[17])<<16 | uint32(ip[18])<<8 | uint32(ip[19]))
+	switch {
+	case proto == ipv4.ProtoICMP && dst == lb.ip:
+		pkt := ip[ihl:]
+		if len(pkt) >= icmp.HeaderLen && pkt[0] == icmp.TypeEchoReply {
+			idx := int(uint16(pkt[4])<<8 | uint16(pkt[5]))
+			seq := uint16(pkt[6])<<8 | uint16(pkt[7])
+			lb.mxReplies.Inc()
+			if lb.OnProbeReply != nil {
+				lb.OnProbeReply(idx, seq)
+			}
+		}
+		f.Release()
+	case proto == ipv4.ProtoTCP && dst == lb.vip:
+		seg := ip[ihl:]
+		if len(seg) < 14 {
+			f.Release()
+			return
+		}
+		srcPort := uint16(seg[0])<<8 | uint16(seg[1])
+		flags := seg[13]
+		lb.steerTCP(src, srcPort, flags, f)
+	default:
+		f.Release()
+	}
+}
+
+// TCP flag bits (standard octet-13 layout).
+const (
+	tcpFIN = 1 << 0
+	tcpSYN = 1 << 1
+	tcpRST = 1 << 2
+	tcpACK = 1 << 4
+)
+
+// steerTCP routes one client→VIP segment. New connections (a pure SYN with
+// no steering entry) pick a replica; everything else follows its entry.
+// Segments with no entry and no SYN are dropped — after a replica crash the
+// client's retransmitted SYN re-steers to a survivor.
+func (lb *LB) steerTCP(src ipv4.Addr, srcPort uint16, flags uint8, f *bufpool.Buf) {
+	key := connKey{src, srcPort}
+	cn := lb.conns[key]
+	if cn == nil {
+		if flags&tcpSYN == 0 || flags&tcpACK != 0 {
+			lb.NoBackend++
+			lb.mxNoBackend.Inc()
+			f.Release()
+			return
+		}
+		be := lb.pick()
+		if be == nil {
+			lb.NoBackend++
+			lb.mxNoBackend.Inc()
+			f.Release()
+			return
+		}
+		cn = &conn{be: be}
+		lb.conns[key] = cn
+		be.active++
+		lb.Steered++
+		lb.mxSteered.Inc()
+		lb.mxActive.Add(1)
+		if tr := lb.K.Trace(); tr.Enabled() {
+			tr.Instant(lb.K.TraceTime(), "lb", "steer", 0, 0,
+				obs.Str("client", src.String()), obs.Int("port", int64(srcPort)),
+				obs.Int("replica", int64(be.idx)))
+		}
+	}
+	switch {
+	case flags&tcpRST != 0:
+		lb.releaseConn(cn)
+		delete(lb.conns, key)
+	case flags&tcpFIN != 0 && !cn.closing:
+		cn.closing = true
+		lb.releaseConn(cn)
+		lb.K.After(drainLinger, func() {
+			if lb.conns[key] == cn {
+				delete(lb.conns, key)
+			}
+		})
+	}
+	lb.bridge.Steer(cn.be.mac, f)
+}
+
+// releaseConn returns a connection's slot on its backend exactly once.
+func (lb *LB) releaseConn(cn *conn) {
+	if cn.done {
+		return
+	}
+	cn.done = true
+	cn.be.active--
+	lb.mxActive.Add(-1)
+}

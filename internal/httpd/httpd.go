@@ -13,6 +13,8 @@ import (
 
 	"repro/internal/ipv4"
 	"repro/internal/lwt"
+	"repro/internal/obs"
+	"repro/internal/sim"
 	"repro/internal/tcp"
 )
 
@@ -90,12 +92,32 @@ type Server struct {
 	Handler      Handler
 	HandlerAsync AsyncHandler
 	Params       Params
-	// Charge books per-request CPU cost (wired to the domain's vCPU).
-	Charge func(time.Duration)
+	// Charge books per-request CPU cost (wired to the domain's vCPU) and
+	// returns the virtual time the charged work completes; the server
+	// holds each response until then, so under backlog the observed
+	// latency includes queueing delay.
+	Charge func(time.Duration) sim.Time
+	// IdleTimeout closes keep-alive connections that sit idle between
+	// requests, so a parked client cannot hold a replica "loaded" and
+	// block the fleet from draining or scaling it away. Zero disables.
+	IdleTimeout time.Duration
+	// Latency, when set, records request latency (parse to last response
+	// byte accepted by TCP) in microseconds.
+	Latency *obs.Histogram
 
 	Requests    int
 	ConnsServed int
 	Errors      int
+	// IdleClosed counts connections reaped by IdleTimeout.
+	IdleClosed int
+	// FirstRespAt is the instant the first response completed (zero until
+	// then) — the fleet's boot-to-first-byte marker for summoned replicas.
+	FirstRespAt sim.Time
+
+	conns    []*servedConn
+	active   int
+	draining bool
+	drainP   *lwt.Promise[struct{}]
 }
 
 // NewServer creates a server with the given handler.
@@ -103,10 +125,106 @@ func NewServer(s *lwt.Scheduler, h Handler) *Server {
 	return &Server{S: s, Handler: h, Params: DefaultParams()}
 }
 
-func (srv *Server) charge(d time.Duration) {
-	if srv.Charge != nil {
-		srv.Charge(d)
+func (srv *Server) charge(d time.Duration) sim.Time {
+	if srv.Charge != nil && d > 0 {
+		return srv.Charge(d)
 	}
+	return 0
+}
+
+// Active returns the number of open server-side connections.
+func (srv *Server) Active() int { return srv.active }
+
+// servedConn tracks one server-side connection and its idle-close timer.
+// The timer is the reusable kernel-event pattern: one live event at most,
+// a moving deadline, and a fire-time check that re-arms when the deadline
+// moved later — so per-request traffic never allocates timer events.
+type servedConn struct {
+	srv      *Server
+	c        *tcp.Conn
+	busy     bool // a request is being read-completed/handled/responded
+	closed   bool
+	deadline sim.Time
+	tickLive bool
+}
+
+// touch restarts the idle clock; called whenever the connection goes idle.
+func (sc *servedConn) touch() {
+	if sc.srv.IdleTimeout <= 0 || sc.closed {
+		return
+	}
+	k := sc.srv.S.K
+	sc.deadline = k.Now().Add(sc.srv.IdleTimeout)
+	if !sc.tickLive {
+		sc.tickLive = true
+		k.At(sc.deadline, sc.tick)
+	}
+}
+
+func (sc *servedConn) tick() {
+	sc.tickLive = false
+	if sc.closed || sc.busy {
+		return // a request arrived; touch() re-arms when it finishes
+	}
+	k := sc.srv.S.K
+	if k.Now() < sc.deadline {
+		sc.tickLive = true
+		k.At(sc.deadline, sc.tick)
+		return
+	}
+	sc.srv.IdleClosed++
+	sc.close()
+}
+
+// close tears the connection down exactly once.
+func (sc *servedConn) close() {
+	if sc.closed {
+		return
+	}
+	sc.closed = true
+	sc.c.Close()
+	sc.srv.finish(sc)
+}
+
+// finish retires a connection from the server's books, resolving a pending
+// drain when the last one goes.
+func (srv *Server) finish(sc *servedConn) {
+	srv.active--
+	if srv.draining && srv.active == 0 && srv.drainP != nil && !srv.drainP.Completed() {
+		srv.drainP.Resolve(struct{}{})
+	}
+	if len(srv.conns) > 32 && len(srv.conns) > 2*srv.active {
+		live := srv.conns[:0]
+		for _, o := range srv.conns {
+			if !o.closed {
+				live = append(live, o)
+			}
+		}
+		for i := len(live); i < len(srv.conns); i++ {
+			srv.conns[i] = nil
+		}
+		srv.conns = live
+	}
+}
+
+// Drain stops keep-alive: idle connections close now, busy ones close after
+// their in-flight response, and the promise resolves when the last
+// connection is gone. Close the listener first so no new connections land.
+func (srv *Server) Drain() *lwt.Promise[struct{}] {
+	srv.draining = true
+	if srv.drainP == nil {
+		srv.drainP = lwt.NewPromise[struct{}](srv.S)
+	}
+	// Snapshot: close() may compact srv.conns underneath the loop.
+	for _, sc := range append([]*servedConn(nil), srv.conns...) {
+		if sc != nil && !sc.closed && !sc.busy {
+			sc.close()
+		}
+	}
+	if srv.active == 0 && !srv.drainP.Completed() {
+		srv.drainP.Resolve(struct{}{})
+	}
+	return srv.drainP
 }
 
 // Serve accepts connections forever. The returned promise only fails.
@@ -127,29 +245,50 @@ func (srv *Server) Serve(l *tcp.Listener) *lwt.Promise[struct{}] {
 
 // serveConn runs the request/response loop on one connection.
 func (srv *Server) serveConn(c *tcp.Conn) {
+	sc := &servedConn{srv: srv, c: c}
+	srv.conns = append(srv.conns, sc)
+	srv.active++
+	if srv.draining {
+		sc.close()
+		return
+	}
 	var buf []byte
 	var next func()
 	next = func() {
+		sc.busy = false
+		sc.touch()
 		lwt.Map(srv.readRequest(c, &buf), func(req *Request) struct{} {
-			if req == nil { // EOF or parse failure
-				c.Close()
+			if req == nil || sc.closed { // EOF, parse failure, or idle-reaped
+				sc.close()
 				return struct{}{}
 			}
+			sc.busy = true
+			start := srv.S.K.Now()
 			srv.Requests++
 			srv.charge(srv.Params.ParseCost)
 			respond := func(resp *Response) {
 				if resp == nil {
 					resp = &Response{Status: 500}
 				}
-				srv.charge(srv.Params.RespondCost)
-				lwt.Map(c.Write(resp.Encode()), func(int) struct{} {
-					if req.KeepAlive() {
-						next()
-					} else {
-						c.Close()
-					}
-					return struct{}{}
-				})
+				end := srv.charge(srv.Params.RespondCost)
+				write := func() {
+					lwt.Map(c.Write(resp.Encode()), func(int) struct{} {
+						srv.responded(start)
+						if req.KeepAlive() && !srv.draining && !sc.closed {
+							next()
+						} else {
+							sc.close()
+						}
+						return struct{}{}
+					})
+				}
+				if end > srv.S.K.Now() {
+					// The response leaves once the charged CPU work (and
+					// any backlog ahead of it) is done.
+					srv.S.K.At(end, write)
+				} else {
+					write()
+				}
 			}
 			if srv.HandlerAsync != nil {
 				pr := srv.HandlerAsync(req)
@@ -167,6 +306,17 @@ func (srv *Server) serveConn(c *tcp.Conn) {
 		})
 	}
 	next()
+}
+
+// responded books per-request latency and the first-response instant.
+func (srv *Server) responded(start sim.Time) {
+	now := srv.S.K.Now()
+	if srv.FirstRespAt == 0 {
+		srv.FirstRespAt = now
+	}
+	if srv.Latency != nil {
+		srv.Latency.Observe(float64(now.Sub(start).Microseconds()))
+	}
 }
 
 // readRequest accumulates bytes until a full request (headers + body) is
@@ -255,6 +405,11 @@ func EncodeRequest(r *Request) []byte {
 	b.WriteString("\r\n")
 	return append([]byte(b.String()), r.Body...)
 }
+
+// ParseResponse parses one complete response from b, returning the
+// response and bytes consumed. (nil, 0, nil) means more data is needed —
+// the incremental contract clients drive their read loops with.
+func ParseResponse(b []byte) (*Response, int, error) { return tryParseResponse(b) }
 
 // tryParseResponse mirrors tryParseRequest for the client side.
 func tryParseResponse(b []byte) (*Response, int, error) {

@@ -225,6 +225,18 @@ const (
 	ShutdownSealViolation
 )
 
+func (r ShutdownReason) String() string {
+	switch r {
+	case ShutdownPoweroff:
+		return "poweroff"
+	case ShutdownCrash:
+		return "crash"
+	case ShutdownSealViolation:
+		return "seal-violation"
+	}
+	return "unknown"
+}
+
 // Domain is a VM instance. Unikernels use a single vCPU (§3.1, multikernel
 // philosophy); the conventional baselines may use several.
 type Domain struct {
@@ -248,6 +260,8 @@ type Domain struct {
 
 	console []string
 	ready   *sim.Signal
+
+	shutdownHooks []func(code int, reason ShutdownReason)
 }
 
 // Config describes a domain to create.
@@ -397,12 +411,34 @@ func (d *Domain) WaitReady(p *sim.Proc) {
 // construction to readiness. It is only meaningful after SignalReady.
 func (d *Domain) BootTime() time.Duration { return d.BootedAt.Sub(0) }
 
+// OnShutdown registers a lifecycle hook invoked (in registration order)
+// when the domain shuts down, whatever the reason. This is the primitive a
+// control-plane service — the fleet orchestrator — builds replica
+// lifecycle tracking on: real toolstacks get the same signal from the
+// hypervisor's domain-death event.
+func (d *Domain) OnShutdown(fn func(code int, reason ShutdownReason)) {
+	d.shutdownHooks = append(d.shutdownHooks, fn)
+}
+
 // Shutdown stops the domain; the VM exit code matches the main thread's
-// return value (§3.3).
+// return value (§3.3). Lifecycle hooks fire exactly once, on the first
+// Shutdown — later calls are no-ops.
 func (d *Domain) Shutdown(code int, reason ShutdownReason) {
+	if d.Dead {
+		return
+	}
 	d.Dead = true
 	d.ExitCode = code
 	d.Reason = reason
+	h := d.Host
+	h.K.Metrics().Counter("hv_domain_shutdowns_total", obs.L("reason", reason.String())).Inc()
+	if tr := h.K.Trace(); tr.Enabled() {
+		tr.Instant(h.K.TraceTime(), "hypervisor", "domain-shutdown", d.ID, 0,
+			obs.Int("code", int64(code)), obs.Str("reason", reason.String()))
+	}
+	for _, fn := range d.shutdownHooks {
+		fn(code, reason)
+	}
 }
 
 // Console appends a line to the domain's console ring.

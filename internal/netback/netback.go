@@ -11,6 +11,8 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/bufpool"
@@ -27,6 +29,23 @@ type MAC [6]byte
 
 func (m MAC) String() string {
 	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// ParseMAC parses the colon-separated format String produces.
+func ParseMAC(s string) (MAC, error) {
+	var m MAC
+	parts := strings.Split(s, ":")
+	if len(parts) != 6 {
+		return m, fmt.Errorf("netback: bad MAC %q", s)
+	}
+	for i, p := range parts {
+		v, err := strconv.ParseUint(p, 16, 8)
+		if err != nil {
+			return m, fmt.Errorf("netback: bad MAC %q: %w", s, err)
+		}
+		m[i] = byte(v)
+	}
+	return m, nil
 }
 
 // Broadcast is the Ethernet broadcast address.
@@ -109,6 +128,7 @@ type Bridge struct {
 	Params Params
 
 	endpoints map[MAC]Endpoint
+	down      map[MAC]bool // administratively-down ports: frames from them are discarded
 	faults    Faults
 	epFaults  map[MAC]Faults // per-destination overrides
 	pool      *bufpool.Pool  // frame staging buffers (VIF TX assembly)
@@ -116,7 +136,9 @@ type Bridge struct {
 	// Stats
 	Forwarded     int
 	Flooded       int
+	Steered       int
 	NoRoute       int
+	PortDownDrops int
 	Bytes         int
 	FaultDrops    int
 	FaultDups     int
@@ -124,6 +146,7 @@ type Bridge struct {
 
 	mxForwarded    *obs.Counter
 	mxFlooded      *obs.Counter
+	mxSteered      *obs.Counter
 	mxBytes        *obs.Counter
 	mxFaultDrop    *obs.Counter
 	mxFaultDup     *obs.Counter
@@ -145,11 +168,13 @@ func NewBridge(k *sim.Kernel, params Params) *Bridge {
 		Link:           k.NewCPU("bridge-link"),
 		Params:         params,
 		endpoints:      map[MAC]Endpoint{},
+		down:           map[MAC]bool{},
 		faults:         defaultFaults,
 		epFaults:       map[MAC]Faults{},
 		pool:           bufpool.NewPool(frameBufSize),
 		mxForwarded:    m.Counter("bridge_frames_total", obs.L("kind", "forwarded")),
 		mxFlooded:      m.Counter("bridge_frames_total", obs.L("kind", "flooded")),
+		mxSteered:      m.Counter("bridge_frames_total", obs.L("kind", "steered")),
 		mxBytes:        m.Counter("bridge_bytes_total"),
 		mxFaultDrop:    m.Counter("bridge_faults_total", obs.L("kind", "drop")),
 		mxFaultDup:     m.Counter("bridge_faults_total", obs.L("kind", "dup")),
@@ -166,11 +191,27 @@ func NewBridge(k *sim.Kernel, params Params) *Bridge {
 // quiesced bridge must report zero buffers in use.
 func (b *Bridge) FramePool() *bufpool.Pool { return b.pool }
 
-// Attach connects an endpoint to the bridge.
-func (b *Bridge) Attach(e Endpoint) { b.endpoints[e.MAC()] = e }
+// Attach connects an endpoint to the bridge (re-attaching a MAC brings a
+// previously downed port back up).
+func (b *Bridge) Attach(e Endpoint) {
+	b.endpoints[e.MAC()] = e
+	delete(b.down, e.MAC())
+}
 
 // Detach removes an endpoint.
-func (b *Bridge) Detach(e Endpoint) { delete(b.endpoints, e.MAC()) }
+func (b *Bridge) Detach(e Endpoint) { b.DetachMAC(e.MAC()) }
+
+// DetachMAC takes the port for mac down: frames toward it no longer route,
+// and frames *from* it are discarded at the bridge. This models unplugging
+// a crashed or retired guest whose domain — and backend worker — may still
+// be running: the guest can keep transmitting into the dead port without
+// reaching anyone.
+func (b *Bridge) DetachMAC(mac MAC) {
+	if _, ok := b.endpoints[mac]; ok {
+		delete(b.endpoints, mac)
+		b.down[mac] = true
+	}
+}
 
 // SetFaults installs the bridge-wide impairment model.
 func (b *Bridge) SetFaults(f Faults) { b.faults = f }
@@ -195,7 +236,10 @@ func (b *Bridge) faultsFor(dst MAC) Faults {
 // copying it — the frame is immutable once transmitted).
 func (b *Bridge) Transmit(src MAC, f *bufpool.Buf) {
 	frame := f.Bytes()
-	if len(frame) < 14 {
+	if len(frame) < 14 || b.down[src] {
+		if b.down[src] {
+			b.PortDownDrops++
+		}
 		f.Release()
 		return
 	}
@@ -243,6 +287,40 @@ func (b *Bridge) Transmit(src MAC, f *bufpool.Buf) {
 			obs.Str("dst", dst.String()), obs.Int("bytes", int64(len(frame))))
 	}
 	b.deliver(dst, e, at, f)
+}
+
+// Steer forwards a frame to the endpoint owning dst regardless of the
+// frame's embedded destination MAC — the L2 redirection primitive a
+// virtual load balancer in the bridge path uses to hand a connection's
+// packets to the replica chosen for it, without rewriting the frame.
+// Costs and per-destination impairments are charged exactly as for
+// Transmit; the caller yields its frame reference. Returns false (frame
+// discarded) when no endpoint owns dst.
+func (b *Bridge) Steer(dst MAC, f *bufpool.Buf) bool {
+	e, ok := b.endpoints[dst]
+	if !ok {
+		b.NoRoute++
+		f.Release()
+		return false
+	}
+	frame := f.Bytes()
+	cpuDone := b.CPU.Reserve(b.Params.PerPacketCost)
+	linkDone := b.Link.Reserve(time.Duration(len(frame)) * b.Params.PerByteCost)
+	at := cpuDone
+	if linkDone > at {
+		at = linkDone
+	}
+	at = at.Add(b.Params.Latency)
+	b.Bytes += len(frame)
+	b.mxBytes.Add(int64(len(frame)))
+	b.Steered++
+	b.mxSteered.Inc()
+	if tr := b.K.Trace(); tr.Enabled() {
+		tr.Instant(b.K.TraceTime(), "net", "bridge-steer", 0, 0,
+			obs.Str("dst", dst.String()), obs.Int("bytes", int64(len(frame))))
+	}
+	b.deliver(dst, e, at, f)
+	return true
 }
 
 // TransmitBytes forwards a raw byte-slice frame (the slow path for callers
@@ -418,6 +496,33 @@ type VIF struct {
 type pendingRx struct {
 	gref grant.Ref
 	id   uint16
+}
+
+// VIFBackend is the device-seam backend for the network device class: it
+// satisfies device.Backend structurally, so the generic connector can
+// attach network backends without this package importing it. Connect fills
+// VIF with the attached backend.
+type VIFBackend struct {
+	Bridge *Bridge
+	VIF    *VIF
+}
+
+// Kind implements the device backend signature.
+func (vb *VIFBackend) Kind() string { return "vif" }
+
+// Connect maps the tx/rx rings published by the frontend and spawns the
+// backend worker.
+func (vb *VIFBackend) Connect(guest *hypervisor.Domain, rings map[string]*cstruct.View, fields map[string]string, port *hypervisor.Port) error {
+	mac, err := ParseMAC(fields["mac"])
+	if err != nil {
+		return err
+	}
+	tx, rx := rings["tx"], rings["rx"]
+	if tx == nil || rx == nil {
+		return fmt.Errorf("netback: handshake missing tx/rx rings")
+	}
+	vb.VIF = NewVIF(vb.Bridge, guest, mac, tx, rx, port)
+	return nil
 }
 
 // NewVIF attaches the backend: txPage/rxPage are the guest's shared ring

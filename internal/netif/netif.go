@@ -14,9 +14,9 @@ package netif
 
 import (
 	"fmt"
-	"strconv"
 
 	"repro/internal/cstruct"
+	"repro/internal/device"
 	"repro/internal/grant"
 	"repro/internal/hypervisor"
 	"repro/internal/netback"
@@ -41,6 +41,8 @@ type Netif struct {
 
 	txFront *ring.Front
 	rxFront *ring.Front
+	txPage  *cstruct.View
+	rxPage  *cstruct.View
 
 	recv func(*cstruct.View)
 
@@ -78,8 +80,10 @@ type rxPost struct {
 }
 
 // Attach creates and connects a network interface for vm on bridge b, with
-// dom0 as the driver domain, performing the xenstore handshake under
-// /local/domain/<id>/device/vif/0.
+// dom0 as the driver domain. The handshake runs through the unified device
+// seam: the frontend publishes its rings and MAC under
+// /local/domain/<id>/device/vif/0 and the VIF backend connects from the
+// other side.
 func Attach(vm *pvboot.VM, b *netback.Bridge, dom0 *hypervisor.Domain, st *xenstore.Store, mac netback.MAC) (*Netif, error) {
 	d := vm.Dom
 	txPage := d.Pool.Get()
@@ -89,6 +93,8 @@ func Attach(vm *pvboot.VM, b *netback.Bridge, dom0 *hypervisor.Domain, st *xenst
 		mac:        mac,
 		txFront:    ring.NewFront(txPage),
 		rxFront:    ring.NewFront(rxPage),
+		txPage:     txPage,
+		rxPage:     rxPage,
 		txInflight: map[uint16][]txFrag{},
 		rxPosted:   map[uint16]rxPost{},
 	}
@@ -113,68 +119,28 @@ func Attach(vm *pvboot.VM, b *netback.Bridge, dom0 *hypervisor.Domain, st *xenst
 		rxOcc.Observe(float64(inFlight))
 	}
 
-	txGref := d.Grants.Grant(txPage, false)
-	rxGref := d.Grants.Grant(rxPage, false)
-	gport, bport := hypervisor.Connect(d, dom0)
-	n.port = gport
-
-	path := fmt.Sprintf("/local/domain/%d/device/vif/0", d.ID)
-	for k, v := range map[string]string{
-		"/tx-ring-ref":   strconv.Itoa(int(txGref)),
-		"/rx-ring-ref":   strconv.Itoa(int(rxGref)),
-		"/event-channel": strconv.Itoa(gport.Index),
-		"/mac":           mac.String(),
-		"/state":         "3", // XenbusStateInitialised
-	} {
-		if err := st.Write(path+k, v); err != nil {
-			return nil, err
-		}
-	}
-
-	// Backend connects: it reads the refs, maps the ring pages and
-	// spawns its worker.
-	if err := connectBackend(st, path, d, b, bport, mac); err != nil {
+	if _, err := vm.Attach(dom0, st, 0, n, &netback.VIFBackend{Bridge: b}); err != nil {
 		return nil, err
 	}
-	st.Write(path+"/state", "4") // XenbusStateConnected
-
-	vm.WatchPort(gport, n.onEvent)
 	n.fillRx()
 	return n, nil
 }
 
-// connectBackend performs the backend half of the handshake.
-func connectBackend(st *xenstore.Store, path string, guest *hypervisor.Domain, b *netback.Bridge, bport *hypervisor.Port, mac netback.MAC) error {
-	readRef := func(key string) (grant.Ref, error) {
-		s, err := st.Read(path + key)
-		if err != nil {
-			return 0, err
-		}
-		v, err := strconv.Atoi(s)
-		if err != nil {
-			return 0, err
-		}
-		return grant.Ref(v), nil
-	}
-	txRef, err := readRef("/tx-ring-ref")
-	if err != nil {
-		return err
-	}
-	rxRef, err := readRef("/rx-ring-ref")
-	if err != nil {
-		return err
-	}
-	txPage, err := guest.Grants.Map(txRef)
-	if err != nil {
-		return err
-	}
-	rxPage, err := guest.Grants.Map(rxRef)
-	if err != nil {
-		return err
-	}
-	netback.NewVIF(b, guest, mac, txPage, rxPage, bport)
-	return nil
+// Kind implements device.Frontend.
+func (n *Netif) Kind() string { return "vif" }
+
+// Rings implements device.Frontend: the tx and rx shared rings.
+func (n *Netif) Rings() []device.Ring {
+	return []device.Ring{{Name: "tx", Page: n.txPage}, {Name: "rx", Page: n.rxPage}}
 }
+
+// Fields implements device.Frontend.
+func (n *Netif) Fields() map[string]string {
+	return map[string]string{"mac": n.mac.String()}
+}
+
+// Connected implements device.Frontend.
+func (n *Netif) Connected(port *hypervisor.Port) { n.port = port }
 
 // MAC returns the interface's hardware address.
 func (n *Netif) MAC() netback.MAC { return n.mac }
@@ -294,9 +260,10 @@ func (n *Netif) flushTx(p *sim.Proc) {
 	}
 }
 
-// onEvent handles ring completions inside the scheduler run loop, using
-// the standard drain / re-arm / re-check protocol so no completion is lost.
-func (n *Netif) onEvent() {
+// OnEvent implements device.Frontend: it handles ring completions inside
+// the scheduler run loop, using the standard drain / re-arm / re-check
+// protocol so no completion is lost.
+func (n *Netif) OnEvent() {
 	for {
 		n.drainCompletions()
 		racedTx := n.txFront.EnableResponseEvents()

@@ -37,6 +37,13 @@ type Config struct {
 	Netmask ipv4.Addr
 	Gateway ipv4.Addr
 	MTU     int
+
+	// VIP, when set, is a shared virtual service address (direct server
+	// return behind a load balancer): the stack accepts packets addressed
+	// to it and TCP speaks with the VIP as its local address, so replies
+	// go straight to clients without traversing the balancer. ARP still
+	// answers only for IP — the balancer owns the VIP's hardware address.
+	VIP ipv4.Addr
 }
 
 // Params are the stack's per-packet cost constants.
@@ -118,16 +125,20 @@ func New(vm *pvboot.VM, nif *netif.Netif, cfg Config) *Stack {
 	if m := cfg.MTU - ipv4.HeaderLen - tcp.HeaderLen; m < tcpParams.MSS {
 		tcpParams.MSS = m
 	}
-	st.TCP = tcp.NewStack(vm.S, cfg.IP, tcpParams)
+	localIP := cfg.IP
+	if cfg.VIP != 0 {
+		localIP = cfg.VIP
+	}
+	st.TCP = tcp.NewStack(vm.S, localIP, tcpParams)
 	st.TCP.TracePid = vm.Dom.ID
 	if k := vm.S.K; k.Trace().Enabled() {
 		k.Trace().Instant(k.TraceTime(), "tcp", "stack-init", vm.Dom.ID, 0,
-			obs.Str("ip", cfg.IP.String()))
+			obs.Str("ip", localIP.String()))
 	}
 	st.TCP.Output = func(dst ipv4.Addr, seg tcp.Segment) {
 		need := tcp.HeaderLen + 40 + len(seg.Payload) // header+options upper bound
-		st.SendIP(dst, ipv4.ProtoTCP, need, func(v *cstruct.View) int {
-			return tcp.Encode(v, cfg.IP, dst, seg)
+		st.sendIPFrom(localIP, dst, ipv4.ProtoTCP, need, func(v *cstruct.View) int {
+			return tcp.Encode(v, localIP, dst, seg)
 		})
 	}
 	nif.SetReceiver(st.rx)
@@ -195,6 +206,11 @@ func (st *Stack) sendBatch(batch []*cstruct.View) {
 // maxLen bytes) into the view it is given and returns the actual length.
 // Payloads exceeding the MTU are fragmented (the extra copy is charged).
 func (st *Stack) SendIP(dst ipv4.Addr, proto uint8, maxLen int, build func(*cstruct.View) int) {
+	st.sendIPFrom(st.Cfg.IP, dst, proto, maxLen, build)
+}
+
+// sendIPFrom is SendIP with an explicit source address (the VIP path).
+func (st *Stack) sendIPFrom(src ipv4.Addr, dst ipv4.Addr, proto uint8, maxLen int, build func(*cstruct.View) int) {
 	st.resolveNextHop(dst, func(mac ethernet.MAC, err error) {
 		if err != nil {
 			st.RxDropped++
@@ -211,7 +227,7 @@ func (st *Stack) SendIP(dst ipv4.Addr, proto uint8, maxLen int, build func(*cstr
 			body.Release()
 			ethernet.Encode(page, mac, st.Cfg.MAC, ethernet.TypeIPv4)
 			iph := page.Sub(ethernet.HeaderLen, ipv4.HeaderLen)
-			ipv4.Encode(iph, ipv4.Header{ID: id, Proto: proto, Src: st.Cfg.IP, Dst: dst}, n)
+			ipv4.Encode(iph, ipv4.Header{ID: id, Proto: proto, Src: src, Dst: dst}, n)
 			iph.Release()
 			st.tx(page, hdr+n)
 			return
@@ -223,7 +239,7 @@ func (st *Stack) SendIP(dst ipv4.Addr, proto uint8, maxLen int, build func(*cstr
 			page := st.VM.Dom.Pool.Get()
 			ethernet.Encode(page, mac, st.Cfg.MAC, ethernet.TypeIPv4)
 			iph := page.Sub(ethernet.HeaderLen, ipv4.HeaderLen)
-			ipv4.Encode(iph, ipv4.Header{ID: id, Proto: proto, Src: st.Cfg.IP, Dst: dst,
+			ipv4.Encode(iph, ipv4.Header{ID: id, Proto: proto, Src: src, Dst: dst,
 				MoreFrags: fr.More, FragOffset: fr.Offset}, fr.Len)
 			iph.Release()
 			page.PutBytes(hdr, scratch.Slice(fr.Offset, fr.Len))
@@ -292,7 +308,7 @@ func (st *Stack) rxIP(v *cstruct.View) {
 		v.Release()
 		return
 	}
-	if h.Dst != st.Cfg.IP && h.Dst != ipv4.Broadcast {
+	if h.Dst != st.Cfg.IP && h.Dst != ipv4.Broadcast && (st.Cfg.VIP == 0 || h.Dst != st.Cfg.VIP) {
 		payload.Release()
 		st.RxDropped++
 		return
@@ -318,7 +334,7 @@ func (st *Stack) rxIP(v *cstruct.View) {
 		}
 		st.UDP.Input(h.Src, uh, data)
 	case ipv4.ProtoTCP:
-		seg, err := tcp.Parse(h.Src, st.Cfg.IP, full)
+		seg, err := tcp.Parse(h.Src, h.Dst, full)
 		if err != nil {
 			st.RxDropped++
 			return

@@ -100,6 +100,64 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(h.count)
 }
 
+// Quantile estimates the q-quantile (0..1) by linear interpolation within
+// the bucket that crosses the target rank. Samples beyond the last bound
+// report the last bound (the histogram cannot resolve them further).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return QuantileFromBuckets(h.bounds, h.counts, h.count, q)
+}
+
+// QuantileFromBuckets is Quantile over raw bucket data — bounds plus one
+// overflow count, as produced by snapshot diffs — so callers can compute
+// quantiles over an interval (end minus start) rather than all time.
+func QuantileFromBuckets(bounds []float64, counts []int64, total int64, q float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		lo := float64(0)
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		if float64(cum+c) >= rank {
+			if i >= len(bounds) {
+				return bounds[len(bounds)-1] // overflow bucket
+			}
+			hi := bounds[i]
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	if len(bounds) > 0 {
+		return bounds[len(bounds)-1]
+	}
+	return 0
+}
+
+// Buckets returns the histogram's bounds and per-bucket counts (the last
+// count is the +Inf overflow). The returned slices are copies.
+func (h *Histogram) Buckets() (bounds []float64, counts []int64) {
+	if h == nil {
+		return nil, nil
+	}
+	return append([]float64(nil), h.bounds...), append([]int64(nil), h.counts...)
+}
+
 // Registry memoizes metrics by name + sorted labels. A nil Registry hands
 // out nil metrics, which no-op.
 type Registry struct {

@@ -13,11 +13,13 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/device"
 	"repro/internal/hypervisor"
 	"repro/internal/lwt"
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/xenstore"
 )
 
 // Options configure guest start-of-day.
@@ -127,6 +129,20 @@ func Boot(d *hypervisor.Domain, p *sim.Proc, opts Options) (*VM, error) {
 // runs whenever the port fires while the VM is blocked in domainpoll.
 func (vm *VM) WatchPort(pt *hypervisor.Port, fn func()) {
 	vm.S.OnSignal(pt.Sig, fn)
+}
+
+// Attach connects one split device through the unified device seam: the
+// xenstore handshake runs against dom0's store, the backend maps the rings
+// and the frontend's event handler is wired into the VM run loop. Every
+// device class — network, block, whatever comes next — attaches through
+// this one call.
+func (vm *VM) Attach(dom0 *hypervisor.Domain, st *xenstore.Store, index int, fe device.Frontend, be device.Backend) (*hypervisor.Port, error) {
+	port, err := device.Connect(vm.Dom, dom0, st, index, fe, be)
+	if err != nil {
+		return nil, err
+	}
+	vm.WatchPort(port, fe.OnEvent)
+	return port, nil
 }
 
 // Main runs the scheduler until main completes and returns the VM exit
