@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all check fmt vet staticcheck build test race trace bench scalesweep
+.PHONY: all check fmt vet staticcheck build test race race-parallel paritycheck trace bench benchdelta scalesweep
 
 all: check
 
-check: fmt vet staticcheck build test race
+check: fmt vet staticcheck build test race race-parallel paritycheck
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -33,11 +33,43 @@ test: build
 race: build
 	$(GO) test -race ./...
 
+# Focused race check on the parallel simulation driver (fast; also covered
+# by the full `race` target, kept separate so CI can run it on every push).
+race-parallel: build
+	$(GO) test -race -run Parallel ./internal/sim/...
+
+# Serial-vs-parallel byte-identity: the same sharded layout (-pcpus 4)
+# driven single-threaded and multi-threaded must produce identical stdout,
+# structured JSON, metrics and trace for every experiment in the parity set.
+PARITY_EXPS = ping losssweep scalesweep
+paritycheck: build
+	@$(GO) build -o /tmp/repro-parity ./cmd/repro
+	@for e in $(PARITY_EXPS); do \
+		/tmp/repro-parity -experiment $$e -quick -pcpus 4 \
+			-json /tmp/parity_$${e}_s.json -metrics -trace /tmp/parity_$${e}_s.trace \
+			> /tmp/parity_$${e}_s.out 2>/dev/null || exit 1; \
+		/tmp/repro-parity -experiment $$e -quick -pcpus 4 -parallel \
+			-json /tmp/parity_$${e}_p.json -metrics -trace /tmp/parity_$${e}_p.trace \
+			> /tmp/parity_$${e}_p.out 2>/dev/null || exit 1; \
+		cmp /tmp/parity_$${e}_s.out /tmp/parity_$${e}_p.out || { echo "parity FAIL ($$e): stdout"; exit 1; }; \
+		cmp /tmp/parity_$${e}_s.json /tmp/parity_$${e}_p.json || { echo "parity FAIL ($$e): json"; exit 1; }; \
+		cmp /tmp/parity_$${e}_s.trace /tmp/parity_$${e}_p.trace || { echo "parity FAIL ($$e): trace"; exit 1; }; \
+		echo "parity OK: $$e (stdout+metrics, json, trace)"; \
+	done
+
 # Wall-clock fast-path microbenchmarks -> BENCH_fastpath.json ("fastpath"
 # section; the recorded pre-change "baseline" section is preserved).
 bench: build
 	$(GO) test -run '^$$' -bench Fastpath -benchmem ./internal/bench | \
 		$(GO) run ./cmd/benchjson -out BENCH_fastpath.json -section fastpath
+
+# Re-run the fast-path benches and diff against the committed trajectory
+# file; fails when ns/op or allocs/op regressed by more than 10%.
+benchdelta: build
+	@rm -f /tmp/bench_new.json
+	$(GO) test -run '^$$' -bench Fastpath -benchmem ./internal/bench | \
+		$(GO) run ./cmd/benchjson -out /tmp/bench_new.json -section fastpath
+	$(GO) run ./cmd/benchjson -delta BENCH_fastpath.json /tmp/bench_new.json
 
 # Autoscaling fleet sweep -> BENCH_scalesweep.json; runs the experiment
 # twice on the same seed and asserts the rendered output is byte-identical.

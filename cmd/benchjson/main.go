@@ -6,6 +6,14 @@
 //
 // The file maps section -> benchmark name -> {ns_op, b_op, allocs_op}.
 // Existing sections (e.g. the recorded pre-change "baseline") are preserved.
+//
+// Delta mode compares two trajectory files section by section:
+//
+//	go run ./cmd/benchjson -delta BENCH_fastpath.json new.json
+//
+// printing per-benchmark ns/op and allocs/op deltas and exiting nonzero
+// when any benchmark regressed by more than 10% — the CI guard for the
+// fast path.
 package main
 
 import (
@@ -14,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -27,7 +36,15 @@ type row struct {
 func main() {
 	out := flag.String("out", "BENCH_fastpath.json", "output JSON file")
 	section := flag.String("section", "fastpath", "section name to write")
+	delta := flag.Bool("delta", false, "compare two trajectory files: benchjson -delta old.json new.json")
 	flag.Parse()
+
+	if *delta {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("usage: benchjson -delta old.json new.json"))
+		}
+		os.Exit(runDelta(flag.Arg(0), flag.Arg(1)))
+	}
 
 	rows := map[string]row{}
 	sc := bufio.NewScanner(os.Stdin)
@@ -82,6 +99,82 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote section %q (%d benchmarks) to %s\n", *section, len(rows), *out)
+}
+
+// regressionLimit is the relative slowdown (ns/op or allocs/op) delta mode
+// tolerates before failing.
+const regressionLimit = 0.10
+
+func loadDoc(path string) map[string]map[string]row {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	doc := map[string]map[string]row{}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		fatal(fmt.Errorf("parse %s: %w", path, err))
+	}
+	return doc
+}
+
+// runDelta prints per-benchmark deltas for every (section, benchmark) pair
+// present in both files and returns the process exit code: nonzero when
+// any ns/op or allocs/op regression exceeds regressionLimit.
+func runDelta(oldPath, newPath string) int {
+	oldDoc, newDoc := loadDoc(oldPath), loadDoc(newPath)
+	var sections []string
+	for s := range newDoc {
+		if _, ok := oldDoc[s]; ok {
+			sections = append(sections, s)
+		}
+	}
+	sort.Strings(sections)
+	compared, failed := 0, 0
+	for _, s := range sections {
+		var names []string
+		for n := range newDoc[s] {
+			if _, ok := oldDoc[s][n]; ok {
+				names = append(names, n)
+			}
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			o, nw := oldDoc[s][n], newDoc[s][n]
+			compared++
+			nsPct := pct(o.NsOp, nw.NsOp)
+			alPct := pct(o.AllocsOp, nw.AllocsOp)
+			verdict := "ok"
+			if nsPct > regressionLimit || alPct > regressionLimit {
+				verdict = "REGRESSION"
+				failed++
+			}
+			fmt.Printf("%-10s %-24s ns/op %12.0f -> %12.0f (%+6.1f%%)  allocs/op %8.0f -> %8.0f (%+6.1f%%)  %s\n",
+				s, n, o.NsOp, nw.NsOp, nsPct*100, o.AllocsOp, nw.AllocsOp, alPct*100, verdict)
+		}
+	}
+	if compared == 0 {
+		fatal(fmt.Errorf("no common (section, benchmark) pairs between %s and %s", oldPath, newPath))
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d/%d benchmarks regressed more than %.0f%%\n",
+			failed, compared, regressionLimit*100)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks within %.0f%% of %s\n",
+		compared, regressionLimit*100, oldPath)
+	return 0
+}
+
+// pct is the relative increase from old to new (0 when old is 0: a
+// benchmark that allocated nothing before and nothing now).
+func pct(old, new float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return 1
+	}
+	return (new - old) / old
 }
 
 func fatal(err error) {

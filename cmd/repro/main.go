@@ -23,7 +23,9 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/netback"
 	"repro/internal/obs"
@@ -45,7 +47,17 @@ func main() {
 	replicasMin := flag.Int("replicas-min", 0, "scalesweep: minimum fleet replicas (0 = default)")
 	replicasMax := flag.Int("replicas-max", 0, "scalesweep: maximum fleet replicas (0 = default)")
 	lbPolicy := flag.String("lb-policy", "", "scalesweep: round-robin or least-conns (default round-robin)")
+	pcpus := flag.Int("pcpus", 1, "shard the event queue across this many per-pCPU kernels (1 = classic single kernel)")
+	parallel := flag.Bool("parallel", false, "drive the pCPU shards on OS threads (requires -pcpus > 1); output is byte-identical to the single-threaded run")
 	flag.Parse()
+
+	if *parallel && *pcpus <= 1 {
+		fmt.Fprintln(os.Stderr, "repro: -parallel requires -pcpus > 1")
+		os.Exit(2)
+	}
+	if *pcpus > 1 {
+		core.SetDefaultSharding(*pcpus, *parallel)
+	}
 
 	if *loss > 0 || *dup > 0 || *reorder > 0 || *jitter > 0 {
 		// Applies to every bridge the experiments create. Note some
@@ -92,11 +104,17 @@ func main() {
 		if !want["all"] && !want[e.ID] {
 			continue
 		}
+		start := time.Now()
 		out, err := e.Run(opts)
+		elapsed := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		// Wall clock goes to stderr so stdout stays byte-comparable
+		// between serial and parallel runs.
+		fmt.Fprintf(os.Stderr, "repro: %s: wall %s (pcpus=%d parallel=%v)\n",
+			e.ID, elapsed.Round(time.Millisecond), *pcpus, *parallel)
 		fmt.Print(out.Text())
 		fmt.Println()
 		if len(out.Results) > 0 {

@@ -13,21 +13,32 @@
 // double-free — the same discipline cstruct pages enforce.
 package bufpool
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
 
-// Buf is a fixed-capacity, reference-counted byte buffer.
+// Buf is a fixed-capacity, reference-counted byte buffer. The reference
+// count is atomic so a frame flooded to endpoints homed on different
+// simulation shards can be retained/released from any shard's thread.
 type Buf struct {
 	data []byte // full capacity
 	n    int    // logical length
-	refs int
+	refs atomic.Int32
 	pool *Pool
 }
 
 // Pool hands out fixed-size buffers and recycles them when the last
-// reference is released.
+// reference is released. A pool is single-threaded by default; Share()
+// puts it in shared mode, where the free list and stats are mutex-guarded
+// so buffers can be allocated on one simulation shard and released on
+// another (the set of operations is deterministic, so the counts are too).
 type Pool struct {
-	size int
-	free []*Buf
+	size   int
+	free   []*Buf
+	shared bool
+	mu     sync.Mutex
 	// Stats
 	Allocated int // buffers ever created
 	Gets      int // total Get calls
@@ -43,21 +54,40 @@ func NewPool(size int) *Pool {
 	return &Pool{size: size}
 }
 
+// Share enables cross-thread use: Get and the final Release lock the pool.
+// Call during setup, before the pool is used.
+func (p *Pool) Share() { p.shared = true }
+
 // BufSize returns the fixed capacity of this pool's buffers.
 func (p *Pool) BufSize() int { return p.size }
 
 // InUse returns how many buffers are currently live (referenced by at
 // least one holder). A quiesced system should report zero — anything else
 // is a leak.
-func (p *Pool) InUse() int { return p.inUse }
+func (p *Pool) InUse() int {
+	if p.shared {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+	}
+	return p.inUse
+}
 
 // FreeBufs returns how many buffers sit on the free list.
-func (p *Pool) FreeBufs() int { return len(p.free) }
+func (p *Pool) FreeBufs() int {
+	if p.shared {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+	}
+	return len(p.free)
+}
 
 // Get returns an empty buffer with reference count 1. Contents are not
 // zeroed: the logical length starts at 0 and only appended bytes are ever
 // exposed.
 func (p *Pool) Get() *Buf {
+	if p.shared {
+		p.mu.Lock()
+	}
 	p.Gets++
 	var b *Buf
 	if n := len(p.free); n > 0 {
@@ -67,9 +97,12 @@ func (p *Pool) Get() *Buf {
 		b = &Buf{data: make([]byte, p.size), pool: p}
 		p.Allocated++
 	}
-	b.n = 0
-	b.refs = 1
 	p.inUse++
+	if p.shared {
+		p.mu.Unlock()
+	}
+	b.n = 0
+	b.refs.Store(1)
 	return b
 }
 
@@ -77,7 +110,9 @@ func (p *Pool) Get() *Buf {
 // count 1 (slow path: frames entering the bridge as raw bytes). Release
 // still checks for double-free but returns nothing to any pool.
 func Wrap(data []byte) *Buf {
-	return &Buf{data: data, n: len(data), refs: 1}
+	b := &Buf{data: data, n: len(data)}
+	b.refs.Store(1)
+	return b
 }
 
 // Bytes returns the logical contents. The slice aliases the pooled
@@ -126,26 +161,33 @@ func (b *Buf) Truncate(n int) {
 
 // Retain adds a reference (another consumer of the same immutable frame).
 func (b *Buf) Retain() *Buf {
-	if b.refs <= 0 {
+	if b.refs.Add(1) <= 1 {
 		panic("bufpool: Retain of released buffer")
 	}
-	b.refs++
 	return b
 }
 
 // Release drops a reference; the last release returns a pooled buffer to
 // its free list. Releasing an already-freed buffer panics.
 func (b *Buf) Release() {
-	if b.refs <= 0 {
+	n := b.refs.Add(-1)
+	if n < 0 {
 		panic("bufpool: Release of already-freed buffer")
 	}
-	b.refs--
-	if b.refs > 0 {
+	if n > 0 {
 		return
 	}
-	if b.pool != nil {
-		b.pool.inUse--
-		b.pool.Recycled++
-		b.pool.free = append(b.pool.free, b)
+	p := b.pool
+	if p == nil {
+		return
+	}
+	if p.shared {
+		p.mu.Lock()
+	}
+	p.inUse--
+	p.Recycled++
+	p.free = append(p.free, b)
+	if p.shared {
+		p.mu.Unlock()
 	}
 }

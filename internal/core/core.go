@@ -38,27 +38,62 @@ import (
 // Platform is a deployment target: a simulated host with hypervisor,
 // control domain, software bridge, SSD and xenstore.
 type Platform struct {
-	K      *sim.Kernel
-	Host   *hypervisor.Host
-	Bridge *netback.Bridge
-	SSD    *blkback.SSD
-	Store  *xenstore.Store
-	Dom0   *hypervisor.Domain
+	K       *sim.Kernel
+	Cluster *sim.Cluster // nil unless sharded (SetDefaultSharding pcpus > 1)
+	Host    *hypervisor.Host
+	Bridge  *netback.Bridge
+	SSD     *blkback.SSD
+	Store   *xenstore.Store
+	Dom0    *hypervisor.Domain
 
 	dom0Ready   *sim.Signal
 	deployments []*Deployment
 }
 
+// defaultPCPUs/defaultParallel shard platforms created afterwards; a CLI
+// installs them once (mirroring netback.SetDefaultFaults) so experiments
+// that build their own platforms inherit the flags.
+var (
+	defaultPCPUs    = 1
+	defaultParallel bool
+)
+
+// SetDefaultSharding makes subsequent NewPlatform calls shard the event
+// queue across pcpus per-pCPU kernels (plus the dom0 shard); parallel
+// drives the shards on OS threads, otherwise they interleave on one thread
+// with byte-identical results. pcpus <= 1 restores the classic single
+// kernel.
+func SetDefaultSharding(pcpus int, parallel bool) {
+	defaultPCPUs = pcpus
+	defaultParallel = parallel
+}
+
 // NewPlatform creates a host (with 4 physical CPUs for guests) and its
-// control domain.
+// control domain. Under sharding the cluster's lookahead is the bridge
+// propagation latency: it is the minimum delay on every cross-shard path
+// (frames in either direction traverse the bridge), so conservative epochs
+// of that width cannot miss a cross-shard event.
 func NewPlatform(seed int64) *Platform {
-	k := sim.NewKernel(seed)
+	var k *sim.Kernel
+	var cluster *sim.Cluster
+	npcpus := 4
+	if defaultPCPUs > 1 {
+		cluster = sim.NewCluster(seed, defaultPCPUs+1, netback.DefaultParams().Latency)
+		cluster.SetParallel(defaultParallel)
+		k = cluster.Kernel(0)
+		if defaultPCPUs > npcpus {
+			npcpus = defaultPCPUs
+		}
+	} else {
+		k = sim.NewKernel(seed)
+	}
 	pl := &Platform{
-		K:      k,
-		Host:   hypervisor.NewHost(k, 4),
-		Bridge: netback.NewBridge(k, netback.DefaultParams()),
-		SSD:    blkback.NewSSD(k, blkback.DefaultSSDParams()),
-		Store:  xenstore.New(),
+		K:       k,
+		Cluster: cluster,
+		Host:    hypervisor.NewHost(k, npcpus),
+		Bridge:  netback.NewBridge(k, netback.DefaultParams()),
+		SSD:     blkback.NewSSD(k, blkback.DefaultSSDParams()),
+		Store:   xenstore.New(),
 	}
 	pl.dom0Ready = k.NewSignal("dom0-ready")
 	k.Spawn("dom0-init", func(p *sim.Proc) {
@@ -184,7 +219,10 @@ func (pl *Platform) Deploy(u Unikernel, opts DeployOpts) *Deployment {
 		if pl.Dom0 == nil {
 			p.Wait(pl.dom0Ready)
 		}
-		cfg := hypervisor.Config{Name: u.Build.Name, Memory: mem, Entry: entry, PCPU: opts.PCPU}
+		// Block guests colocate with dom0: blkback and the SSD are
+		// dom0-shard state, so their rings must not be driven from
+		// another shard.
+		cfg := hypervisor.Config{Name: u.Build.Name, Memory: mem, Entry: entry, PCPU: opts.PCPU, Colocate: opts.Block}
 		if opts.ParallelToolstack {
 			dep.Domain = pl.Host.CreateParallel(p, cfg)
 		} else {

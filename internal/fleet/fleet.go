@@ -477,8 +477,10 @@ func (f *Fleet) declareDead(r *Replica, why string) {
 	f.pl.Bridge.DetachMAC(netback.MAC(r.MAC))
 	f.mxCrashes.Inc()
 	f.event("dead %s (%s)", r.Name, why)
-	if d := r.Dep.Domain; d != nil && !d.Dead {
-		d.Shutdown(137, hypervisor.ShutdownCrash)
+	if d := r.Dep.Domain; d != nil {
+		// Destroy posts the kill into the guest's shard; reading d.Dead
+		// here would race when the guest is homed elsewhere.
+		d.Destroy(137, hypervisor.ShutdownCrash)
 	}
 	r.stop.Set()
 }

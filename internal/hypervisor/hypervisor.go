@@ -62,10 +62,12 @@ type Host struct {
 }
 
 // NewHost creates a host with ncpu physical CPUs plus a dom0 control CPU.
+// On a sharded kernel each pCPU is homed on the shard that will execute
+// guests pinned to it; dom0's CPU stays on the host shard.
 func NewHost(k *sim.Kernel, ncpu int) *Host {
 	h := &Host{K: k, Params: DefaultParams()}
 	for i := 0; i < ncpu; i++ {
-		h.PCPUs = append(h.PCPUs, k.NewCPU(fmt.Sprintf("pcpu%d", i)))
+		h.PCPUs = append(h.PCPUs, h.pcpuKernel(i).NewCPU(fmt.Sprintf("pcpu%d", i)))
 	}
 	h.Dom0CPU = k.NewCPU("pcpu-dom0")
 	m := k.Metrics()
@@ -79,6 +81,29 @@ func NewHost(k *sim.Kernel, ncpu int) *Host {
 
 // Domains returns all domains ever created on the host.
 func (h *Host) Domains() []*Domain { return h.domains }
+
+// pcpuKernel maps a physical CPU index to the shard kernel that executes
+// guests pinned there: round-robin over the guest shards, with shard 0
+// reserved for dom0 and host-side device models. On a plain kernel this is
+// always h.K, so single-kernel behavior is untouched.
+func (h *Host) pcpuKernel(i int) *sim.Kernel {
+	c := h.K.Cluster()
+	if c == nil || c.Shards() < 2 {
+		return h.K
+	}
+	return c.Kernel(1 + i%(c.Shards()-1))
+}
+
+// homeKernel picks the shard a domain executes on. Guests follow their
+// pCPU, so domains sharing a pinned pCPU share a shard (the CPU resource
+// then has a single owning thread); dom0, build-only domains and
+// explicitly colocated guests stay on the host shard.
+func (h *Host) homeKernel(cfg Config, pcpuIdx int) *sim.Kernel {
+	if cfg.NoSpawn || cfg.Colocate || cfg.Entry == nil {
+		return h.K
+	}
+	return h.pcpuKernel(pcpuIdx)
+}
 
 // PageFlags describe a page-table entry's permissions.
 type PageFlags uint8
@@ -164,8 +189,12 @@ func (pt *PageTable) Seal() error {
 }
 
 // Port is one end of an event channel (paper §3.2: Xen event channels).
+// Both ends of a channel are homed on one shard kernel (the guest's, for
+// device channels) so notification never crosses shards: the backend
+// worker is colocated with its guest.
 type Port struct {
 	Dom   *Domain
+	K     *sim.Kernel // home shard: Notify and Sig waits run here
 	Index int
 	Sig   *sim.Signal
 	peer  *Port
@@ -184,7 +213,7 @@ func (pt *Port) Notify(p *sim.Proc) {
 	pt.traceNotify()
 	p.Use(pt.Dom.VCPU, h.Params.HypercallCost)
 	peer := pt.peer
-	h.K.After(h.Params.EventLatency, func() {
+	pt.K.After(h.Params.EventLatency, func() {
 		peer.Receives++
 		peer.Sig.Set()
 	})
@@ -198,16 +227,15 @@ func (pt *Port) NotifyAsync() {
 	h.mxNotifies.Inc()
 	pt.traceNotify()
 	peer := pt.peer
-	h.K.After(h.Params.EventLatency, func() {
+	pt.K.After(h.Params.EventLatency, func() {
 		peer.Receives++
 		peer.Sig.Set()
 	})
 }
 
 func (pt *Port) traceNotify() {
-	h := pt.Dom.Host
-	if tr := h.K.Trace(); tr.Enabled() {
-		tr.Instant(h.K.TraceTime(), "hypervisor", "evtchn-notify", pt.Dom.ID, 0,
+	if tr := pt.K.Trace(); tr.Enabled() {
+		tr.Instant(pt.K.TraceTime(), "hypervisor", "evtchn-notify", pt.Dom.ID, 0,
 			obs.Int("port", int64(pt.Index)), obs.Int("peer_dom", int64(pt.peer.Dom.ID)))
 	}
 }
@@ -241,6 +269,7 @@ func (r ShutdownReason) String() string {
 // philosophy); the conventional baselines may use several.
 type Domain struct {
 	Host     *Host
+	K        *sim.Kernel // home shard: guest code, its devices and ports run here
 	ID       int
 	Name     string
 	MemBytes uint64
@@ -258,8 +287,9 @@ type Domain struct {
 	ExitCode  int
 	Reason    ShutdownReason
 
-	console []string
-	ready   *sim.Signal
+	console   []string
+	ready     *sim.Signal // homed on Host.K: waiters are host-side procs
+	readyMark bool        // guest-shard guard so SignalReady posts at most once
 
 	shutdownHooks []func(code int, reason ShutdownReason)
 }
@@ -272,6 +302,7 @@ type Config struct {
 	PCPU     int    // index into host PCPUs to pin vCPU 0 to; -1 allocates a fresh pCPU
 	Entry    func(d *Domain, p *sim.Proc) int
 	NoSpawn  bool // build only; do not start guest code (used by boot benches)
+	Colocate bool // keep the guest on the host shard (block-backed guests)
 	SpeedMul float64
 }
 
@@ -291,16 +322,25 @@ func (h *Host) build(p *sim.Proc, cpu *sim.CPU, cfg Config) *Domain {
 		PT:       NewPageTable(),
 		Pool:     cstruct.NewPool(),
 	}
+	pidx := cfg.PCPU
+	if pidx < 0 || pidx >= len(h.PCPUs) {
+		pidx = len(h.PCPUs) // index the first fresh pCPU will take below
+	}
+	d.K = h.homeKernel(cfg, pidx)
 	nv := cfg.VCPUs
 	if nv <= 0 {
 		nv = 1
 	}
 	for i := 0; i < nv; i++ {
 		var c *sim.CPU
-		if i == 0 && cfg.PCPU >= 0 && cfg.PCPU < len(h.PCPUs) {
+		if i == 0 && cfg.PCPU >= 0 && cfg.PCPU < len(h.PCPUs) && h.PCPUs[cfg.PCPU].Kernel() == d.K {
 			c = h.PCPUs[cfg.PCPU]
 		} else {
-			c = h.K.NewCPU(fmt.Sprintf("%s-vcpu%d", cfg.Name, i))
+			// Fresh vCPU, homed on the guest's shard so all its Reserve/Use
+			// calls stay single-threaded. A pinned pCPU homed on a different
+			// shard (e.g. dom0 pinned to a guest pCPU under sharding) also
+			// lands here rather than sharing cross-shard.
+			c = d.K.NewCPU(fmt.Sprintf("%s-vcpu%d", cfg.Name, i))
 			h.PCPUs = append(h.PCPUs, c)
 		}
 		if cfg.SpeedMul > 0 {
@@ -316,7 +356,7 @@ func (h *Host) build(p *sim.Proc, cpu *sim.CPU, cfg Config) *Domain {
 	h.mxDomains.Inc()
 	m := h.K.Metrics()
 	d.PT.refusedC = h.mxSealRefused
-	wireGrantHooks(h.K, d, m)
+	wireGrantHooks(d.K, d, m)
 	tr := h.K.Trace()
 	tr.NameProcess(d.ID, cfg.Name)
 	if tr.Enabled() {
@@ -381,22 +421,38 @@ func (d *Domain) start(cfg Config) {
 	if cfg.NoSpawn || cfg.Entry == nil {
 		return
 	}
-	p := d.Host.K.Spawn(cfg.Name, func(p *sim.Proc) {
+	// The entry proc spawns on the domain's home shard: boot, the xenstore
+	// device handshakes and guest main all execute there, so guest-side
+	// state has exactly one owning thread.
+	d.Host.K.SpawnTo(d.K, cfg.Name, d.ID, func(p *sim.Proc) {
 		code := cfg.Entry(d, p)
 		if !d.Dead {
 			d.Shutdown(code, ShutdownPoweroff)
 		}
 	})
-	p.SetTracePid(d.ID)
 }
 
 // SignalReady marks the instant guest boot completed (e.g. first packet
-// transmitted); boot-time experiments read BootTime afterwards.
+// transmitted); boot-time experiments read BootTime afterwards. It runs in
+// guest context; readiness (BootedAt and the ready signal, read by
+// host-side waiters) is published on the host shard.
 func (d *Domain) SignalReady() {
-	if d.BootedAt == 0 {
-		d.BootedAt = d.Host.K.Now()
-		d.ready.Set()
+	if d.readyMark {
+		return
 	}
+	d.readyMark = true
+	t := d.K.Now()
+	mark := func() {
+		if d.BootedAt == 0 {
+			d.BootedAt = t
+			d.ready.Set()
+		}
+	}
+	if d.K == d.Host.K {
+		mark()
+		return
+	}
+	d.K.Post(d.Host.K, 0, mark)
 }
 
 // WaitReady blocks p until the domain signals readiness.
@@ -422,7 +478,8 @@ func (d *Domain) OnShutdown(fn func(code int, reason ShutdownReason)) {
 
 // Shutdown stops the domain; the VM exit code matches the main thread's
 // return value (§3.3). Lifecycle hooks fire exactly once, on the first
-// Shutdown — later calls are no-ops.
+// Shutdown — later calls are no-ops. Call from the domain's home shard
+// (guest exit path); host-side code uses Destroy.
 func (d *Domain) Shutdown(code int, reason ShutdownReason) {
 	if d.Dead {
 		return
@@ -432,36 +489,66 @@ func (d *Domain) Shutdown(code int, reason ShutdownReason) {
 	d.Reason = reason
 	h := d.Host
 	h.K.Metrics().Counter("hv_domain_shutdowns_total", obs.L("reason", reason.String())).Inc()
-	if tr := h.K.Trace(); tr.Enabled() {
-		tr.Instant(h.K.TraceTime(), "hypervisor", "domain-shutdown", d.ID, 0,
+	if tr := d.K.Trace(); tr.Enabled() {
+		tr.Instant(d.K.TraceTime(), "hypervisor", "domain-shutdown", d.ID, 0,
 			obs.Int("code", int64(code)), obs.Str("reason", reason.String()))
 	}
-	for _, fn := range d.shutdownHooks {
-		fn(code, reason)
+	if d.K == h.K {
+		for _, fn := range d.shutdownHooks {
+			fn(code, reason)
+		}
+		return
 	}
+	// Lifecycle hooks are control-plane observers (fleet orchestrator):
+	// deliver them on the host shard, one event-channel hop later.
+	hooks := d.shutdownHooks
+	d.K.Post(h.K, h.Params.EventLatency, func() {
+		for _, fn := range hooks {
+			fn(code, reason)
+		}
+	})
+}
+
+// Destroy is the toolstack-side kill (xl destroy): callable from the host
+// shard, it routes the shutdown to the domain's home shard so guest-side
+// state keeps a single writer. Synchronous when the domain is colocated.
+func (d *Domain) Destroy(code int, reason ShutdownReason) {
+	if d.K == d.Host.K {
+		d.Shutdown(code, reason)
+		return
+	}
+	d.Host.K.Post(d.K, d.Host.Params.EventLatency, func() {
+		d.Shutdown(code, reason)
+	})
 }
 
 // Console appends a line to the domain's console ring.
 func (d *Domain) Console(msg string) {
-	d.console = append(d.console, fmt.Sprintf("[%8.3fs] %s", d.Host.K.Now().Seconds(), msg))
+	d.console = append(d.console, fmt.Sprintf("[%8.3fs] %s", d.K.Now().Seconds(), msg))
 }
 
 // ConsoleLines returns the console contents.
 func (d *Domain) ConsoleLines() []string { return d.console }
 
-// AllocPort allocates an unbound event-channel port on d.
+// AllocPort allocates an unbound event-channel port on d, homed on the
+// domain's shard.
 func (d *Domain) AllocPort() *Port {
-	pt := &Port{Dom: d, Index: len(d.ports)}
-	pt.Sig = d.Host.K.NewSignal(fmt.Sprintf("%s-evtchn%d", d.Name, pt.Index))
+	pt := &Port{Dom: d, K: d.K, Index: len(d.ports)}
+	pt.Sig = d.K.NewSignal(fmt.Sprintf("%s-evtchn%d", d.Name, pt.Index))
 	d.ports = append(d.ports, pt)
 	return pt
 }
 
 // Connect binds a fresh pair of ports between domains a and b, returning
 // (a's end, b's end). This stands in for the xenstore-mediated interdomain
-// bind.
+// bind. Both ends are homed on a's shard — the backend worker that holds
+// b's end is colocated with the guest — and b's end floats: it mirrors a's
+// port index instead of entering b's port table, so b's (dom0's) indices
+// stay independent of the order concurrent guest handshakes complete in.
 func Connect(a, b *Domain) (*Port, *Port) {
-	pa, pb := a.AllocPort(), b.AllocPort()
+	pa := a.AllocPort()
+	pb := &Port{Dom: b, K: a.K, Index: pa.Index}
+	pb.Sig = a.K.NewSignal(fmt.Sprintf("%s-evtchn%d-%s", b.Name, pa.Index, a.Name))
 	pa.peer, pb.peer = pb, pa
 	return pa, pb
 }
@@ -474,8 +561,8 @@ func (d *Domain) Seal(p *sim.Proc) error {
 	h.mxHypercalls.Inc()
 	h.mxSeals.Inc()
 	p.Use(d.VCPU, h.Params.HypercallCost+h.Params.SealCost)
-	if tr := h.K.Trace(); tr.Enabled() {
-		tr.Instant(h.K.TraceTime(), "hypervisor", "seal", d.ID, 0,
+	if tr := d.K.Trace(); tr.Enabled() {
+		tr.Instant(d.K.TraceTime(), "hypervisor", "seal", d.ID, 0,
 			obs.Int("pages", int64(len(d.PT.pages))))
 	}
 	return d.PT.Seal()

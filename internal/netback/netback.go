@@ -60,6 +60,14 @@ type Endpoint interface {
 	Deliver(frame *bufpool.Buf)
 }
 
+// Homed is optionally implemented by endpoints whose Deliver must run on a
+// simulation kernel other than the bridge's (a guest pinned to another
+// pCPU shard). The bridge posts deliveries into that kernel; endpoints
+// without a home receive frames on the bridge kernel as before.
+type Homed interface {
+	Home() *sim.Kernel
+}
+
 // frameBufSize bounds one assembled Ethernet frame (MTU + headers, rounded
 // up to a power of two).
 const frameBufSize = 2048
@@ -162,6 +170,11 @@ type Bridge struct {
 func NewBridge(k *sim.Kernel, params Params) *Bridge {
 	m := k.Metrics()
 	batchBounds := []float64{1, 2, 4, 8, 16, 32}
+	pool := bufpool.NewPool(frameBufSize)
+	if k.Cluster() != nil {
+		// Frames staged on the bridge shard are released by guest shards.
+		pool.Share()
+	}
 	return &Bridge{
 		K:              k,
 		CPU:            k.NewCPU("dom0-netback"),
@@ -171,7 +184,7 @@ func NewBridge(k *sim.Kernel, params Params) *Bridge {
 		down:           map[MAC]bool{},
 		faults:         defaultFaults,
 		epFaults:       map[MAC]Faults{},
-		pool:           bufpool.NewPool(frameBufSize),
+		pool:           pool,
 		mxForwarded:    m.Counter("bridge_frames_total", obs.L("kind", "forwarded")),
 		mxFlooded:      m.Counter("bridge_frames_total", obs.L("kind", "flooded")),
 		mxSteered:      m.Counter("bridge_frames_total", obs.L("kind", "steered")),
@@ -346,7 +359,7 @@ func (b *Bridge) TransmitBytes(src MAC, frame []byte) {
 func (b *Bridge) deliver(dst MAC, e Endpoint, at sim.Time, frame *bufpool.Buf) {
 	f := b.faultsFor(dst)
 	if !f.enabled() {
-		b.K.At(at, func() { e.Deliver(frame) })
+		b.schedule(e, at, frame)
 		return
 	}
 	rng := b.K.Rand()
@@ -389,8 +402,22 @@ func (b *Bridge) deliver(dst MAC, e Endpoint, at sim.Time, frame *bufpool.Buf) {
 			b.mxFaultJitter.Inc()
 			instant("jitter")
 		}
-		b.K.At(when, func() { e.Deliver(frame) })
+		b.schedule(e, when, frame)
 	}
+}
+
+// schedule hands the frame to the endpoint at the given instant, posting
+// into the endpoint's home kernel when it lives on another shard. The
+// bridge propagation latency already baked into `at` is at least the
+// cluster lookahead, so the cross-shard post is (almost) never clamped.
+func (b *Bridge) schedule(e Endpoint, at sim.Time, frame *bufpool.Buf) {
+	if h, ok := e.(Homed); ok {
+		if dk := h.Home(); dk != b.K {
+			b.K.PostAt(dk, at, func() { e.Deliver(frame) })
+			return
+		}
+	}
+	b.K.At(at, func() { e.Deliver(frame) })
 }
 
 // TX/RX ring slot encodings (little-endian, within a 120-byte slot).
@@ -477,6 +504,7 @@ type VIF struct {
 	bridge *Bridge
 	mac    MAC
 	guest  *hypervisor.Domain
+	pool   *bufpool.Pool // TX staging when homed off the bridge shard
 
 	txBack *ring.Back
 	rxBack *ring.Back
@@ -529,6 +557,12 @@ func (vb *VIFBackend) Connect(guest *hypervisor.Domain, rings map[string]*cstruc
 // pages (already initialised by the frontend) and port is the backend end
 // of the event channel. The returned VIF is registered on the bridge and
 // its worker is spawned.
+//
+// The worker runs on the guest's home kernel: ring drains and grant copies
+// touch guest memory, so sharding them with the guest keeps every access
+// single-threaded. When that home is not the bridge shard the VIF stages
+// TX frames in its own shared pool (releases come back from other shards)
+// and the bridge registration is posted into the bridge kernel.
 func NewVIF(b *Bridge, guest *hypervisor.Domain, mac MAC, txPage, rxPage *cstruct.View, port *hypervisor.Port) *VIF {
 	v := &VIF{
 		bridge: b,
@@ -538,13 +572,47 @@ func NewVIF(b *Bridge, guest *hypervisor.Domain, mac MAC, txPage, rxPage *cstruc
 		rxBack: ring.NewBack(rxPage),
 		port:   port,
 	}
-	b.Attach(v)
-	b.K.SpawnDaemon("netback-"+mac.String(), v.worker)
+	if guest.K != b.K {
+		v.pool = bufpool.NewPool(frameBufSize)
+		v.pool.Share()
+		guest.K.Post(b.K, 0, func() { b.Attach(v) })
+	} else {
+		b.Attach(v)
+	}
+	guest.K.SpawnDaemon("netback-"+mac.String(), v.worker)
 	return v
 }
 
 // MAC implements Endpoint.
 func (v *VIF) MAC() MAC { return v.mac }
+
+// Home implements Homed: frames for this VIF are delivered on the guest's
+// kernel.
+func (v *VIF) Home() *sim.Kernel { return v.guest.K }
+
+// stagingPool returns the pool TX frames are assembled from: the bridge's
+// on the bridge shard (bit-identical to the single-kernel path), the VIF's
+// own shared pool when homed elsewhere (keeps the bridge pool's allocation
+// stats independent of thread interleaving).
+func (v *VIF) stagingPool() *bufpool.Pool {
+	if v.pool != nil {
+		return v.pool
+	}
+	return v.bridge.pool
+}
+
+// transmit hands an assembled frame to the bridge, posting it into the
+// bridge kernel when the worker runs on another shard. The post is clamped
+// to the cluster lookahead, which core derives from the bridge propagation
+// latency — so the hop costs the same latency the bridge would charge.
+func (v *VIF) transmit(f *bufpool.Buf) {
+	gk := v.guest.K
+	if gk == v.bridge.K {
+		v.bridge.Transmit(v.mac, f)
+		return
+	}
+	gk.Post(v.bridge.K, 0, func() { v.bridge.Transmit(v.mac, f) })
+}
 
 // Deliver implements Endpoint: an incoming frame is copied into a guest-
 // posted RX page (the one unavoidable copy on receive — the guest owns the
@@ -587,7 +655,8 @@ func (v *VIF) scheduleRxFlush() {
 	v.rspPending++
 	v.rspGen++
 	gen := v.rspGen
-	v.bridge.K.At(v.bridge.K.Now(), func() {
+	k := v.guest.K
+	k.At(k.Now(), func() {
 		if gen != v.rspGen {
 			return
 		}
@@ -641,7 +710,7 @@ func (v *VIF) worker(p *sim.Proc) {
 			progressed = true
 			drained++
 			if frame == nil {
-				frame = v.bridge.pool.Get()
+				frame = v.stagingPool().Get()
 			}
 			prev := frame.Len()
 			dst := frame.Extend(int(length))
@@ -655,7 +724,7 @@ func (v *VIF) worker(p *sim.Proc) {
 			}
 			if !more {
 				if ok && frame.Len() >= 14 {
-					v.bridge.Transmit(v.mac, frame)
+					v.transmit(frame)
 					v.TxFrames++
 				} else {
 					frame.Release()

@@ -19,6 +19,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"sync"
 )
 
 // Time is virtual nanoseconds since the owning kernel booted (mirrors
@@ -57,6 +58,13 @@ const DefaultCap = 1 << 18
 // Tracer is a bounded in-memory buffer of virtual-time events. A nil or
 // disabled Tracer is safe to use and records nothing; hot paths should
 // guard emission with Enabled() to skip argument construction.
+//
+// For parallel simulation a root tracer hands out per-shard views via
+// Shard(): each view appends to its own buffer with no locking (one OS
+// thread per shard), name metadata is funneled to the root under a mutex,
+// and WriteJSON merges the buffers by virtual timestamp with shard index as
+// the tiebreaker — so the exported trace is a pure function of the virtual
+// schedule, independent of thread interleaving.
 type Tracer struct {
 	enabled bool
 	cap     int
@@ -66,6 +74,10 @@ type Tracer struct {
 	base    Time
 	pids    map[int]string
 	tids    map[int]map[int]string
+
+	parent *Tracer   // non-nil on shard views
+	shards []*Tracer // root only: views handed out by Shard()
+	mu     sync.Mutex
 }
 
 // NewTracer returns a disabled tracer holding at most cap events
@@ -88,7 +100,43 @@ func (t *Tracer) Disable() {
 }
 
 // Enabled reports whether Add calls will record. Safe on nil.
-func (t *Tracer) Enabled() bool { return t != nil && t.enabled }
+func (t *Tracer) Enabled() bool {
+	if t == nil {
+		return false
+	}
+	if t.parent != nil {
+		return t.parent.enabled
+	}
+	return t.enabled
+}
+
+// root returns the tracer owning shared state (names, base, enablement).
+func (t *Tracer) root() *Tracer {
+	if t.parent != nil {
+		return t.parent
+	}
+	return t
+}
+
+// Shard returns a per-shard view of a root tracer: events recorded through
+// it land in the view's own buffer (lock-free for its owning thread) and
+// are merged deterministically by WriteJSON on the root. Views share the
+// root's enablement, timestamp base and name metadata. Idempotent per index.
+func (t *Tracer) Shard(i int) *Tracer {
+	if t == nil {
+		return nil
+	}
+	r := t.root()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(r.shards) <= i {
+		r.shards = append(r.shards, nil)
+	}
+	if r.shards[i] == nil {
+		r.shards[i] = &Tracer{cap: r.cap, parent: r}
+	}
+	return r.shards[i]
+}
 
 // Rebase shifts the timestamp origin for subsequently added events past
 // everything recorded so far (plus a 10µs gap). Kernels attach to a shared
@@ -98,9 +146,20 @@ func (t *Tracer) Rebase() {
 	if t == nil {
 		return
 	}
-	t.base = t.maxTS
-	if len(t.events) > 0 {
-		t.base += 10_000
+	r := t.root()
+	max, has := r.maxTS, len(r.events) > 0
+	for _, s := range r.shards {
+		if s == nil {
+			continue
+		}
+		if s.maxTS > max {
+			max = s.maxTS
+		}
+		has = has || len(s.events) > 0
+	}
+	r.base = max
+	if has {
+		r.base += 10_000
 	}
 }
 
@@ -109,7 +168,10 @@ func (t *Tracer) NameProcess(pid int, name string) {
 	if t == nil {
 		return
 	}
-	t.pids[pid] = name
+	r := t.root()
+	r.mu.Lock()
+	r.pids[pid] = name
+	r.mu.Unlock()
 }
 
 // NameThread records a metadata name for a tid within a pid.
@@ -117,19 +179,22 @@ func (t *Tracer) NameThread(pid, tid int, name string) {
 	if t == nil {
 		return
 	}
-	m := t.tids[pid]
+	r := t.root()
+	r.mu.Lock()
+	m := r.tids[pid]
 	if m == nil {
 		m = map[int]string{}
-		t.tids[pid] = m
+		r.tids[pid] = m
 	}
 	m[tid] = name
+	r.mu.Unlock()
 }
 
 func (t *Tracer) add(e Event) {
 	if !t.Enabled() {
 		return
 	}
-	e.TS += t.base
+	e.TS += t.root().base
 	if end := e.TS + e.Dur; end > t.maxTS {
 		t.maxTS = end
 	}
@@ -160,12 +225,18 @@ func (t *Tracer) Complete(ts Time, dur Time, cat, name string, pid, tid int, arg
 	t.add(Event{TS: ts, Dur: dur, Ph: 'X', Cat: cat, Name: name, Pid: pid, Tid: tid, Args: args})
 }
 
-// Len returns the number of recorded events.
+// Len returns the number of recorded events (on a root: across all shards).
 func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
 	}
-	return len(t.events)
+	n := len(t.events)
+	for _, s := range t.shards {
+		if s != nil {
+			n += len(s.events)
+		}
+	}
+	return n
 }
 
 // Dropped returns how many events were discarded once the buffer filled.
@@ -173,10 +244,18 @@ func (t *Tracer) Dropped() int {
 	if t == nil {
 		return 0
 	}
-	return t.dropped
+	n := t.dropped
+	for _, s := range t.shards {
+		if s != nil {
+			n += s.dropped
+		}
+	}
+	return n
 }
 
-// Events returns the recorded events (shared slice; do not mutate).
+// Events returns the recorded events (shared slice; do not mutate). On a
+// root with shard views it only covers the root's own buffer — use
+// WriteJSON for the merged timeline.
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
@@ -184,7 +263,8 @@ func (t *Tracer) Events() []Event {
 	return t.events
 }
 
-// Reset drops all recorded events and names but keeps enablement.
+// Reset drops all recorded events, names and shard views but keeps
+// enablement.
 func (t *Tracer) Reset() {
 	if t == nil {
 		return
@@ -193,6 +273,7 @@ func (t *Tracer) Reset() {
 	t.dropped = 0
 	t.maxTS = 0
 	t.base = 0
+	t.shards = nil
 	t.pids = map[int]string{}
 	t.tids = map[int]map[int]string{}
 }
@@ -254,8 +335,24 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 		}
 	}
 
-	for i := range t.events {
-		e := &t.events[i]
+	// A plain tracer emits in recording order (legacy layout). A root with
+	// shard views stable-merges every buffer by virtual timestamp; ties keep
+	// buffer order with the root (shard 0) first, so the byte stream is a
+	// pure function of the virtual schedule.
+	events := t.events
+	if len(t.shards) > 0 {
+		merged := make([]Event, 0, t.Len())
+		merged = append(merged, t.events...)
+		for _, s := range t.shards {
+			if s != nil {
+				merged = append(merged, s.events...)
+			}
+		}
+		sort.SliceStable(merged, func(i, j int) bool { return merged[i].TS < merged[j].TS })
+		events = merged
+	}
+	for i := range events {
+		e := &events[i]
 		var line []byte
 		line = append(line, `{"name":`...)
 		line = append(line, jstr(e.Name)...)

@@ -64,7 +64,7 @@ func Boot(d *hypervisor.Domain, p *sim.Proc, opts Options) (*VM, error) {
 	if opts.BinarySize == 0 {
 		opts.BinarySize = 256 << 10
 	}
-	k := d.Host.K
+	k := d.K
 	tr := k.Trace()
 	initStart := k.Now()
 	p.Use(d.VCPU, opts.InitCost)
@@ -116,7 +116,7 @@ func Boot(d *hypervisor.Domain, p *sim.Proc, opts Options) (*VM, error) {
 	}
 	heap := mem.NewHeap(cfg)
 
-	s := lwt.NewScheduler(d.Host.K)
+	s := lwt.NewScheduler(d.K)
 	s.Heap = heap
 	s.CPU = d.VCPU
 	s.WakeCost = opts.WakeCost

@@ -1,0 +1,480 @@
+// Conservative parallel simulation: a Cluster is a set of shard kernels,
+// one per simulated pCPU plus one for the host/dom0 side, advanced in
+// lockstep epochs. Within an epoch every shard drains its own event queue
+// independently (optionally on its own OS thread); all cross-shard
+// interaction travels as timestamped sends into the destination shard's
+// mailbox with a delay of at least the cluster lookahead W — the minimum
+// cross-pCPU event latency (bridge propagation, vchan/event-channel hops).
+//
+// The epoch barrier is null-message-free (Fujimoto-style conservative
+// synchronization with static lookahead): at each barrier the coordinator
+// drains every mailbox in a canonical order, computes the global minimum
+// next-event time T, and grants shard i a window
+//
+//	E_i = min( min_{j!=i} next_j, next_i + W ) + W
+//
+// Events strictly before E_i are safe to run: anything another shard will
+// ever send arrives at or after its own next event time plus W, and a
+// reply provoked by shard i's own sends cannot come back before
+// next_i + 2W. Mailbox drains sort by (timestamp, source shard, source
+// sequence) and then assign destination-local sequence numbers, so the
+// per-shard execution order — and every trace, metric and experiment
+// output — is a pure function of the virtual schedule, byte-identical
+// whether the windows execute on one thread or many.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// xevent is one cross-shard send parked in a destination mailbox until the
+// next epoch barrier.
+type xevent struct {
+	at  Time
+	src int
+	seq uint64
+	fn  func()
+}
+
+// mailbox collects cross-shard sends. put may be called from any shard's
+// thread; drain only happens at barriers, when no shard is running.
+type mailbox struct {
+	mu sync.Mutex
+	q  []xevent
+}
+
+func (m *mailbox) put(x xevent) {
+	m.mu.Lock()
+	m.q = append(m.q, x)
+	m.mu.Unlock()
+}
+
+func (m *mailbox) take() []xevent {
+	m.mu.Lock()
+	q := m.q
+	m.q = nil
+	m.mu.Unlock()
+	return q
+}
+
+// Cluster is a set of shard kernels advanced in conservative epochs.
+type Cluster struct {
+	kernels  []*Kernel
+	w        Time // lookahead: minimum cross-shard event latency
+	limit    Time // 0 = no limit (mirrors Kernel.limit cluster-wide)
+	stopped  atomic.Bool
+	parallel bool
+
+	mxEpochs  *obs.Counter
+	mxClamped *obs.Counter
+
+	// Parallel driver state: windows[i] is shard i's grant for the current
+	// epoch (0 = idle this epoch), published under bmu before the epoch
+	// counter is bumped. The barrier blocks rather than spins so the
+	// cluster degrades gracefully when OS threads outnumber cores.
+	windows []Time
+	bmu     sync.Mutex
+	wcond   *sync.Cond // workers: wait for an epoch grant
+	dcond   *sync.Cond // coordinator: wait for the barrier to drain
+	epochN  uint64
+	pending int // workers still running this epoch's windows
+	workers int // live worker goroutines
+	quit    bool
+	started bool
+}
+
+// NewCluster creates shards kernels sharing one virtual timeline, with
+// cross-shard lookahead w (must be positive). Shard 0 is the host/dom0
+// shard and keeps the raw seed so single-shard behavior matches a plain
+// kernel; other shards derive their RNG seed deterministically. All shards
+// share shard 0's metrics registry and trace timeline (per-shard trace
+// buffers merged at export).
+func NewCluster(seed int64, shards int, w time.Duration) *Cluster {
+	if shards < 1 {
+		shards = 1
+	}
+	if w <= 0 {
+		panic("sim: cluster lookahead must be positive")
+	}
+	c := &Cluster{w: Time(w), windows: make([]Time, shards)}
+	c.wcond = sync.NewCond(&c.bmu)
+	c.dcond = sync.NewCond(&c.bmu)
+	k0 := NewKernel(seed)
+	k0.cluster = c
+	c.kernels = append(c.kernels, k0)
+	for i := 1; i < shards; i++ {
+		k := &Kernel{
+			rng:     rand.New(rand.NewSource(seed ^ int64(i)*0x9E3779B9)),
+			live:    map[*Proc]struct{}{},
+			parked:  make(chan *Proc),
+			trace:   k0.trace.Shard(i),
+			metrics: k0.metrics,
+			cluster: c,
+			shard:   i,
+		}
+		k.mxSpawns = k0.mxSpawns
+		k.mxWakes = k0.mxWakes
+		k.mxCancels = k0.mxCancels
+		c.kernels = append(c.kernels, k)
+	}
+	c.mxEpochs = k0.metrics.Counter("sim_cluster_epochs_total")
+	c.mxClamped = k0.metrics.Counter("sim_cluster_clamped_sends_total")
+	return c
+}
+
+// SetParallel selects the threaded epoch driver: each shard's windows run
+// on a dedicated OS thread. Output is byte-identical either way.
+func (c *Cluster) SetParallel(on bool) { c.parallel = on }
+
+// Parallel reports whether the threaded driver is selected.
+func (c *Cluster) Parallel() bool { return c.parallel }
+
+// Shards returns the number of shard kernels.
+func (c *Cluster) Shards() int { return len(c.kernels) }
+
+// Kernel returns shard i's kernel.
+func (c *Cluster) Kernel(i int) *Kernel { return c.kernels[i] }
+
+// Lookahead returns the cluster's cross-shard lookahead W.
+func (c *Cluster) Lookahead() time.Duration { return time.Duration(c.w) }
+
+// Cluster returns the cluster this kernel shards, or nil for a plain kernel.
+func (k *Kernel) Cluster() *Cluster { return k.cluster }
+
+// Shard returns this kernel's shard index (0 on a plain kernel).
+func (k *Kernel) Shard() int { return k.shard }
+
+// Post schedules fn on dst's shard at least d after the current instant.
+// On the same kernel this is a plain After. Cross-shard, the delay is
+// clamped up to the cluster lookahead W (counted in
+// sim_cluster_clamped_sends_total) and the send parks in dst's mailbox
+// until the next epoch barrier. Call from k's own context.
+func (k *Kernel) Post(dst *Kernel, d time.Duration, fn func()) {
+	if dst == k {
+		k.After(d, fn)
+		return
+	}
+	c := k.cluster
+	if c == nil || dst.cluster != c {
+		panic("sim: Post across unrelated kernels")
+	}
+	at := k.now.Add(d)
+	if lo := k.now + c.w; at < lo {
+		at = lo
+		c.mxClamped.Inc()
+	}
+	k.xseq++
+	dst.mbox.put(xevent{at: at, src: k.shard, seq: k.xseq, fn: fn})
+}
+
+// PostAt is Post with an absolute target time (same clamping rules).
+func (k *Kernel) PostAt(dst *Kernel, t Time, fn func()) {
+	k.Post(dst, t.Sub(k.now), fn)
+}
+
+// SpawnTo spawns fn as a proc named name on dst, attributing its trace
+// events to pid (0 = host). Same-kernel spawns are immediate; cross-shard
+// spawns ride the mailbox and start one lookahead later.
+func (k *Kernel) SpawnTo(dst *Kernel, name string, pid int, fn func(p *Proc)) {
+	if dst == k {
+		p := k.Spawn(name, fn)
+		if pid != 0 {
+			p.SetTracePid(pid)
+		}
+		return
+	}
+	k.Post(dst, 0, func() {
+		p := dst.Spawn(name, fn)
+		if pid != 0 {
+			p.SetTracePid(pid)
+		}
+	})
+}
+
+// nextWork returns the shard's earliest pending work: a runnable proc runs
+// at the current instant, otherwise the earliest live event.
+func (k *Kernel) nextWork() (Time, bool) {
+	if k.runqHd != len(k.runq) {
+		return k.now, true
+	}
+	if e := k.peekLive(); e != nil {
+		return e.at, true
+	}
+	return 0, false
+}
+
+// runWindow drains runnable procs and events strictly before winEnd.
+func (k *Kernel) runWindow(winEnd Time) {
+	k.winEnd = winEnd
+	for !k.stopped && k.step() {
+	}
+	k.winEnd = 0
+}
+
+// drainMailboxes moves every parked cross-shard send into its destination
+// heap. Sends sort by (timestamp, source shard, source sequence) before
+// destination-local sequence numbers are assigned, so the resulting order
+// is independent of which thread enqueued first.
+func (c *Cluster) drainMailboxes() {
+	for _, k := range c.kernels {
+		q := k.mbox.take()
+		if len(q) == 0 {
+			continue
+		}
+		sort.Slice(q, func(i, j int) bool {
+			if q[i].at != q[j].at {
+				return q[i].at < q[j].at
+			}
+			if q[i].src != q[j].src {
+				return q[i].src < q[j].src
+			}
+			return q[i].seq < q[j].seq
+		})
+		for _, x := range q {
+			k.At(x.at, x.fn)
+		}
+	}
+}
+
+// mailboxesPending reports whether any cross-shard send is still parked.
+func (c *Cluster) mailboxesPending() bool {
+	for _, k := range c.kernels {
+		k.mbox.mu.Lock()
+		n := len(k.mbox.q)
+		k.mbox.mu.Unlock()
+		if n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// runEpochs is the barrier loop shared by the serial and parallel drivers.
+func (c *Cluster) runEpochs() {
+	n := len(c.kernels)
+	next := make([]Time, n)
+	has := make([]bool, n)
+	if c.parallel && !c.started {
+		c.startWorkers()
+	}
+	defer c.stopWorkers()
+	for !c.stopped.Load() {
+		c.drainMailboxes()
+		T := Time(math.MaxInt64)
+		any := false
+		for i, k := range c.kernels {
+			next[i], has[i] = k.nextWork()
+			if has[i] && next[i] < T {
+				T = next[i]
+				any = true
+			}
+		}
+		if !any {
+			break
+		}
+		if c.limit != 0 && T > c.limit {
+			break
+		}
+		for i := range c.kernels {
+			if !has[i] {
+				c.windows[i] = 0
+				continue
+			}
+			bound := next[i] + c.w // earliest echo of our own sends
+			for j := range c.kernels {
+				if j != i && has[j] && next[j] < bound {
+					bound = next[j]
+				}
+			}
+			c.windows[i] = bound + c.w
+		}
+		if c.parallel {
+			// Workers pick up shards 1..n-1; shard 0's window runs here on
+			// the coordinating thread. Epochs where only shard 0 has a
+			// window skip the barrier entirely.
+			act := 0
+			for i := 1; i < n; i++ {
+				if c.windows[i] != 0 {
+					act++
+				}
+			}
+			if act > 0 {
+				c.bmu.Lock()
+				c.pending = act
+				c.epochN++
+				c.wcond.Broadcast()
+				c.bmu.Unlock()
+			}
+			if c.windows[0] != 0 {
+				c.kernels[0].safeWindow(c.windows[0])
+			}
+			if act > 0 {
+				c.bmu.Lock()
+				for c.pending > 0 {
+					c.dcond.Wait()
+				}
+				c.bmu.Unlock()
+			}
+		} else {
+			for i, k := range c.kernels {
+				if c.windows[i] != 0 {
+					k.safeWindow(c.windows[i])
+				}
+			}
+		}
+		for _, k := range c.kernels {
+			if k.panicked {
+				panic(k.panicVal)
+			}
+		}
+		c.mxEpochs.Inc()
+	}
+}
+
+// safeWindow runs one window, converting a proc panic (re-raised by step)
+// into the kernel's recorded panic state so the coordinator re-panics it
+// deterministically after the barrier.
+func (k *Kernel) safeWindow(winEnd Time) {
+	defer func() {
+		if v := recover(); v != nil {
+			k.panicked = true
+			k.panicVal = v
+		}
+	}()
+	k.runWindow(winEnd)
+}
+
+func (c *Cluster) startWorkers() {
+	c.started = true
+	c.workers = len(c.kernels) - 1
+	for i := 1; i < len(c.kernels); i++ {
+		go c.worker(i)
+	}
+}
+
+func (c *Cluster) stopWorkers() {
+	if !c.started {
+		return
+	}
+	c.bmu.Lock()
+	c.quit = true
+	c.wcond.Broadcast()
+	for c.workers > 0 {
+		c.dcond.Wait()
+	}
+	c.quit = false
+	c.started = false
+	c.bmu.Unlock()
+}
+
+// worker drives one shard: block until the next epoch grant, run the
+// window, then check in at the barrier. Shard 0's window runs on the
+// coordinating thread itself (see the epoch publish in runEpochs), so
+// workers exist for shards 1..n-1.
+func (c *Cluster) worker(i int) {
+	k := c.kernels[i]
+	var last uint64
+	for {
+		c.bmu.Lock()
+		for c.epochN == last && !c.quit {
+			c.wcond.Wait()
+		}
+		last = c.epochN
+		if c.quit {
+			c.workers--
+			if c.workers == 0 {
+				c.dcond.Signal()
+			}
+			c.bmu.Unlock()
+			return
+		}
+		c.bmu.Unlock()
+		if w := c.windows[i]; w != 0 {
+			k.safeWindow(w)
+			c.bmu.Lock()
+			c.pending--
+			if c.pending == 0 {
+				c.dcond.Signal()
+			}
+			c.bmu.Unlock()
+		}
+	}
+}
+
+// Run executes the cluster until no shard has pending work (or Stop /
+// StopAt applies), mirroring Kernel.Run's deadlock semantics cluster-wide.
+func (c *Cluster) Run() (Time, error) {
+	c.runEpochs()
+	nondaemon := 0
+	for _, k := range c.kernels {
+		for p := range k.live {
+			if !p.daemon {
+				nondaemon++
+			}
+		}
+	}
+	hasWork := c.mailboxesPending()
+	for _, k := range c.kernels {
+		if k.peekLive() != nil {
+			hasWork = true
+		}
+	}
+	now := c.Now()
+	if !c.stopped.Load() && (c.limit == 0 || !hasWork) && nondaemon > 0 {
+		var parked []string
+		for _, k := range c.kernels {
+			for p := range k.live {
+				if !p.daemon {
+					parked = append(parked, fmt.Sprintf("%s@%s", p.name, p.parkAt))
+				}
+			}
+		}
+		sort.Strings(parked)
+		if len(parked) > 8 {
+			parked = append(parked[:8], "...")
+		}
+		return now, fmt.Errorf("sim: deadlock at %v: %d procs parked: %s", now, nondaemon, fmt.Sprint(parked))
+	}
+	return now, nil
+}
+
+// RunFor advances the cluster by d of virtual time; every shard clock lands
+// exactly on the limit so successive calls stay aligned.
+func (c *Cluster) RunFor(d time.Duration) (Time, error) {
+	prev := c.limit
+	limit := c.Now().Add(d)
+	c.limit = limit
+	for _, k := range c.kernels {
+		k.limit = limit
+	}
+	_, err := c.Run()
+	for _, k := range c.kernels {
+		if k.now < limit {
+			k.now = limit
+		}
+		k.limit = prev
+		k.stopped = false
+	}
+	c.limit = prev
+	c.stopped.Store(false)
+	return c.Now(), err
+}
+
+// Now returns the cluster's virtual-time front: the furthest shard clock.
+func (c *Cluster) Now() Time {
+	var t Time
+	for _, k := range c.kernels {
+		if k.now > t {
+			t = k.now
+		}
+	}
+	return t
+}

@@ -1,0 +1,275 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// clusterRun drives a fixed cross-shard workload on a fresh 4-shard
+// cluster and returns everything observable about the run: the per-shard
+// execution logs (concatenated in shard order), the final virtual time,
+// the metrics snapshot and the merged trace. Serial and parallel drivers
+// must produce byte-identical results.
+func clusterRun(t *testing.T, parallel bool) (string, Time, string, string) {
+	t.Helper()
+	tr := obs.NewTracer(obs.DefaultCap)
+	tr.Enable()
+	reg := obs.NewRegistry()
+	SetDefaultObs(tr, reg)
+	defer SetDefaultObs(nil, nil)
+
+	const shards = 4
+	c := NewCluster(7, shards, 10*time.Microsecond)
+	c.SetParallel(parallel)
+	logs := make([][]string, shards)
+	for i := 0; i < shards; i++ {
+		i := i
+		k := c.Kernel(i)
+		k.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for j := 0; j < 40; j++ {
+				p.Sleep(time.Duration(1+k.Rand().Intn(5000)) * time.Nanosecond)
+				logs[i] = append(logs[i], fmt.Sprintf("s%d j%d @%v", i, j, k.Now()))
+				src, hop := i, j
+				dst := c.Kernel((i + 1) % shards)
+				// The posted fn runs on dst's shard thread, so appending
+				// to dst's log is single-threaded.
+				k.Post(dst, time.Duration(k.Rand().Intn(20))*time.Microsecond, func() {
+					logs[(src+1)%shards] = append(logs[(src+1)%shards],
+						fmt.Sprintf("s%d <- s%d hop%d @%v", (src+1)%shards, src, hop, dst.Now()))
+				})
+				if j%8 == 0 {
+					k.SpawnTo(dst, fmt.Sprintf("x%d-%d", i, j), 0, func(p *Proc) {
+						p.Sleep(time.Microsecond)
+						logs[(src+1)%shards] = append(logs[(src+1)%shards],
+							fmt.Sprintf("s%d spawn from s%d @%v", (src+1)%shards, src, dst.Now()))
+					})
+				}
+			}
+		})
+	}
+	end, err := c.Run()
+	if err != nil {
+		t.Fatalf("cluster run (parallel=%v): %v", parallel, err)
+	}
+	var all bytes.Buffer
+	for i := range logs {
+		for _, l := range logs[i] {
+			fmt.Fprintln(&all, l)
+		}
+	}
+	var trOut bytes.Buffer
+	if err := tr.WriteJSON(&trOut); err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	return all.String(), end, reg.Snapshot().Format(), trOut.String()
+}
+
+func TestParallelByteIdentity(t *testing.T) {
+	sLog, sEnd, sMet, sTr := clusterRun(t, false)
+	pLog, pEnd, pMet, pTr := clusterRun(t, true)
+	if sEnd != pEnd {
+		t.Errorf("final time: serial %v, parallel %v", sEnd, pEnd)
+	}
+	if sLog != pLog {
+		t.Errorf("execution logs differ:\nserial:\n%s\nparallel:\n%s", sLog, pLog)
+	}
+	if sMet != pMet {
+		t.Errorf("metrics differ:\nserial:\n%s\nparallel:\n%s", sMet, pMet)
+	}
+	if sTr != pTr {
+		os.WriteFile("/tmp/sim_trace_serial.json", []byte(sTr), 0o644)
+		os.WriteFile("/tmp/sim_trace_parallel.json", []byte(pTr), 0o644)
+		t.Errorf("traces differ (serial %d bytes, parallel %d bytes)", len(sTr), len(pTr))
+	}
+}
+
+func TestParallelPanicPropagation(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		c := NewCluster(3, 3, 10*time.Microsecond)
+		c.SetParallel(parallel)
+		c.Kernel(2).Spawn("boom", func(p *Proc) {
+			p.Sleep(time.Millisecond)
+			panic("shard 2 exploded")
+		})
+		got := func() (v any) {
+			defer func() { v = recover() }()
+			c.Run()
+			return nil
+		}()
+		if got == nil {
+			t.Fatalf("parallel=%v: expected panic to propagate", parallel)
+		}
+		if s := fmt.Sprint(got); s != `sim: proc "boom" panicked: shard 2 exploded` {
+			t.Errorf("parallel=%v: panic = %q", parallel, s)
+		}
+	}
+}
+
+// TestParallelStopWithPendingMailbox stops the cluster while a cross-shard
+// send is still parked in a mailbox, then restarts: the send must survive
+// the stop and run at its original timestamp.
+func TestParallelStopWithPendingMailbox(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		c := NewCluster(5, 2, 10*time.Microsecond)
+		c.SetParallel(parallel)
+		k0, k1 := c.Kernel(0), c.Kernel(1)
+		var deliveredAt Time
+		k0.Spawn("sender", func(p *Proc) {
+			p.Sleep(time.Millisecond)
+			k0.Post(k1, 500*time.Microsecond, func() { deliveredAt = k1.Now() })
+		})
+		end, err := c.RunFor(1100 * time.Microsecond)
+		if err != nil {
+			t.Fatalf("parallel=%v: first leg: %v", parallel, err)
+		}
+		if end != Time(1100*time.Microsecond) {
+			t.Errorf("parallel=%v: first leg ended at %v, want 1.1ms", parallel, end)
+		}
+		if deliveredAt != 0 {
+			t.Errorf("parallel=%v: cross-shard send ran before its timestamp (at %v)", parallel, deliveredAt)
+		}
+		end, err = c.RunFor(time.Millisecond)
+		if err != nil {
+			t.Fatalf("parallel=%v: second leg: %v", parallel, err)
+		}
+		if deliveredAt != Time(1500*time.Microsecond) {
+			t.Errorf("parallel=%v: send delivered at %v, want 1.5ms", parallel, deliveredAt)
+		}
+		if end != Time(2100*time.Microsecond) {
+			t.Errorf("parallel=%v: clock after restart %v, want 2.1ms", parallel, end)
+		}
+		// Every shard clock must agree after RunFor (consistent restart).
+		for i := 0; i < c.Shards(); i++ {
+			if n := c.Kernel(i).Now(); n != end {
+				t.Errorf("parallel=%v: shard %d clock %v, want %v", parallel, i, n, end)
+			}
+		}
+	}
+}
+
+// TestStopAtExactEventTime pins the inclusive-limit semantics: an event
+// scheduled exactly at the StopAt timestamp still runs, on both the plain
+// kernel and the cluster.
+func TestStopAtExactEventTime(t *testing.T) {
+	k := NewKernel(1)
+	var ran []string
+	k.At(Time(time.Millisecond), func() { ran = append(ran, "at-limit") })
+	k.At(Time(time.Millisecond)+1, func() { ran = append(ran, "past-limit") })
+	k.StopAt(Time(time.Millisecond))
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ran) != 1 || ran[0] != "at-limit" {
+		t.Errorf("plain kernel ran %v, want [at-limit]", ran)
+	}
+
+	for _, parallel := range []bool{false, true} {
+		c := NewCluster(1, 2, 10*time.Microsecond)
+		c.SetParallel(parallel)
+		ran = nil
+		c.Kernel(1).At(Time(time.Millisecond), func() { ran = append(ran, "at-limit") })
+		c.Kernel(1).At(Time(time.Millisecond)+1, func() { ran = append(ran, "past-limit") })
+		c.Kernel(0).StopAt(Time(time.Millisecond))
+		if _, err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if len(ran) != 1 || ran[0] != "at-limit" {
+			t.Errorf("parallel=%v: cluster ran %v, want [at-limit]", parallel, ran)
+		}
+	}
+}
+
+func TestParallelStopMidRun(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		c := NewCluster(9, 3, 10*time.Microsecond)
+		c.SetParallel(parallel)
+		k1 := c.Kernel(1)
+		ticks := 0
+		k1.Spawn("ticker", func(p *Proc) {
+			for {
+				p.Sleep(100 * time.Microsecond)
+				ticks++
+				if ticks == 5 {
+					k1.Stop()
+					return
+				}
+			}
+		})
+		if _, err := c.Run(); err != nil {
+			t.Fatalf("parallel=%v: %v", parallel, err)
+		}
+		if ticks != 5 {
+			t.Errorf("parallel=%v: %d ticks, want 5", parallel, ticks)
+		}
+		if n := k1.Now(); n != Time(500*time.Microsecond) {
+			t.Errorf("parallel=%v: stopped at %v, want 500µs", parallel, n)
+		}
+	}
+}
+
+func TestEventCancel(t *testing.T) {
+	reg := obs.NewRegistry()
+	SetDefaultObs(nil, reg)
+	defer SetDefaultObs(nil, nil)
+	k := NewKernel(1)
+	fired := 0
+	ev := k.After(time.Millisecond, func() { fired++ })
+	if !ev.Pending() {
+		t.Error("freshly scheduled event not Pending")
+	}
+	if !ev.Cancel() {
+		t.Error("Cancel of pending event returned false")
+	}
+	if ev.Pending() {
+		t.Error("cancelled event still Pending")
+	}
+	if ev.Cancel() {
+		t.Error("second Cancel returned true")
+	}
+	keep := k.After(2*time.Millisecond, func() { fired += 10 })
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 10 {
+		t.Errorf("fired = %d, want 10 (cancelled event must not run)", fired)
+	}
+	if keep.Cancel() {
+		t.Error("Cancel after firing returned true")
+	}
+	if got := reg.Counter("sim_events_cancelled_total").Value(); got != 1 {
+		t.Errorf("sim_events_cancelled_total = %d, want 1", got)
+	}
+}
+
+// TestEventCancelReuse guards the generation check: once a cancelled
+// event's slot is recycled into a new event, the stale handle must not be
+// able to cancel the new occupant.
+func TestEventCancelReuse(t *testing.T) {
+	k := NewKernel(1)
+	fired := 0
+	ev := k.After(time.Millisecond, func() { fired++ })
+	ev.Cancel()
+	var evs []Event
+	for i := 0; i < 8; i++ {
+		evs = append(evs, k.After(time.Duration(i+1)*time.Millisecond, func() { fired++ }))
+	}
+	if ev.Cancel() || ev.Pending() {
+		t.Error("stale handle still controls a recycled event")
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 8 {
+		t.Errorf("fired = %d, want 8", fired)
+	}
+	for _, e := range evs {
+		if e.Pending() {
+			t.Error("fired event still Pending")
+		}
+	}
+}

@@ -13,7 +13,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -40,31 +39,96 @@ func (t Time) String() string { return time.Duration(t).String() }
 func (t Time) Seconds() float64 { return float64(t) / 1e9 }
 
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	fn   func()
+	gen  uint64 // bumped each recycle; Event handles carry the matching gen
+	dead bool   // cancelled: dropped lazily when it reaches the heap top
 }
 
+// eventHeap is a 4-ary min-heap ordered by (at, seq). The wider fan-out
+// halves tree depth versus a binary heap, so the sift cost of the timer
+// churn from reusable RTO/delayed-ACK/idle timers drops accordingly; dead
+// (cancelled) entries are not removed in place but discarded at pop.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+
+func (h *eventHeap) push(e *event) {
+	q := append(*h, e)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !q.less(i, p) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	*h = q
+}
+
+func (h *eventHeap) pop() *event {
+	q := *h
+	n := len(q)
+	e := q[0]
+	q[0] = q[n-1]
+	q[n-1] = nil
+	q = q[:n-1]
+	*h = q
+	n--
+	i := 0
+	for {
+		min := i
+		c0 := i*4 + 1
+		for c := c0; c < c0+4 && c < n; c++ {
+			if q.less(c, min) {
+				min = c
+			}
+		}
+		if min == i {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
 	return e
 }
+
 func (h eventHeap) peek() *event { return h[0] }
+
+// Event is a cancellable handle to a scheduled callback, returned by At and
+// After. The zero value is inert.
+type Event struct {
+	k   *Kernel
+	e   *event
+	gen uint64
+}
+
+// Cancel marks the scheduled callback dead so the kernel discards it when
+// it reaches the front of the queue (lazy: no heap repair). It reports
+// whether the event was still pending; cancelling an already-fired,
+// already-cancelled, or zero Event is a no-op. Call only from the owning
+// shard's context.
+func (ev Event) Cancel() bool {
+	if ev.e == nil || ev.e.gen != ev.gen || ev.e.dead {
+		return false
+	}
+	ev.e.dead = true
+	ev.e.fn = nil
+	ev.k.mxCancels.Inc()
+	return true
+}
+
+// Pending reports whether the event is still scheduled and live.
+func (ev Event) Pending() bool {
+	return ev.e != nil && ev.e.gen == ev.gen && !ev.e.dead
+}
 
 // Kernel is a discrete-event simulation kernel. Create one with NewKernel;
 // the zero value is not usable.
@@ -92,8 +156,17 @@ type Kernel struct {
 	metrics *obs.Registry
 	cpus    []*CPU
 
-	mxSpawns *obs.Counter
-	mxWakes  *obs.Counter
+	mxSpawns  *obs.Counter
+	mxWakes   *obs.Counter
+	mxCancels *obs.Counter
+
+	// Sharding (nil cluster on a plain kernel; every new field below is
+	// inert then, keeping the single-kernel path bit-for-bit identical).
+	cluster *Cluster
+	shard   int
+	winEnd  Time    // exclusive event bound of the current epoch window (0 = none)
+	mbox    mailbox // cross-shard sends destined for this kernel
+	xseq    uint64  // outgoing cross-shard send sequence
 }
 
 // Package-level observability defaults: a CLI (or test) installs a shared
@@ -132,6 +205,7 @@ func NewKernel(seed int64) *Kernel {
 	k.trace.NameProcess(0, "host")
 	k.mxSpawns = k.metrics.Counter("sim_procs_spawned_total")
 	k.mxWakes = k.metrics.Counter("sim_proc_wakes_total")
+	k.mxCancels = k.metrics.Counter("sim_events_cancelled_total")
 	return k
 }
 
@@ -141,8 +215,18 @@ func (k *Kernel) Trace() *obs.Tracer { return k.trace }
 // Metrics returns the kernel's metrics registry (never nil).
 func (k *Kernel) Metrics() *obs.Registry { return k.metrics }
 
-// CPUs returns every CPU created on this kernel, in creation order.
-func (k *Kernel) CPUs() []*CPU { return k.cpus }
+// CPUs returns every CPU created on this kernel — on a sharded kernel,
+// across all shards — in (shard, creation) order.
+func (k *Kernel) CPUs() []*CPU {
+	if k.cluster == nil {
+		return k.cpus
+	}
+	var out []*CPU
+	for _, sk := range k.cluster.kernels {
+		out = append(out, sk.cpus...)
+	}
+	return out
+}
 
 // TraceTime converts the kernel clock for tracer calls.
 func (k *Kernel) TraceTime() obs.Time { return obs.Time(k.now) }
@@ -154,8 +238,9 @@ func (k *Kernel) Now() Time { return k.now }
 func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
 // At schedules fn to run in kernel context at virtual time t. Times in the
-// past run at the current instant, after already-queued events.
-func (k *Kernel) At(t Time, fn func()) {
+// past run at the current instant, after already-queued events. The
+// returned handle can Cancel the callback while it is still pending.
+func (k *Kernel) At(t Time, fn func()) Event {
 	if t < k.now {
 		t = k.now
 	}
@@ -165,21 +250,62 @@ func (k *Kernel) At(t Time, fn func()) {
 		e = k.evFree[n-1]
 		k.evFree[n-1] = nil
 		k.evFree = k.evFree[:n-1]
-		e.at, e.seq, e.fn = t, k.seq, fn
+		e.at, e.seq, e.fn, e.dead = t, k.seq, fn, false
 	} else {
 		e = &event{at: t, seq: k.seq, fn: fn}
 	}
-	heap.Push(&k.events, e)
+	k.events.push(e)
+	return Event{k: k, e: e, gen: e.gen}
 }
 
 // After schedules fn to run d after the current instant.
-func (k *Kernel) After(d time.Duration, fn func()) { k.At(k.now.Add(d), fn) }
+func (k *Kernel) After(d time.Duration, fn func()) Event { return k.At(k.now.Add(d), fn) }
 
-// Stop terminates the run loop after the currently executing step.
-func (k *Kernel) Stop() { k.stopped = true }
+// recycle retires a popped event struct for reuse by At. Bumping gen
+// invalidates any outstanding Event handles to it.
+func (k *Kernel) recycle(e *event) {
+	e.fn = nil
+	e.gen++
+	k.evFree = append(k.evFree, e)
+}
 
-// StopAt sets a virtual-time limit: Run returns once the clock would pass t.
-func (k *Kernel) StopAt(t Time) { k.limit = t }
+// peekLive returns the earliest pending live event, discarding cancelled
+// entries that have reached the heap top. Nil when the queue is empty.
+func (k *Kernel) peekLive() *event {
+	for len(k.events) > 0 {
+		e := k.events.peek()
+		if !e.dead {
+			return e
+		}
+		k.events.pop()
+		k.recycle(e)
+	}
+	return nil
+}
+
+// Stop terminates the run loop after the currently executing step. On a
+// sharded kernel it stops the whole cluster: the current epoch's other
+// shards still complete their windows (a deterministic boundary), then the
+// cluster run returns.
+func (k *Kernel) Stop() {
+	k.stopped = true
+	if k.cluster != nil {
+		k.cluster.stopped.Store(true)
+	}
+}
+
+// StopAt sets a virtual-time limit: Run returns once the clock would pass
+// t. On a sharded kernel this applies cluster-wide and must be called
+// outside the run loop (setup or between Run calls).
+func (k *Kernel) StopAt(t Time) {
+	k.limit = t
+	if c := k.cluster; c != nil {
+		c.limit = t
+		for _, sk := range c.kernels {
+			sk.limit = t
+		}
+	}
+}
 
 // Proc is a simulated process: a goroutine coroutine-scheduled by the kernel.
 type Proc struct {
@@ -216,11 +342,20 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.k.now }
 
+// tidStride namespaces proc IDs (trace thread IDs) per shard: shard i's
+// procs are numbered i*tidStride+1, i*tidStride+2, …, so (pid, tid) pairs
+// stay unique cluster-wide and thread-name registrations cannot collide
+// across shards.
+const tidStride = 1 << 20
+
 // Spawn creates a process running fn and marks it runnable. fn starts
 // executing when the kernel next schedules it.
 func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 	k.procSeq++
-	p := &Proc{k: k, name: name, id: k.procSeq, resume: make(chan struct{})}
+	// Shards stride their proc IDs apart so trace (pid, tid) pairs stay
+	// unique cluster-wide; on a plain kernel shard is 0 and IDs are 1, 2, …
+	// exactly as before.
+	p := &Proc{k: k, name: name, id: k.shard*tidStride + k.procSeq, resume: make(chan struct{})}
 	k.live[p] = struct{}{}
 	k.mxSpawns.Inc()
 	if k.trace.Enabled() {
@@ -268,16 +403,21 @@ func (k *Kernel) schedule(p *Proc) {
 // step runs one runnable proc or advances the clock to the next event.
 // It reports whether any progress was made.
 func (k *Kernel) step() bool {
-	for k.runqHd == len(k.runq) && len(k.events) > 0 {
-		e := k.events.peek()
+	for k.runqHd == len(k.runq) {
+		e := k.peekLive()
+		if e == nil {
+			break
+		}
 		if k.limit != 0 && e.at > k.limit {
 			return false
 		}
-		heap.Pop(&k.events)
+		if k.winEnd != 0 && e.at >= k.winEnd {
+			return false
+		}
+		k.events.pop()
 		k.now = e.at
 		fn := e.fn
-		e.fn = nil // drop the closure before recycling
-		k.evFree = append(k.evFree, e)
+		k.recycle(e)
 		fn() // may schedule procs or more events (and reuse e)
 	}
 	if k.runqHd == len(k.runq) {
@@ -307,8 +447,12 @@ func (k *Kernel) step() bool {
 // Run executes the simulation until no proc is runnable and no event is
 // pending (or Stop/StopAt applies). It returns the final virtual time.
 // If live procs remain parked with nothing to wake them, Run returns an
-// error describing the deadlock.
+// error describing the deadlock. On a sharded kernel Run drives the whole
+// cluster through its epoch loop.
 func (k *Kernel) Run() (Time, error) {
+	if k.cluster != nil {
+		return k.cluster.Run()
+	}
 	for !k.stopped {
 		if !k.step() {
 			break
@@ -320,7 +464,7 @@ func (k *Kernel) Run() (Time, error) {
 			nondaemon++
 		}
 	}
-	if !k.stopped && (k.limit == 0 || len(k.events) == 0) && nondaemon > 0 {
+	if !k.stopped && (k.limit == 0 || k.peekLive() == nil) && nondaemon > 0 {
 		return k.now, fmt.Errorf("sim: deadlock at %v: %d procs parked: %s", k.now, nondaemon, k.parkedProcs())
 	}
 	return k.now, nil
@@ -328,6 +472,9 @@ func (k *Kernel) Run() (Time, error) {
 
 // RunFor advances the simulation by d of virtual time.
 func (k *Kernel) RunFor(d time.Duration) (Time, error) {
+	if k.cluster != nil {
+		return k.cluster.RunFor(d)
+	}
 	prev := k.limit
 	k.limit = k.now.Add(d)
 	t, err := k.Run()
@@ -399,6 +546,11 @@ func (p *Proc) SleepUntil(t Time) {
 // Signal is a level-triggered wakeup source: Set marks it pending and wakes
 // every waiter; waiting on an already-pending signal returns immediately and
 // consumes the pending state.
+//
+// A Signal belongs to the shard of the kernel that created it: Set and Wait
+// must run in that shard's context (cross-shard producers Post to the home
+// shard first). As a safety net, Set routes wakes for waiters homed on a
+// different kernel through that kernel's mailbox.
 type Signal struct {
 	k       *Kernel
 	name    string
@@ -429,7 +581,12 @@ func (s *Signal) OnSet(fn func()) { s.hooks = append(s.hooks, fn) }
 func (s *Signal) Set() {
 	s.pending = true
 	for _, w := range s.waiters {
-		s.k.schedule(w)
+		if w.k == s.k {
+			s.k.schedule(w)
+		} else {
+			wp := w
+			s.k.Post(wp.k, 0, func() { wp.k.schedule(wp) })
+		}
 	}
 	s.waiters = s.waiters[:0]
 	for _, h := range s.hooks {
@@ -524,6 +681,10 @@ func (c *CPU) SetSpeed(s float64) {
 
 // Name returns the CPU's name.
 func (c *CPU) Name() string { return c.name }
+
+// Kernel returns the shard kernel this CPU is homed on; Reserve/Use must
+// run in that kernel's context.
+func (c *CPU) Kernel() *Kernel { return c.k }
 
 // BusyTime returns the total virtual time this CPU has spent executing work.
 func (c *CPU) BusyTime() time.Duration { return c.busy }

@@ -118,6 +118,7 @@ type Conn struct {
 	rtoDeadline       sim.Time
 	rtoTickAt         sim.Time // fire time of the live tick event
 	rtoTickLive       bool
+	rtoTickEv         sim.Event // handle for lazy cancellation of a superseded tick
 	rtoTick           func()
 
 	// Receive sequence space.
@@ -133,6 +134,7 @@ type Conn struct {
 	delAckDeadline sim.Time
 	delAckTickAt   sim.Time
 	delAckTickLive bool
+	delAckTickEv   sim.Event
 	delAckTick     func()
 	ackGen         uint64 // invalidates stale same-instant ACK flushes
 	ackPending     bool
@@ -209,7 +211,7 @@ func newConn(st *Stack, key connKey) *Conn {
 			// The deadline moved forward since this tick was scheduled
 			// (new data or an ACK re-armed the timer); chase it.
 			c.rtoTickAt = c.rtoDeadline
-			k.At(c.rtoDeadline, c.rtoTick)
+			c.rtoTickEv = k.At(c.rtoDeadline, c.rtoTick)
 			return
 		}
 		c.rtoTickLive = false
@@ -230,7 +232,7 @@ func newConn(st *Stack, key connKey) *Conn {
 		}
 		if now < c.delAckDeadline {
 			c.delAckTickAt = c.delAckDeadline
-			k.At(c.delAckDeadline, c.delAckTick)
+			c.delAckTickEv = k.At(c.delAckDeadline, c.delAckTick)
 			return
 		}
 		c.delAckTickLive = false
@@ -320,9 +322,15 @@ func (c *Conn) scheduleDelayedAck() {
 	c.delAckArmed = true
 	c.delAckDeadline = k.Now().Add(c.st.Params.DelayedAck)
 	if !c.delAckTickLive || c.delAckDeadline < c.delAckTickAt {
+		if c.delAckTickLive {
+			// The live tick lands after the new deadline: it is superseded,
+			// so drop it from the queue rather than letting it fire as a
+			// no-op.
+			c.delAckTickEv.Cancel()
+		}
 		c.delAckTickLive = true
 		c.delAckTickAt = c.delAckDeadline
-		k.At(c.delAckDeadline, c.delAckTick)
+		c.delAckTickEv = k.At(c.delAckDeadline, c.delAckTick)
 	}
 }
 
@@ -585,6 +593,16 @@ func (c *Conn) teardown(err error) {
 	c.rtoGen++ // disarm timers
 	c.rtoArmed = false
 	c.delAckArmed = false
+	// Drop any live ticks from the event queue: a closed connection's
+	// wakeups would only fire as no-ops.
+	if c.rtoTickLive {
+		c.rtoTickEv.Cancel()
+		c.rtoTickLive = false
+	}
+	if c.delAckTickLive {
+		c.delAckTickEv.Cancel()
+		c.delAckTickLive = false
+	}
 	c.persistGen++
 	c.persistArmed = false
 	c.ackGen++
@@ -628,11 +646,15 @@ func (c *Conn) armRTO() {
 	c.rtoDeadline = k.Now().Add(c.rto)
 	if !c.rtoTickLive || c.rtoDeadline < c.rtoTickAt {
 		// No tick in flight, or the live tick lands after the new deadline
-		// (the RTO shrank from a fresh RTT sample): schedule one that makes
-		// it. The late tick retires itself by the fire-time identity check.
+		// (the RTO shrank from a fresh RTT sample): cancel the superseded
+		// tick and schedule one that makes it. The fire-time identity check
+		// remains the safety net for ticks past cancellation.
+		if c.rtoTickLive {
+			c.rtoTickEv.Cancel()
+		}
 		c.rtoTickLive = true
 		c.rtoTickAt = c.rtoDeadline
-		k.At(c.rtoDeadline, c.rtoTick)
+		c.rtoTickEv = k.At(c.rtoDeadline, c.rtoTick)
 	}
 }
 

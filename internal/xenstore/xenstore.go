@@ -13,10 +13,16 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
-// Store is the root of a xenstore tree.
+// Store is the root of a xenstore tree. A mutex guards the maps so device
+// handshakes on different simulation shards can run concurrently; contents
+// stay deterministic because each guest's handshake touches only its own
+// disjoint subtree, and watch callbacks fire outside the lock in the
+// writer's own shard context.
 type Store struct {
+	mu      sync.Mutex
 	values  map[string]string
 	watches map[string][]*Watch
 	version map[string]uint64 // per-path commit version for OCC
@@ -54,6 +60,12 @@ func (s *Store) Read(path string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.read(path)
+}
+
+func (s *Store) read(path string) (string, error) {
 	s.Reads++
 	v, ok := s.values[path]
 	if !ok {
@@ -69,16 +81,23 @@ func (s *Store) Write(path, value string) error {
 	if err != nil {
 		return err
 	}
-	s.write(path, value)
+	s.mu.Lock()
+	cbs := s.write(path, value)
+	s.mu.Unlock()
+	for _, cb := range cbs {
+		cb()
+	}
 	return nil
 }
 
-func (s *Store) write(path, value string) {
+// write mutates under the caller-held lock and returns the watch callbacks
+// to invoke after release.
+func (s *Store) write(path, value string) []func() {
 	s.Writes++
 	s.commits++
 	s.values[path] = value
 	s.version[path] = s.commits
-	s.fire(path)
+	return s.fire(path)
 }
 
 // Remove deletes path and everything below it.
@@ -87,6 +106,19 @@ func (s *Store) Remove(path string) error {
 	if err != nil {
 		return err
 	}
+	s.mu.Lock()
+	found, cbs := s.remove(path)
+	s.mu.Unlock()
+	for _, cb := range cbs {
+		cb()
+	}
+	if !found {
+		return fmt.Errorf("xenstore: ENOENT %q", path)
+	}
+	return nil
+}
+
+func (s *Store) remove(path string) (bool, []func()) {
 	prefix := path + "/"
 	found := false
 	for k := range s.values {
@@ -98,10 +130,9 @@ func (s *Store) Remove(path string) error {
 		}
 	}
 	if !found {
-		return fmt.Errorf("xenstore: ENOENT %q", path)
+		return false, nil
 	}
-	s.fire(path)
-	return nil
+	return true, s.fire(path)
 }
 
 // List returns the immediate child names of path, sorted.
@@ -114,6 +145,8 @@ func (s *Store) List(path string) []string {
 	if path == "/" {
 		prefix = "/"
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	set := map[string]bool{}
 	for k := range s.values {
 		if !strings.HasPrefix(k, prefix) {
@@ -152,12 +185,16 @@ func (s *Store) Watch(path string, fn func(path string)) (*Watch, error) {
 		return nil, err
 	}
 	w := &Watch{store: s, path: path, fn: fn, active: true}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.watches[path] = append(s.watches[path], w)
 	return w, nil
 }
 
 // Poll drains queued watch events.
 func (w *Watch) Poll() []string {
+	w.store.mu.Lock()
+	defer w.store.mu.Unlock()
 	ev := w.events
 	w.events = nil
 	return ev
@@ -165,6 +202,8 @@ func (w *Watch) Poll() []string {
 
 // Unwatch deactivates the watch.
 func (w *Watch) Unwatch() {
+	w.store.mu.Lock()
+	defer w.store.mu.Unlock()
 	w.active = false
 	ws := w.store.watches[w.path]
 	for i, x := range ws {
@@ -175,8 +214,12 @@ func (w *Watch) Unwatch() {
 	}
 }
 
-// fire notifies watches registered at path or any of its ancestors.
-func (s *Store) fire(path string) {
+// fire queues events on watches registered at path or any of its
+// ancestors; it runs under the store lock and returns the synchronous
+// callbacks for the caller to invoke after release (callbacks may re-enter
+// the store).
+func (s *Store) fire(path string) []func() {
+	var cbs []func()
 	node := path
 	for {
 		for _, w := range s.watches[node] {
@@ -185,11 +228,12 @@ func (s *Store) fire(path string) {
 			}
 			w.events = append(w.events, path)
 			if w.fn != nil {
-				w.fn(path)
+				fn := w.fn
+				cbs = append(cbs, func() { fn(path) })
 			}
 		}
 		if node == "/" {
-			return
+			return cbs
 		}
 		i := strings.LastIndexByte(node, '/')
 		if i == 0 {
@@ -213,6 +257,8 @@ type Txn struct {
 
 // Begin starts a transaction.
 func (s *Store) Begin() *Txn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return &Txn{store: s, start: s.commits, reads: map[string]bool{}, writes: map[string]*string{}}
 }
 
@@ -265,22 +311,31 @@ func (t *Txn) Commit() error {
 	for p := range t.writes {
 		footprint[p] = true
 	}
+	s := t.store
+	s.mu.Lock()
 	for p := range footprint {
-		if t.store.version[p] > t.start {
+		if s.version[p] > t.start {
 			t.aborted = true
-			t.store.Aborts++
+			s.Aborts++
+			s.mu.Unlock()
 			return fmt.Errorf("xenstore: EAGAIN: %q modified concurrently", p)
 		}
 	}
+	var cbs []func()
 	for p, v := range t.writes {
 		if v == nil {
 			// Deleting a missing path inside a txn is a no-op.
-			if _, ok := t.store.values[p]; ok {
-				t.store.Remove(p)
+			if _, ok := s.values[p]; ok {
+				_, c := s.remove(p)
+				cbs = append(cbs, c...)
 			}
 		} else {
-			t.store.write(p, *v)
+			cbs = append(cbs, s.write(p, *v)...)
 		}
+	}
+	s.mu.Unlock()
+	for _, cb := range cbs {
+		cb()
 	}
 	return nil
 }
