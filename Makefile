@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all check fmt vet staticcheck build test race race-parallel paritycheck trace bench benchdelta scalesweep
+.PHONY: all check fmt vet staticcheck build test race race-parallel race-obs paritycheck trace bench benchdelta benchdelta-all scalesweep
 
 all: check
 
-check: fmt vet staticcheck build test race race-parallel paritycheck
+check: fmt vet staticcheck build test race race-parallel race-obs paritycheck benchdelta-all
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -38,6 +38,11 @@ race: build
 race-parallel: build
 	$(GO) test -race -run Parallel ./internal/sim/...
 
+# Focused race check on the tracing/metrics and fleet-control packages (the
+# observability surfaces every other subsystem calls into concurrently).
+race-obs: build
+	$(GO) test -race ./internal/obs/... ./internal/fleet/...
+
 # Serial-vs-parallel byte-identity: the same sharded layout (-pcpus 4)
 # driven single-threaded and multi-threaded must produce identical stdout,
 # structured JSON, metrics and trace for every experiment in the parity set.
@@ -70,6 +75,18 @@ benchdelta: build
 	$(GO) test -run '^$$' -bench Fastpath -benchmem ./internal/bench | \
 		$(GO) run ./cmd/benchjson -out /tmp/bench_new.json -section fastpath
 	$(GO) run ./cmd/benchjson -delta BENCH_fastpath.json /tmp/bench_new.json
+
+# Perf CI: delta every committed BENCH_*.json against fresh output.
+#  - fastpath: wall-clock microbenchmarks, re-run and diffed (benchdelta)
+#  - scalesweep: deterministic virtual-time sweep, re-run and diffed — any
+#    delta at all means the simulation changed
+#  - parallel: host-dependent wall clock, self-delta'd as a format gate only
+benchdelta-all: benchdelta
+	@rm -f /tmp/bench_scalesweep_new.json
+	$(GO) build -o /tmp/repro-bench ./cmd/repro
+	/tmp/repro-bench -experiment scalesweep -json /tmp/bench_scalesweep_new.json > /dev/null
+	$(GO) run ./cmd/benchjson -delta BENCH_scalesweep.json /tmp/bench_scalesweep_new.json
+	$(GO) run ./cmd/benchjson -delta BENCH_parallel.json BENCH_parallel.json
 
 # Autoscaling fleet sweep -> BENCH_scalesweep.json; runs the experiment
 # twice on the same seed and asserts the rendered output is byte-identical.

@@ -10,7 +10,9 @@
 //	mirage boot   -trace boot.json     # also write a Chrome trace of the boot
 //	mirage boot   -loss 0.01           # impair the host bridge (also -dup, -reorder, -jitter)
 //	mirage list                        # module registry (Table 1)
+//	mirage top    [-appliance ...]     # boot + per-domain accounting table (virtual xentop)
 //	mirage experiment -id scalesweep   # run a registered experiment (shared with cmd/repro)
+//	mirage experiment -id scalesweep -domstat   # append the domstat table
 //	mirage experiment -list            # list the registry
 package main
 
@@ -24,6 +26,7 @@ import (
 	"repro/internal/build"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/hypervisor"
 	"repro/internal/netback"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -64,6 +67,7 @@ func main() {
 	replicasMin := fs.Int("replicas-min", 0, "experiment: scalesweep minimum fleet replicas (0 = default)")
 	replicasMax := fs.Int("replicas-max", 0, "experiment: scalesweep maximum fleet replicas (0 = default)")
 	lbPolicy := fs.String("lb-policy", "", "experiment: scalesweep balancer policy (round-robin or least-conns)")
+	domstat := fs.Bool("domstat", false, "experiment: append the per-domain accounting table")
 	fs.Parse(os.Args[2:])
 
 	if *loss > 0 || *dup > 0 || *reorder > 0 || *jitter > 0 {
@@ -83,6 +87,7 @@ func main() {
 			ReplicasMin: *replicasMin,
 			ReplicasMax: *replicasMax,
 			LBPolicy:    *lbPolicy,
+			DomStat:     *domstat,
 		}, *expList)
 		return
 	}
@@ -164,6 +169,25 @@ func main() {
 			fmt.Printf("trace: %d events written to %s\n", tracer.Len(), *traceOut)
 		}
 
+	case "top":
+		// Virtual xentop: boot the appliance, let it run briefly, and print
+		// the hypervisor's per-domain accounting table.
+		pl := core.NewPlatform(*seed)
+		pl.Deploy(core.Unikernel{
+			Build: cfg,
+			Main: func(env *core.Env) int {
+				env.VM.Dom.SignalReady()
+				return env.VM.Main(env.P, env.VM.S.Sleep(100*time.Millisecond))
+			},
+		}, core.DeployOpts{BuildOpts: &opts})
+		if _, err := pl.Run(); err != nil {
+			fatal(err)
+		}
+		if err := pl.Check(); err != nil {
+			fatal(err)
+		}
+		fmt.Print(hypervisor.FormatDomStats(pl.Host.DomStats()))
+
 	default:
 		usage()
 	}
@@ -208,7 +232,7 @@ func listModules() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mirage {build|graph|boot|list|experiment} [-appliance name] [-no-dce] [-seed N] [-id experiment]")
+	fmt.Fprintln(os.Stderr, "usage: mirage {build|graph|boot|top|list|experiment} [-appliance name] [-no-dce] [-seed N] [-id experiment]")
 	os.Exit(2)
 }
 

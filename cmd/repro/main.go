@@ -15,6 +15,8 @@
 //	repro -loss 0.01 -jitter 500us ...      # impair every virtual bridge
 //	repro -experiment scalesweep -replicas-max 4 -lb-policy least-conns
 //	repro -experiment scalesweep -json BENCH_scalesweep.json
+//	repro -experiment scalesweep -domstat   # per-domain accounting (virtual xentop)
+//	repro -experiment fig10 -metrics -metrics-format prom   # Prometheus exposition
 package main
 
 import (
@@ -38,6 +40,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
 	metrics := flag.Bool("metrics", false, "print the full metrics registry after the run")
+	metricsFormat := flag.String("metrics-format", "text", "registry dump format: text or prom (Prometheus exposition)")
+	domstat := flag.Bool("domstat", false, "print the per-domain accounting table (virtual xentop) for experiments that support it")
 	jsonOut := flag.String("json", "", "write the structured results (id -> series) as JSON to this file")
 	seed := flag.Int64("seed", 0, "override the experiment's default seed (0 = default)")
 	loss := flag.Float64("loss", 0, "bridge frame drop probability [0,1] for every platform run")
@@ -92,6 +96,7 @@ func main() {
 		ReplicasMin: *replicasMin,
 		ReplicasMax: *replicasMax,
 		LBPolicy:    *lbPolicy,
+		DomStat:     *domstat,
 	}
 
 	want := map[string]bool{}
@@ -140,8 +145,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "results written to %s\n", *jsonOut)
 	}
 	if *metrics {
-		fmt.Println("== metrics registry ==")
-		fmt.Print(registry.Snapshot().Format())
+		switch *metricsFormat {
+		case "prom":
+			fmt.Print(registry.Snapshot().Prom())
+		case "text", "":
+			fmt.Println("== metrics registry ==")
+			fmt.Print(registry.Snapshot().Format())
+		default:
+			fmt.Fprintf(os.Stderr, "repro: unknown -metrics-format %q (text or prom)\n", *metricsFormat)
+			os.Exit(2)
+		}
 	}
 	if tracer != nil {
 		f, err := os.Create(*traceOut)

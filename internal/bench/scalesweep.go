@@ -9,9 +9,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/httpd"
+	"repro/internal/hypervisor"
 	"repro/internal/ipv4"
 	"repro/internal/lwt"
 	"repro/internal/netstack"
+	"repro/internal/obs"
 )
 
 // ScaleSweep drives stepped offered load (httperf-style sessions, §4.4)
@@ -84,18 +86,39 @@ type swRun struct {
 	peak    []int // per-phase peak live replicas
 	fleet   *fleet.Fleet
 	metrics []string
+	domstat string // final per-domain accounting table
 }
 
 // sweepSession runs one keep-alive session against the VIP, recording each
 // request's client-observed latency (write to parsed response) into st.
+// span, when nonzero, samples the session for causal tracing: the trace id
+// rides the connection as descriptor metadata and the client emits the flow
+// start/end events bracketing the cross-domain arc.
 func sweepSession(env *core.Env, st *swStats, reqs int, think time.Duration,
-	phaseEnd time.Duration, done func()) {
+	phaseEnd time.Duration, span uint64, done func()) {
 	s := env.VM.S
+	tr := s.K.Trace()
+	pid := env.VM.Dom.ID
+	if span != 0 && tr.Enabled() {
+		tr.FlowStart(obs.Time(s.K.Now()), "trace", "client-session", pid, 0, span,
+			obs.U64("trace_id", span))
+	}
+	sessStart := s.K.Now()
+	finish := func() {
+		if span != 0 && tr.Enabled() {
+			tr.SpanSlice(obs.Time(sessStart), obs.Time(s.K.Now().Sub(sessStart)),
+				"client", "session", pid, 0, obs.NewRootSpan(span))
+			tr.FlowEnd(obs.Time(s.K.Now()), "trace", "client-session", pid, 0, span,
+				obs.U64("trace_id", span))
+		}
+		done()
+	}
+	env.Net.TCP.NextSpan = span
 	cn := env.Net.TCP.Connect(swVIP, 80)
 	lwt.Always(cn, func() {
 		if cn.Failed() != nil {
 			st.sessFail++
-			done()
+			finish()
 			return
 		}
 		c := cn.Value()
@@ -103,7 +126,7 @@ func sweepSession(env *core.Env, st *swStats, reqs int, think time.Duration,
 		abort := func() {
 			st.sessFail++
 			c.Close()
-			done()
+			finish()
 		}
 		readResp := func(then func(*httpd.Response)) {
 			var step func()
@@ -133,7 +156,7 @@ func sweepSession(env *core.Env, st *swStats, reqs int, think time.Duration,
 			if i == reqs {
 				c.Close()
 				st.sessOK++
-				done()
+				finish()
 				return
 			}
 			start := s.K.Now()
@@ -176,6 +199,7 @@ func deploySweepClient(pl *core.Platform, idx, nClients int, phases []swPhase,
 		at    time.Duration
 		end   time.Duration
 		phase int
+		span  uint64 // nonzero samples the session for causal tracing
 	}
 	var plan []launch
 	base := warmup
@@ -189,7 +213,14 @@ func deploySweepClient(pl *core.Platform, idx, nClients int, phases []swPhase,
 			if j%nClients != idx {
 				continue
 			}
-			plan = append(plan, launch{at: base + time.Duration(j)*gap, end: base + ph.dur, phase: p})
+			ln := launch{at: base + time.Duration(j)*gap, end: base + ph.dur, phase: p}
+			if j == idx {
+				// Sample each client's first session per phase: the trace id
+				// is derived from (client, phase, slot) alone, so the same
+				// seed traces the same requests in serial and parallel runs.
+				ln.span = obs.TraceID(uint32(idx+1), uint32(p+1)<<16|uint32(j+1))
+			}
+			plan = append(plan, ln)
 		}
 		base += ph.dur
 	}
@@ -209,7 +240,7 @@ func deploySweepClient(pl *core.Platform, idx, nClients int, phases []swPhase,
 				ln := ln
 				ph := phases[ln.phase]
 				lwt.Map(env.VM.S.Sleep(ln.at), func(struct{}) struct{} {
-					sweepSession(env, stats[ln.phase], ph.reqs, ph.think, ln.end, done)
+					sweepSession(env, stats[ln.phase], ph.reqs, ph.think, ln.end, ln.span, done)
 					return struct{}{}
 				})
 			}
@@ -247,7 +278,7 @@ func scalesweepRun(seed int64, minR, maxR int, policy fleet.Policy,
 		Max:           maxR,
 		Policy:        policy,
 		ScaleUpConns:  16,
-		P99TargetUS:   50_000,
+		P99TargetUS:   10_000, // tight enough that burst phases trip the SLO watchdog
 		Interval:      250 * time.Millisecond,
 		ProbeInterval: 50 * time.Millisecond,
 	})
@@ -294,6 +325,11 @@ func scalesweepRun(seed int64, minR, maxR int, policy fleet.Policy,
 	if err := pl.Check(); err != nil {
 		panic(fmt.Sprintf("scalesweep: %v", err))
 	}
+	// Per-domain accounting: publish labeled gauges and keep the table (the
+	// virtual xentop) — both derived from virtual-time state, so they are
+	// byte-identical across same-seed serial and parallel runs.
+	pl.Host.PublishDomStats(pl.K.Metrics())
+	run.domstat = hypervisor.FormatDomStats(pl.Host.DomStats())
 	run.metrics = metricsAppendix(pl.K, before, "fleet_", "lb_", "httpd_")
 	return run
 }
@@ -301,6 +337,13 @@ func scalesweepRun(seed int64, minR, maxR int, policy fleet.Policy,
 // ScaleSweep runs the sweep against the autoscaled fleet (minR..maxR) and
 // the fixed single-replica baseline, same seed, and reports both.
 func ScaleSweep(seed int64, quick bool, minR, maxR int, policy fleet.Policy) *Result {
+	r, _ := ScaleSweepDomStat(seed, quick, minR, maxR, policy)
+	return r
+}
+
+// ScaleSweepDomStat is ScaleSweep plus the autoscaled run's final domstat
+// table (per-domain vCPU time, runqueue wait, notifications, pool usage).
+func ScaleSweepDomStat(seed int64, quick bool, minR, maxR int, policy fleet.Policy) (*Result, string) {
 	if minR <= 0 {
 		minR = 1
 	}
@@ -367,5 +410,5 @@ func ScaleSweep(seed int64, quick bool, minR, maxR int, policy fleet.Policy) *Re
 		res.Notes = append(res.Notes, "fleet "+e)
 	}
 	res.Metrics = auto.metrics
-	return res
+	return res, auto.domstat
 }

@@ -27,6 +27,11 @@ type Buf struct {
 	n    int    // logical length
 	refs atomic.Int32
 	pool *Pool
+
+	// Span is causal-tracing metadata: the trace id of the request this
+	// frame belongs to (0 = untraced). It rides the descriptor, never the
+	// frame bytes, so traced and untraced runs stay byte-identical.
+	Span uint64
 }
 
 // Pool hands out fixed-size buffers and recycles them when the last
@@ -102,6 +107,7 @@ func (p *Pool) Get() *Buf {
 		p.mu.Unlock()
 	}
 	b.n = 0
+	b.Span = 0
 	b.refs.Store(1)
 	return b
 }

@@ -125,6 +125,11 @@ func init() {
 				return Output{}, err
 			}
 		}
-		return results(bench.ScaleSweep(seed, o.Quick, o.ReplicasMin, o.ReplicasMax, policy))
+		r, domstat := bench.ScaleSweepDomStat(seed, o.Quick, o.ReplicasMin, o.ReplicasMax, policy)
+		out := Output{Results: []*bench.Result{r}}
+		if o.DomStat {
+			out.Extra = append(out.Extra, strings.TrimRight(domstat, "\n"))
+		}
+		return out, nil
 	}})
 }

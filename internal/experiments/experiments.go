@@ -24,6 +24,10 @@ type Options struct {
 	ReplicasMin int
 	ReplicasMax int
 	LBPolicy    string // round-robin | least-conns (also rr | lc)
+
+	// DomStat appends the per-domain accounting table (virtual xentop) to
+	// the output of experiments that boot a platform.
+	DomStat bool
 }
 
 // Output is one experiment's product: structured results (what -json

@@ -60,6 +60,10 @@ type Replica struct {
 	// Srv, when the appliance main sets it, lets the fleet read serving
 	// stats (first-response instant for boot-to-first-byte).
 	Srv *httpd.Server
+	// SLOHist is this replica's labeled latency histogram (set when the
+	// fleet runs an SLO watchdog); appliance mains wire it into their
+	// server as MirrorLatency so the watchdog can attribute violations.
+	SLOHist *obs.Histogram
 
 	SummonedAt sim.Time
 	UpAt       sim.Time
@@ -166,8 +170,10 @@ type Fleet struct {
 	// ReqLatency is the fleet-wide request-latency histogram (µs); replica
 	// mains should wire it into their servers.
 	ReqLatency *obs.Histogram
-	latPrev    []int64
-	latPrevN   int64
+
+	// SLO is the watchdog driving latency-based scaling (nil unless
+	// Spec.P99TargetUS > 0).
+	SLO *Watchdog
 
 	// Events is the human-readable, deterministic lifecycle trace.
 	Events []string
@@ -202,8 +208,11 @@ func New(pl *core.Platform, spec Spec) *Fleet {
 	lbMAC := netback.MAC(core.MAC(spec.MACBase - 1))
 	f.LB = NewLB(k, pl.Bridge, lbMAC, spec.LBIP, spec.VIP, spec.Policy)
 	f.LB.OnProbeReply = f.probeReply
+	if spec.P99TargetUS > 0 {
+		f.SLO = newWatchdog(f, spec.P99TargetUS)
+	}
 	for i := 0; i < spec.Min; i++ {
-		f.summon()
+		f.summon("min-capacity")
 	}
 	k.After(spec.ProbeInterval, f.probeTick)
 	k.After(spec.Interval, f.tick)
@@ -246,8 +255,21 @@ func (f *Fleet) event(format string, args ...any) {
 		fmt.Sprintf("%10.3fs %s", f.pl.K.Now().Seconds(), fmt.Sprintf(format, args...)))
 }
 
-// summon boots a new replica and registers it with the balancer.
-func (f *Fleet) summon() *Replica {
+// scaleAction books one autoscaler decision: a labeled counter and a trace
+// instant, both carrying the machine-readable reason.
+func (f *Fleet) scaleAction(action, replica, reason string) {
+	k := f.pl.K
+	k.Metrics().Counter("fleet_scale_actions_total",
+		obs.L("fleet", f.spec.Name), obs.L("action", action), obs.L("reason", reason)).Inc()
+	if tr := k.Trace(); tr.Enabled() {
+		tr.Instant(k.TraceTime(), "fleet", action, 0, 0,
+			obs.Str("replica", replica), obs.Str("reason", reason))
+	}
+}
+
+// summon boots a new replica and registers it with the balancer. reason is
+// the machine-readable "because" recorded with the scaling action.
+func (f *Fleet) summon(reason string) *Replica {
 	k := f.pl.K
 	idx := len(f.replicas)
 	r := &Replica{
@@ -261,6 +283,9 @@ func (f *Fleet) summon() *Replica {
 	r.stop = k.NewSignal(r.Name + "-stop")
 	f.replicas = append(f.replicas, r)
 	f.LB.AddBackend(idx, netback.MAC(r.MAC))
+	if f.SLO != nil {
+		f.SLO.track(r)
+	}
 
 	cfg := f.spec.Build
 	cfg.Name = r.Name
@@ -283,7 +308,8 @@ func (f *Fleet) summon() *Replica {
 		f.MaxReplicas = live
 	}
 	f.mxReplicas.Set(float64(f.Live()))
-	f.event("summon %s", r.Name)
+	f.event("summon %s (%s)", r.Name, reason)
+	f.scaleAction("summon", r.Name, reason)
 	return r
 }
 
@@ -356,16 +382,17 @@ func (f *Fleet) tick() {
 		}
 	}
 
-	// Capacity: connection pressure plus the optional latency trigger.
+	// Capacity: connection pressure plus the SLO watchdog. Every scaling
+	// action below carries the reason that triggered it.
 	active := f.LB.ActiveConns()
 	avail := f.serving()
-	need := (active + f.spec.ScaleUpConns - 1) / f.spec.ScaleUpConns
-	if f.spec.P99TargetUS > 0 && avail < f.spec.Max {
-		if p99, samples := f.intervalP99(); samples >= 10 && p99 > f.spec.P99TargetUS {
-			if need <= avail {
-				need = avail + 1
-			}
-			f.event("p99-trigger %.0fus over %.0fus (%d samples)", p99, f.spec.P99TargetUS, samples)
+	connNeed := (active + f.spec.ScaleUpConns - 1) / f.spec.ScaleUpConns
+	need := connNeed
+	sloWhy := ""
+	if f.SLO != nil {
+		sloWhy = f.SLO.evaluate()
+		if sloWhy != "" && avail < f.spec.Max && need <= avail {
+			need = avail + 1
 		}
 	}
 	if need < f.spec.Min {
@@ -375,12 +402,18 @@ func (f *Fleet) tick() {
 		need = f.spec.Max
 	}
 	for avail < need {
-		f.summon()
+		reason := "min-capacity"
+		if connNeed > avail {
+			reason = "conn-pressure"
+		} else if sloWhy != "" {
+			reason = sloWhy
+		}
+		f.summon(reason)
 		avail++
 	}
-	if avail > need && avail > f.spec.Min && f.calm() &&
+	if avail > need && avail > f.spec.Min && f.calm() && sloWhy == "" &&
 		active <= f.spec.ScaleDownConns*(avail-1) {
-		f.drainOne()
+		f.drainOne("idle-capacity")
 	}
 
 	f.mxReplicas.Set(float64(f.Live()))
@@ -398,32 +431,9 @@ func (f *Fleet) calm() bool {
 	return true
 }
 
-// intervalP99 estimates p99 request latency over observations since the
-// previous call (the control interval), from the shared histogram.
-func (f *Fleet) intervalP99() (float64, int64) {
-	bounds, counts := f.ReqLatency.Buckets()
-	total := f.ReqLatency.Count()
-	dCounts := make([]int64, len(counts))
-	var dTotal int64
-	for i, c := range counts {
-		prev := int64(0)
-		if i < len(f.latPrev) {
-			prev = f.latPrev[i]
-		}
-		dCounts[i] = c - prev
-	}
-	dTotal = total - f.latPrevN
-	f.latPrev = counts
-	f.latPrevN = total
-	if dTotal <= 0 {
-		return 0, 0
-	}
-	return obs.QuantileFromBuckets(bounds, dCounts, dTotal, 0.99), dTotal
-}
-
 // drainOne picks the least-loaded healthy replica (tie: highest index, so
 // the longest-lived replicas stay) and starts draining it.
-func (f *Fleet) drainOne() {
+func (f *Fleet) drainOne(reason string) {
 	var victim *Replica
 	for _, r := range f.replicas {
 		if r.State != Healthy {
@@ -434,14 +444,16 @@ func (f *Fleet) drainOne() {
 		}
 	}
 	if victim != nil {
-		f.Drain(victim.Index)
+		f.drain(victim.Index, reason)
 	}
 }
 
 // Drain starts draining replica idx: the balancer stops steering new
 // connections to it, established ones finish undisturbed, and the replica
 // retires when the last connection closes.
-func (f *Fleet) Drain(idx int) {
+func (f *Fleet) Drain(idx int) { f.drain(idx, "manual") }
+
+func (f *Fleet) drain(idx int, reason string) {
 	if idx < 0 || idx >= len(f.replicas) {
 		return
 	}
@@ -452,7 +464,8 @@ func (f *Fleet) Drain(idx int) {
 	r.State = Draining
 	r.drainStart = f.pl.K.Now()
 	f.LB.SetDraining(idx)
-	f.event("drain %s active=%d", r.Name, f.LB.BackendActive(idx))
+	f.event("drain %s (%s) active=%d", r.Name, reason, f.LB.BackendActive(idx))
+	f.scaleAction("drain", r.Name, reason)
 }
 
 // retire shuts a drained replica down cleanly.

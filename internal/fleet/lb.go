@@ -377,6 +377,12 @@ func (lb *LB) steerTCP(src ipv4.Addr, srcPort uint16, flags uint8, f *bufpool.Bu
 			tr.Instant(lb.K.TraceTime(), "lb", "steer", 0, 0,
 				obs.Str("client", src.String()), obs.Int("port", int64(srcPort)),
 				obs.Int("replica", int64(be.idx)))
+			// Sampled requests: tie the steering decision into the request's
+			// causal arc (the trace id rides the SYN's frame descriptor).
+			if f.Span != 0 {
+				tr.FlowStep(lb.K.TraceTime(), "trace", "lb-steer", 0, 0, f.Span,
+					obs.U64("trace_id", f.Span), obs.Int("replica", int64(be.idx)))
+			}
 		}
 	}
 	switch {

@@ -1,0 +1,145 @@
+package fleet
+
+import (
+	"repro/internal/obs"
+)
+
+// Watchdog is the fleet's SLO monitor. Every control interval it inspects
+// each replica's latency histogram delta (the per-replica mirror of the
+// fleet-wide request histogram) plus the fleet-wide error budget, emits a
+// deterministic alert instant into the trace for every violation, and hands
+// the autoscaler a machine-readable reason so each scaling action records
+// why it happened. All inputs are virtual-time histogram counts, so the
+// alert stream is byte-identical across same-seed runs.
+type Watchdog struct {
+	f *Fleet
+	// TargetUS is the per-request latency objective in microseconds.
+	TargetUS float64
+	// Budget is the fraction of an interval's requests allowed over target
+	// before the fleet's error budget counts as burning.
+	Budget float64
+	// MinSamples gates alerts on intervals too thin to judge.
+	MinSamples int64
+
+	// Alerts counts alert instants emitted (all kinds).
+	Alerts int
+
+	fleetPrev  []int64
+	fleetPrevN int64
+	reps       []*repSLO // parallel to Fleet.replicas
+
+	mxAlerts *obs.Counter
+}
+
+// repSLO is the watchdog's per-replica interval state.
+type repSLO struct {
+	hist  *obs.Histogram
+	prev  []int64
+	prevN int64
+}
+
+// defaultSLOBudget allows 5% of an interval's requests over target before
+// the budget-burn alert fires.
+const defaultSLOBudget = 0.05
+
+func newWatchdog(f *Fleet, targetUS float64) *Watchdog {
+	return &Watchdog{
+		f:          f,
+		TargetUS:   targetUS,
+		Budget:     defaultSLOBudget,
+		MinSamples: 10,
+		mxAlerts:   f.pl.K.Metrics().Counter("slo_alerts_total", obs.L("fleet", f.spec.Name)),
+	}
+}
+
+// track registers a summoned replica: it gets a labeled per-replica latency
+// histogram (wired into the replica's server as MirrorLatency by the
+// appliance main) so the watchdog can attribute violations to a replica.
+func (w *Watchdog) track(r *Replica) {
+	h := w.f.pl.K.Metrics().Histogram("httpd_request_us", LatencyBounds,
+		obs.L("fleet", w.f.spec.Name), obs.L("replica", r.Name))
+	for len(w.reps) <= r.Index {
+		w.reps = append(w.reps, nil)
+	}
+	w.reps[r.Index] = &repSLO{hist: h}
+	r.SLOHist = h
+}
+
+// evaluate runs once per control interval: per-replica p99 checks, then the
+// fleet-wide error budget. It returns the reason the autoscaler should
+// attach to a scale-up ("" = SLO healthy). Budget burn outranks a single
+// replica's p99 because it means the fleet as a whole is failing users.
+func (w *Watchdog) evaluate() string {
+	reason := ""
+	for i, rs := range w.reps {
+		if rs == nil {
+			continue
+		}
+		r := w.f.replicas[i]
+		p99, over, n := intervalDelta(rs.hist, &rs.prev, &rs.prevN, w.TargetUS)
+		if n < w.MinSamples {
+			continue
+		}
+		if p99 > w.TargetUS {
+			w.alert("slo-p99", r.Name, p99, over, n)
+			if reason == "" {
+				reason = "slo-p99"
+			}
+		}
+	}
+	p99, over, n := intervalDelta(w.f.ReqLatency, &w.fleetPrev, &w.fleetPrevN, w.TargetUS)
+	if n >= w.MinSamples && float64(over) > w.Budget*float64(n) {
+		w.alert("slo-budget-burn", "fleet", p99, over, n)
+		reason = "slo-budget-burn"
+	}
+	return reason
+}
+
+// alert records one SLO violation: an event line, a counter bump, and a
+// deterministic instant on the trace timeline (category "slo").
+func (w *Watchdog) alert(kind, who string, p99 float64, over, n int64) {
+	w.Alerts++
+	w.mxAlerts.Inc()
+	f := w.f
+	f.event("slo-alert %s %s p99=%.0fus target=%.0fus over=%d/%d",
+		kind, who, p99, w.TargetUS, over, n)
+	if tr := f.pl.K.Trace(); tr.Enabled() {
+		tr.Instant(f.pl.K.TraceTime(), "slo", "alert", 0, 0,
+			obs.Str("kind", kind), obs.Str("who", who),
+			obs.Int("p99_us", int64(p99)), obs.Int("target_us", int64(w.TargetUS)),
+			obs.Int("over", over), obs.Int("samples", n))
+	}
+}
+
+// intervalDelta computes an interval's p99 and over-target sample count
+// from a cumulative histogram, updating the caller's previous-snapshot
+// state in place.
+func intervalDelta(h *obs.Histogram, prev *[]int64, prevN *int64, targetUS float64) (p99 float64, over, n int64) {
+	bounds, counts := h.Buckets()
+	d := make([]int64, len(counts))
+	for i, c := range counts {
+		p := int64(0)
+		if i < len(*prev) {
+			p = (*prev)[i]
+		}
+		d[i] = c - p
+	}
+	total := h.Count()
+	n = total - *prevN
+	*prev, *prevN = counts, total
+	if n <= 0 {
+		return 0, 0, 0
+	}
+	// Over-target samples: buckets whose lower edge is at or past the
+	// target, plus the +Inf overflow bucket.
+	for i, c := range d {
+		lower := 0.0
+		if i > 0 {
+			lower = bounds[i-1]
+		}
+		if i == len(bounds) || lower >= targetUS {
+			over += c
+		}
+	}
+	return obs.QuantileFromBuckets(bounds, d, n, 0.99), over, n
+}

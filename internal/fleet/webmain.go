@@ -23,6 +23,8 @@ func WebMain(handlerCost time.Duration, body []byte, idleTimeout time.Duration) 
 		srv.Params.RespondCost += handlerCost // the application's per-request work
 		srv.IdleTimeout = idleTimeout
 		srv.Latency = r.fleet.ReqLatency
+		srv.MirrorLatency = r.SLOHist // per-replica copy for the SLO watchdog
+		srv.TracePid = env.VM.Dom.ID
 		r.Srv = srv
 
 		l, err := env.Net.TCP.Listen(80)

@@ -104,6 +104,13 @@ type Server struct {
 	// Latency, when set, records request latency (parse to last response
 	// byte accepted by TCP) in microseconds.
 	Latency *obs.Histogram
+	// MirrorLatency, when set, receives the same observations as Latency —
+	// a per-replica copy that lets a fleet keep one shared histogram for
+	// aggregate stats and one labeled per replica for SLO tracking.
+	MirrorLatency *obs.Histogram
+	// TracePid attributes the server's trace events (sampled-request slices
+	// and flow steps) to a domain's process row.
+	TracePid int
 
 	Requests    int
 	ConnsServed int
@@ -274,6 +281,7 @@ func (srv *Server) serveConn(c *tcp.Conn) {
 				write := func() {
 					lwt.Map(c.Write(resp.Encode()), func(int) struct{} {
 						srv.responded(start)
+						srv.traceRequest(c, start)
 						if req.KeepAlive() && !srv.draining && !sc.closed {
 							next()
 						} else {
@@ -315,9 +323,44 @@ func (srv *Server) responded(start sim.Time) {
 		srv.FirstRespAt = now
 	}
 	if srv.Latency != nil {
-		srv.Latency.Observe(float64(now.Sub(start).Microseconds()))
+		lat := float64(now.Sub(start).Microseconds())
+		srv.Latency.Observe(lat)
+		if srv.MirrorLatency != nil {
+			srv.MirrorLatency.Observe(lat)
+		}
 	}
 }
+
+// traceRequest emits the server-side segment of a sampled request: a flow
+// step tying this hop into the request's cross-domain arc, and a complete
+// slice split into service time (the charged parse+respond CPU cost) and
+// queueing delay (everything else: vCPU backlog, TCP transfer, handler I/O).
+func (srv *Server) traceRequest(c *tcp.Conn, start sim.Time) {
+	span := c.TraceID()
+	if span == 0 {
+		return
+	}
+	tr := srv.S.K.Trace()
+	if !tr.Enabled() {
+		return
+	}
+	now := srv.S.K.Now()
+	total := now.Sub(start)
+	service := srv.Params.ParseCost + srv.Params.RespondCost
+	queue := total - service
+	if queue < 0 {
+		queue = 0
+	}
+	sp := obs.NewRootSpan(span).Child(spanLayerHTTPD)
+	tr.FlowStep(obs.Time(start), "trace", "httpd-request", srv.TracePid, 0, span,
+		obs.U64("trace_id", span))
+	tr.SpanSlice(obs.Time(start), obs.Time(total), "httpd", "request", srv.TracePid, 0, sp,
+		obs.Int("queue_us", int64(queue.Microseconds())),
+		obs.Int("service_us", int64(service.Microseconds())))
+}
+
+// spanLayerHTTPD is the server's per-layer span-id constant (see obs.Span.Child).
+const spanLayerHTTPD = 3
 
 // readRequest accumulates bytes until a full request (headers + body) is
 // available; resolves nil on EOF or malformed input.

@@ -287,6 +287,12 @@ type Domain struct {
 	ExitCode  int
 	Reason    ShutdownReason
 
+	// ThreadStats, when set, reports the guest's threading activity
+	// (lwt threads created, timer wakes) for DomStats. The hypervisor
+	// cannot see inside the guest library OS, so the runtime that owns the
+	// scheduler wires this at deploy time.
+	ThreadStats func() (created, wakes int)
+
 	console   []string
 	ready     *sim.Signal // homed on Host.K: waiters are host-side procs
 	readyMark bool        // guest-shard guard so SignalReady posts at most once

@@ -422,10 +422,15 @@ func (b *Bridge) schedule(e Endpoint, at sim.Time, frame *bufpool.Buf) {
 
 // TX/RX ring slot encodings (little-endian, within a 120-byte slot).
 //
-// TX request:  gref u32 | off u16 | len u16 | id u16 | flags u8 (bit0: more)
+// TX request:  gref u32 | off u16 | len u16 | id u16 | flags u8 (bit0: more) | span u64 @12
 // TX response: id u16 | status u8
 // RX request:  gref u32 | id u16
-// RX response: id u16 | len u16 | status u8
+// RX response: id u16 | len u16 | status u8 | span u64 @12
+//
+// span is causal-tracing metadata (the trace id of the request the frame
+// belongs to, 0 = untraced), carried in the otherwise-unused tail of the
+// 120-byte descriptor slot — never in frame bytes, so wire contents and
+// virtual timing are identical whether or not a request is sampled.
 const (
 	txFlagMore = 1 << 0
 
@@ -434,15 +439,18 @@ const (
 	txOffLen   = 6
 	txOffID    = 8
 	txOffFlags = 10
+	txOffSpan  = 12
 
 	rxOffGref = 0
 	rxOffID   = 4
 	rxOffLen  = 6
 	rxOffStat = 8
+	rxOffSpan = 12
 )
 
-// EncodeTxReq writes a TX request into a ring slot.
-func EncodeTxReq(s *cstruct.View, gref uint32, off, length, id uint16, more bool) {
+// EncodeTxReq writes a TX request into a ring slot. span tags the first
+// fragment of a traced frame (0 elsewhere).
+func EncodeTxReq(s *cstruct.View, gref uint32, off, length, id uint16, more bool, span uint64) {
 	s.PutLE32(txOffGref, gref)
 	s.PutLE16(txOffOff, off)
 	s.PutLE16(txOffLen, length)
@@ -452,11 +460,13 @@ func EncodeTxReq(s *cstruct.View, gref uint32, off, length, id uint16, more bool
 		f = txFlagMore
 	}
 	s.PutU8(txOffFlags, f)
+	s.PutLE64(txOffSpan, span)
 }
 
 // DecodeTxReq reads a TX request from a ring slot.
-func DecodeTxReq(s *cstruct.View) (gref uint32, off, length, id uint16, more bool) {
-	return s.LE32(txOffGref), s.LE16(txOffOff), s.LE16(txOffLen), s.LE16(txOffID), s.U8(txOffFlags)&txFlagMore != 0
+func DecodeTxReq(s *cstruct.View) (gref uint32, off, length, id uint16, more bool, span uint64) {
+	return s.LE32(txOffGref), s.LE16(txOffOff), s.LE16(txOffLen), s.LE16(txOffID),
+		s.U8(txOffFlags)&txFlagMore != 0, s.LE64(txOffSpan)
 }
 
 // EncodeTxRsp writes a TX response.
@@ -485,16 +495,18 @@ func DecodeRxReq(s *cstruct.View) (gref uint32, id uint16) {
 	return s.LE32(rxOffGref), s.LE16(rxOffID)
 }
 
-// EncodeRxRsp writes an RX completion.
-func EncodeRxRsp(s *cstruct.View, id, length uint16) {
+// EncodeRxRsp writes an RX completion; span carries the delivered frame's
+// trace id (0 = untraced).
+func EncodeRxRsp(s *cstruct.View, id, length uint16, span uint64) {
 	s.PutLE16(rxOffID, id)
 	s.PutLE16(rxOffLen, length)
 	s.PutU8(rxOffStat, 1)
+	s.PutLE64(rxOffSpan, span)
 }
 
 // DecodeRxRsp reads an RX completion.
-func DecodeRxRsp(s *cstruct.View) (id, length uint16) {
-	return s.LE16(rxOffID), s.LE16(rxOffLen)
+func DecodeRxRsp(s *cstruct.View) (id, length uint16, span uint64) {
+	return s.LE16(rxOffID), s.LE16(rxOffLen), s.LE64(rxOffSpan)
 }
 
 // VIF is the backend half of a virtual interface: it drains the guest's TX
@@ -641,7 +653,7 @@ func (v *VIF) Deliver(f *bufpool.Buf) {
 	}
 	page.PutBytes(0, frame[:n])
 	v.guest.Grants.Unmap(post.gref, page)
-	v.rxBack.PushResponse(func(s *cstruct.View) { EncodeRxRsp(s, post.id, uint16(n)) })
+	v.rxBack.PushResponse(func(s *cstruct.View) { EncodeRxRsp(s, post.id, uint16(n), f.Span) })
 	v.RxFrames++
 	v.scheduleRxFlush()
 }
@@ -702,8 +714,9 @@ func (v *VIF) worker(p *sim.Proc) {
 			var gref uint32
 			var off, length, id uint16
 			var more bool
+			var span uint64
 			if !v.txBack.PopRequest(func(s *cstruct.View) {
-				gref, off, length, id, more = DecodeTxReq(s)
+				gref, off, length, id, more, span = DecodeTxReq(s)
 			}) {
 				break
 			}
@@ -711,6 +724,7 @@ func (v *VIF) worker(p *sim.Proc) {
 			drained++
 			if frame == nil {
 				frame = v.stagingPool().Get()
+				frame.Span = span // trace id rides the first fragment's descriptor
 			}
 			prev := frame.Len()
 			dst := frame.Extend(int(length))

@@ -128,9 +128,9 @@ func TestBridgeLinkSerialisation(t *testing.T) {
 
 func TestTxRxSlotCodecs(t *testing.T) {
 	s := mkSlot()
-	EncodeTxReq(s, 77, 10, 1400, 5, true)
-	gref, off, l, id, more := DecodeTxReq(s)
-	if gref != 77 || off != 10 || l != 1400 || id != 5 || !more {
+	EncodeTxReq(s, 77, 10, 1400, 5, true, 0xfeedface)
+	gref, off, l, id, more, span := DecodeTxReq(s)
+	if gref != 77 || off != 10 || l != 1400 || id != 5 || !more || span != 0xfeedface {
 		t.Error("tx req codec broken")
 	}
 	EncodeRxReq(s, 88, 9)
@@ -138,9 +138,9 @@ func TestTxRxSlotCodecs(t *testing.T) {
 	if g2 != 88 || id2 != 9 {
 		t.Error("rx req codec broken")
 	}
-	EncodeRxRsp(s, 9, 1234)
-	id3, l3 := DecodeRxRsp(s)
-	if id3 != 9 || l3 != 1234 {
+	EncodeRxRsp(s, 9, 1234, 42)
+	id3, l3, sp3 := DecodeRxRsp(s)
+	if id3 != 9 || l3 != 1234 || sp3 != 42 {
 		t.Error("rx rsp codec broken")
 	}
 }

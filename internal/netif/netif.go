@@ -44,7 +44,7 @@ type Netif struct {
 	txPage  *cstruct.View
 	rxPage  *cstruct.View
 
-	recv func(*cstruct.View)
+	recv func(*cstruct.View, uint64)
 
 	nextID     uint16
 	txInflight map[uint16][]txFrag
@@ -72,6 +72,7 @@ type txFrag struct {
 	gref grant.Ref
 	view *cstruct.View
 	more bool
+	span uint64 // trace id on a frame's first fragment, 0 elsewhere
 }
 
 type rxPost struct {
@@ -145,10 +146,11 @@ func (n *Netif) Connected(port *hypervisor.Port) { n.port = port }
 // MAC returns the interface's hardware address.
 func (n *Netif) MAC() netback.MAC { return n.mac }
 
-// SetReceiver installs the upcall invoked with each received frame view.
-// The receiver owns the view and must Release it (directly or through the
-// stack's zero-copy discipline).
-func (n *Netif) SetReceiver(fn func(*cstruct.View)) { n.recv = fn }
+// SetReceiver installs the upcall invoked with each received frame view and
+// the frame's trace id (0 = untraced; causal-tracing metadata riding the RX
+// descriptor). The receiver owns the view and must Release it (directly or
+// through the stack's zero-copy discipline).
+func (n *Netif) SetReceiver(fn func(*cstruct.View, uint64)) { n.recv = fn }
 
 // fillRx keeps rxSlots buffers posted.
 func (n *Netif) fillRx() {
@@ -171,7 +173,7 @@ func (n *Netif) Send(p *sim.Proc, frags ...*cstruct.View) {
 	if len(frags) == 0 {
 		return
 	}
-	if n.enqueue(frags) {
+	if n.enqueue(frags, 0) {
 		n.flushTx(p)
 	}
 }
@@ -179,11 +181,16 @@ func (n *Netif) Send(p *sim.Proc, frags ...*cstruct.View) {
 // SendFrames transmits a batch of single-fragment frames, staging every
 // frame into the ring and then publishing — and notifying the backend —
 // once for the whole batch (the §3.4.1 batched-notification discipline:
-// the backend drains all of them on a single wakeup).
-func (n *Netif) SendFrames(p *sim.Proc, frames []*cstruct.View) {
+// the backend drains all of them on a single wakeup). spans, when non-nil,
+// carries each frame's trace id (parallel to frames; 0 = untraced).
+func (n *Netif) SendFrames(p *sim.Proc, frames []*cstruct.View, spans []uint64) {
 	staged := false
-	for _, f := range frames {
-		if n.enqueue([]*cstruct.View{f}) {
+	for i, f := range frames {
+		var span uint64
+		if i < len(spans) {
+			span = spans[i]
+		}
+		if n.enqueue([]*cstruct.View{f}, span) {
 			staged = true
 		}
 	}
@@ -195,7 +202,7 @@ func (n *Netif) SendFrames(p *sim.Proc, frames []*cstruct.View) {
 // enqueue grants a frame's fragments and stages its requests in the ring
 // without publishing, reporting whether it was staged (false: ring full,
 // frame queued for completion-time drain).
-func (n *Netif) enqueue(frags []*cstruct.View) bool {
+func (n *Netif) enqueue(frags []*cstruct.View, span uint64) bool {
 	tf := n.getFrags(len(frags))
 	for i, f := range frags {
 		tf[i] = txFrag{
@@ -204,6 +211,7 @@ func (n *Netif) enqueue(frags []*cstruct.View) bool {
 			more: i < len(frags)-1,
 		}
 	}
+	tf[0].span = span
 	if n.txFront.Free() < len(tf) {
 		n.txQueue = append(n.txQueue, tf)
 		n.mxTxQueued.Inc()
@@ -234,7 +242,7 @@ func (n *Netif) stageTx(tf []txFrag) {
 	for i := range tf {
 		f := &tf[i]
 		n.txFront.PushRequest(func(s *cstruct.View) {
-			netback.EncodeTxReq(s, uint32(f.gref), 0, uint16(f.view.Len()), id, f.more)
+			netback.EncodeTxReq(s, uint32(f.gref), 0, uint16(f.view.Len()), id, f.more, f.span)
 		})
 	}
 	n.mxTx.Inc()
@@ -312,7 +320,8 @@ func (n *Netif) drainCompletions() {
 	// RX completions: hand zero-copy sub-views to the stack and repost.
 	for {
 		var id, length uint16
-		if !n.rxFront.PopResponse(func(s *cstruct.View) { id, length = netback.DecodeRxRsp(s) }) {
+		var span uint64
+		if !n.rxFront.PopResponse(func(s *cstruct.View) { id, length, span = netback.DecodeRxRsp(s) }) {
 			break
 		}
 		post, ok := n.rxPosted[id]
@@ -329,7 +338,7 @@ func (n *Netif) drainCompletions() {
 				obs.Int("bytes", int64(length)))
 		}
 		if n.recv != nil {
-			n.recv(frame)
+			n.recv(frame, span)
 		} else {
 			frame.Release()
 		}

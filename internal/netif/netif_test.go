@@ -80,7 +80,7 @@ func TestFrameDeliveryBetweenGuests(t *testing.T) {
 
 		r.spawnGuest(t, "receiver", macB, dom0, func(vm *pvboot.VM, n *Netif, p *sim.Proc) int {
 			done := lwt.NewPromise[string](vm.S)
-			n.SetReceiver(func(v *cstruct.View) {
+			n.SetReceiver(func(v *cstruct.View, _ uint64) {
 				got = v.String(14, v.Len()-14)
 				v.Release()
 				if !done.Completed() {
@@ -118,7 +118,7 @@ func TestScatterGatherFrameReassembled(t *testing.T) {
 
 		r.spawnGuest(t, "receiver", macB, dom0, func(vm *pvboot.VM, n *Netif, p *sim.Proc) int {
 			done := lwt.NewPromise[struct{}](vm.S)
-			n.SetReceiver(func(v *cstruct.View) {
+			n.SetReceiver(func(v *cstruct.View, _ uint64) {
 				got = v.String(14, v.Len()-14)
 				v.Release()
 				if !done.Completed() {
@@ -156,7 +156,7 @@ func TestTxCompletionsReleasePagesToPool(t *testing.T) {
 	r.k.Spawn("setup", func(tp *sim.Proc) {
 		dom0 := r.h.Create(tp, hypervisor.Config{Name: "dom0", Memory: 128 << 20, NoSpawn: true})
 		r.spawnGuest(t, "receiver", macB, dom0, func(vm *pvboot.VM, n *Netif, p *sim.Proc) int {
-			n.SetReceiver(func(v *cstruct.View) { v.Release() })
+			n.SetReceiver(func(v *cstruct.View, _ uint64) { v.Release() })
 			return vm.Main(p, vm.S.Sleep(900*time.Millisecond))
 		})
 		r.spawnGuest(t, "sender", macA, dom0, func(vm *pvboot.VM, n *Netif, p *sim.Proc) int {
@@ -195,7 +195,7 @@ func TestRxDropWhenNoBuffersPosted(t *testing.T) {
 	r.k.Spawn("setup", func(tp *sim.Proc) {
 		dom0 := r.h.Create(tp, hypervisor.Config{Name: "dom0", Memory: 128 << 20, NoSpawn: true})
 		r.spawnGuest(t, "receiver", macB, dom0, func(vm *pvboot.VM, n *Netif, p *sim.Proc) int {
-			n.SetReceiver(func(v *cstruct.View) { v.Release() })
+			n.SetReceiver(func(v *cstruct.View, _ uint64) { v.Release() })
 			return vm.Main(p, vm.S.Sleep(500*time.Millisecond))
 		})
 		r.k.Spawn("flooder", func(p *sim.Proc) {
@@ -224,7 +224,7 @@ func TestTxBurstBeyondRingDepthQueuesAndDrains(t *testing.T) {
 	r.k.Spawn("setup", func(tp *sim.Proc) {
 		dom0 := r.h.Create(tp, hypervisor.Config{Name: "dom0", Memory: 128 << 20, NoSpawn: true})
 		r.spawnGuest(t, "receiver", macB, dom0, func(vm *pvboot.VM, n *Netif, p *sim.Proc) int {
-			n.SetReceiver(func(v *cstruct.View) {
+			n.SetReceiver(func(v *cstruct.View, _ uint64) {
 				received++
 				v.Release()
 			})
@@ -263,7 +263,7 @@ func TestBurstSharesNotifications(t *testing.T) {
 	r.k.Spawn("setup", func(tp *sim.Proc) {
 		dom0 := r.h.Create(tp, hypervisor.Config{Name: "dom0", Memory: 128 << 20, NoSpawn: true})
 		r.spawnGuest(t, "receiver", macB, dom0, func(vm *pvboot.VM, n *Netif, p *sim.Proc) int {
-			n.SetReceiver(func(v *cstruct.View) {
+			n.SetReceiver(func(v *cstruct.View, _ uint64) {
 				received++
 				v.Release()
 			})
@@ -279,7 +279,7 @@ func TestBurstSharesNotifications(t *testing.T) {
 				frames[i] = page.Sub(0, len(payload))
 				page.Release()
 			}
-			n.SendFrames(p, frames)
+			n.SendFrames(p, frames, nil)
 			return vm.Main(p, vm.S.Sleep(1*time.Second))
 		})
 	})

@@ -82,9 +82,11 @@ type Stack struct {
 	ipID  uint16
 	wake  *sim.Signal // re-enters the run loop after deferred processing
 
-	txBatch []*cstruct.View // frames built this burst, awaiting one flush
-	txSpare []*cstruct.View // drained batch backing, reused by the next burst
-	txGen   uint64          // invalidates stale flush events
+	txBatch   []*cstruct.View // frames built this burst, awaiting one flush
+	txSpare   []*cstruct.View // drained batch backing, reused by the next burst
+	txSpans   []uint64        // per-frame trace ids, parallel to txBatch
+	txSpnFree []uint64        // drained span backing, reused by the next burst
+	txGen     uint64          // invalidates stale flush events
 
 	// Stats
 	RxPackets, TxPackets int
@@ -113,7 +115,7 @@ func New(vm *pvboot.VM, nif *netif.Netif, cfg Config) *Stack {
 		body := page.Sub(ethernet.HeaderLen, arp.PacketLen)
 		arp.Encode(body, pkt)
 		body.Release()
-		st.tx(page, ethernet.HeaderLen+arp.PacketLen)
+		st.tx(page, ethernet.HeaderLen+arp.PacketLen, 0)
 	}
 	st.ICMP = &icmp.Handler{}
 	st.ICMP.Output = func(dst ipv4.Addr, e icmp.Echo) {
@@ -137,7 +139,7 @@ func New(vm *pvboot.VM, nif *netif.Netif, cfg Config) *Stack {
 	}
 	st.TCP.Output = func(dst ipv4.Addr, seg tcp.Segment) {
 		need := tcp.HeaderLen + 40 + len(seg.Payload) // header+options upper bound
-		st.sendIPFrom(localIP, dst, ipv4.ProtoTCP, need, func(v *cstruct.View) int {
+		st.sendIPSpan(localIP, dst, ipv4.ProtoTCP, need, seg.Span, func(v *cstruct.View) int {
 			return tcp.Encode(v, localIP, dst, seg)
 		})
 	}
@@ -163,42 +165,45 @@ const txBatchMax = 16
 // no-op — so the whole burst enters the TX ring together and costs a
 // single publish/notification. A lone frame flushes at exactly the same
 // instant as the unbatched path did.
-func (st *Stack) tx(page *cstruct.View, n int) {
+func (st *Stack) tx(page *cstruct.View, n int, span uint64) {
 	at := st.VM.Dom.VCPU.Reserve(st.Params.TxCost)
 	st.TxPackets++
 	frame := page.Sub(0, n)
 	page.Release()
 	if st.txBatch == nil && st.txSpare != nil {
 		st.txBatch, st.txSpare = st.txSpare, nil
+		st.txSpans, st.txSpnFree = st.txSpnFree, nil
 	}
 	st.txBatch = append(st.txBatch, frame)
+	st.txSpans = append(st.txSpans, span)
 	st.txGen++
 	gen := st.txGen
 	if len(st.txBatch) >= txBatchMax {
-		batch := st.txBatch
-		st.txBatch = nil
-		st.VM.S.K.At(at, func() { st.sendBatch(batch) })
+		batch, spans := st.txBatch, st.txSpans
+		st.txBatch, st.txSpans = nil, nil
+		st.VM.S.K.At(at, func() { st.sendBatch(batch, spans) })
 		return
 	}
 	st.VM.S.K.At(at, func() {
 		if gen != st.txGen {
 			return // a later frame joined the burst; its flush covers us
 		}
-		batch := st.txBatch
-		st.txBatch = nil
-		st.sendBatch(batch)
+		batch, spans := st.txBatch, st.txSpans
+		st.txBatch, st.txSpans = nil, nil
+		st.sendBatch(batch, spans)
 	})
 }
 
-// sendBatch hands a drained burst to the NIC, then parks the backing array
-// for the next burst (SendFrames does not retain the slice).
-func (st *Stack) sendBatch(batch []*cstruct.View) {
-	st.NIC.SendFrames(nil, batch)
+// sendBatch hands a drained burst to the NIC, then parks the backing arrays
+// for the next burst (SendFrames does not retain the slices).
+func (st *Stack) sendBatch(batch []*cstruct.View, spans []uint64) {
+	st.NIC.SendFrames(nil, batch, spans)
 	for i := range batch {
 		batch[i] = nil
 	}
 	if st.txSpare == nil || cap(batch) > cap(st.txSpare) {
 		st.txSpare = batch[:0]
+		st.txSpnFree = spans[:0]
 	}
 }
 
@@ -206,11 +211,12 @@ func (st *Stack) sendBatch(batch []*cstruct.View) {
 // maxLen bytes) into the view it is given and returns the actual length.
 // Payloads exceeding the MTU are fragmented (the extra copy is charged).
 func (st *Stack) SendIP(dst ipv4.Addr, proto uint8, maxLen int, build func(*cstruct.View) int) {
-	st.sendIPFrom(st.Cfg.IP, dst, proto, maxLen, build)
+	st.sendIPSpan(st.Cfg.IP, dst, proto, maxLen, 0, build)
 }
 
-// sendIPFrom is SendIP with an explicit source address (the VIP path).
-func (st *Stack) sendIPFrom(src ipv4.Addr, dst ipv4.Addr, proto uint8, maxLen int, build func(*cstruct.View) int) {
+// sendIPSpan is SendIP with an explicit source address (the VIP path) and a
+// trace id carried as frame metadata (0 = untraced).
+func (st *Stack) sendIPSpan(src ipv4.Addr, dst ipv4.Addr, proto uint8, maxLen int, span uint64, build func(*cstruct.View) int) {
 	st.resolveNextHop(dst, func(mac ethernet.MAC, err error) {
 		if err != nil {
 			st.RxDropped++
@@ -229,7 +235,7 @@ func (st *Stack) sendIPFrom(src ipv4.Addr, dst ipv4.Addr, proto uint8, maxLen in
 			iph := page.Sub(ethernet.HeaderLen, ipv4.HeaderLen)
 			ipv4.Encode(iph, ipv4.Header{ID: id, Proto: proto, Src: src, Dst: dst}, n)
 			iph.Release()
-			st.tx(page, hdr+n)
+			st.tx(page, hdr+n, span)
 			return
 		}
 		// Slow path: build into scratch, then fragment.
@@ -243,7 +249,7 @@ func (st *Stack) sendIPFrom(src ipv4.Addr, dst ipv4.Addr, proto uint8, maxLen in
 				MoreFrags: fr.More, FragOffset: fr.Offset}, fr.Len)
 			iph.Release()
 			page.PutBytes(hdr, scratch.Slice(fr.Offset, fr.Len))
-			st.tx(page, hdr+fr.Len)
+			st.tx(page, hdr+fr.Len, span)
 		}
 	})
 }
@@ -262,16 +268,17 @@ func (st *Stack) resolveNextHop(dst ipv4.Addr, cb func(ethernet.MAC, error)) {
 }
 
 // rx is the receive upcall from the driver: parsing happens after the
-// vCPU's per-packet work completes, then the run loop is re-entered.
-func (st *Stack) rx(v *cstruct.View) {
+// vCPU's per-packet work completes, then the run loop is re-entered. span
+// is the frame's trace id from the RX descriptor (0 = untraced).
+func (st *Stack) rx(v *cstruct.View, span uint64) {
 	at := st.VM.Dom.VCPU.Reserve(st.Params.RxCost)
 	st.VM.S.K.At(at, func() {
-		st.rxNow(v)
+		st.rxNow(v, span)
 		st.wake.Set()
 	})
 }
 
-func (st *Stack) rxNow(v *cstruct.View) {
+func (st *Stack) rxNow(v *cstruct.View, span uint64) {
 	st.RxPackets++
 	if st.Params.CopyRX {
 		// Ablation: the copying receive path of a conventional stack.
@@ -294,14 +301,14 @@ func (st *Stack) rxNow(v *cstruct.View) {
 		}
 		st.ARP.Input(pkt)
 	case ethernet.TypeIPv4:
-		st.rxIP(fr.Payload)
+		st.rxIP(fr.Payload, span)
 	default:
 		fr.Payload.Release()
 		st.RxDropped++
 	}
 }
 
-func (st *Stack) rxIP(v *cstruct.View) {
+func (st *Stack) rxIP(v *cstruct.View, span uint64) {
 	h, payload, err := ipv4.Parse(v)
 	if err != nil {
 		st.RxDropped++
@@ -339,6 +346,7 @@ func (st *Stack) rxIP(v *cstruct.View) {
 			st.RxDropped++
 			return
 		}
+		seg.Span = span // descriptor metadata, not parsed from wire bytes
 		st.TCP.Input(h.Src, seg)
 	default:
 		full.Release()

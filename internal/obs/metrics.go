@@ -142,8 +142,12 @@ func (h *Histogram) Quantile(q float64) float64 {
 // QuantileFromBuckets is Quantile over raw bucket data — bounds plus one
 // overflow count, as produced by snapshot diffs — so callers can compute
 // quantiles over an interval (end minus start) rather than all time.
+//
+// Degenerate inputs are answered, not trusted: a non-positive total or an
+// unbounded histogram (no finite buckets) reports 0, negative interval
+// counts (a malformed diff) are skipped, and q is clamped to [0,1].
 func QuantileFromBuckets(bounds []float64, counts []int64, total int64, q float64) float64 {
-	if total <= 0 {
+	if total <= 0 || len(bounds) == 0 {
 		return 0
 	}
 	if q < 0 {
@@ -155,8 +159,11 @@ func QuantileFromBuckets(bounds []float64, counts []int64, total int64, q float6
 	rank := q * float64(total)
 	var cum int64
 	for i, c := range counts {
-		if c == 0 {
+		if c <= 0 {
 			continue
+		}
+		if i > len(bounds) {
+			break // malformed: more counts than bounds+overflow
 		}
 		lo := float64(0)
 		if i > 0 {
@@ -172,10 +179,7 @@ func QuantileFromBuckets(bounds []float64, counts []int64, total int64, q float6
 		}
 		cum += c
 	}
-	if len(bounds) > 0 {
-		return bounds[len(bounds)-1]
-	}
-	return 0
+	return bounds[len(bounds)-1]
 }
 
 // Buckets returns the histogram's bounds and per-bucket counts (the last

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) for snapshots, so the metrics
+// registry is consumable by standard scrapers/tooling instead of only the
+// bespoke Lines() format. Output is deterministic: rows are already sorted
+// by ID, families emit one TYPE line at first appearance, and floats use
+// fixed formatting.
+
+// promSplit parses a snapshot row ID ("name" or "name{k=v,...}") back into
+// the metric name and its label pairs.
+func promSplit(id string) (name string, labels []Label) {
+	i := strings.IndexByte(id, '{')
+	if i < 0 {
+		return id, nil
+	}
+	name = id[:i]
+	body := strings.TrimSuffix(id[i+1:], "}")
+	for _, kv := range strings.Split(body, ",") {
+		if eq := strings.IndexByte(kv, '='); eq >= 0 {
+			labels = append(labels, Label{Key: kv[:eq], Val: kv[eq+1:]})
+		}
+	}
+	return name, labels
+}
+
+// promLabels renders labels (plus an optional extra pair) in exposition
+// syntax, quoting and escaping values.
+func promLabels(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(promEscape(l.Val))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(promEscape(extraVal))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func promEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// promFloat formats a sample value: integral values print without a
+// fraction (matching Prometheus conventions), others with full precision.
+func promFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Prom renders the snapshot in Prometheus text exposition format.
+// Histograms expand into cumulative _bucket series plus _sum and _count.
+func (s Snapshot) Prom() string {
+	var b strings.Builder
+	typed := map[string]bool{}
+	ptype := func(name, kind string) {
+		if !typed[name] {
+			typed[name] = true
+			fmt.Fprintf(&b, "# TYPE %s %s\n", name, kind)
+		}
+	}
+	for _, row := range s.Rows {
+		name, labels := promSplit(row.ID)
+		switch row.Kind {
+		case "counter":
+			ptype(name, "counter")
+			fmt.Fprintf(&b, "%s%s %d\n", name, promLabels(labels, "", ""), row.N)
+		case "gauge":
+			ptype(name, "gauge")
+			fmt.Fprintf(&b, "%s%s %s\n", name, promLabels(labels, "", ""), promFloat(row.F))
+		case "histogram":
+			ptype(name, "histogram")
+			var cum int64
+			for i, bound := range row.Bounds {
+				if i < len(row.Buckets) {
+					cum += row.Buckets[i]
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n",
+					name, promLabels(labels, "le", promFloat(bound)), cum)
+			}
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", name, promLabels(labels, "le", "+Inf"), row.N)
+			fmt.Fprintf(&b, "%s_sum%s %s\n", name, promLabels(labels, "", ""), promFloat(row.Sum))
+			fmt.Fprintf(&b, "%s_count%s %d\n", name, promLabels(labels, "", ""), row.N)
+		}
+	}
+	return b.String()
+}

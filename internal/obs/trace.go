@@ -40,15 +40,18 @@ func Str(k, v string) Arg { return Arg{Key: k, Val: v} }
 func Int(k string, v int64) Arg { return Arg{Key: k, Val: strconv.FormatInt(v, 10)} }
 
 // Event is one trace record. Ph follows the Chrome trace-event phases:
-// 'B'/'E' span begin/end, 'X' complete (TS..TS+Dur), 'i' instant.
+// 'B'/'E' span begin/end, 'X' complete (TS..TS+Dur), 'i' instant, and
+// 's'/'t'/'f' flow start/step/end (connected arcs across pids, keyed by
+// Flow).
 type Event struct {
 	TS   Time
 	Dur  Time
 	Ph   byte
 	Cat  string
 	Name string
-	Pid  int // domain ID (0 = host/hypervisor)
-	Tid  int // proc or CPU ID within the pid
+	Pid  int    // domain ID (0 = host/hypervisor)
+	Tid  int    // proc or CPU ID within the pid
+	Flow uint64 // flow/trace identity for 's'/'t'/'f' events
 	Args []Arg
 }
 
@@ -225,6 +228,23 @@ func (t *Tracer) Complete(ts Time, dur Time, cat, name string, pid, tid int, arg
 	t.add(Event{TS: ts, Dur: dur, Ph: 'X', Cat: cat, Name: name, Pid: pid, Tid: tid, Args: args})
 }
 
+// FlowStart opens a flow arc (Chrome phase 's'): the origin of a causal
+// chain that FlowStep/FlowEnd events with the same flow id connect across
+// pids. Perfetto renders the chain as arrows between the enclosing slices.
+func (t *Tracer) FlowStart(ts Time, cat, name string, pid, tid int, flow uint64, args ...Arg) {
+	t.add(Event{TS: ts, Ph: 's', Cat: cat, Name: name, Pid: pid, Tid: tid, Flow: flow, Args: args})
+}
+
+// FlowStep records an intermediate point on a flow arc (phase 't').
+func (t *Tracer) FlowStep(ts Time, cat, name string, pid, tid int, flow uint64, args ...Arg) {
+	t.add(Event{TS: ts, Ph: 't', Cat: cat, Name: name, Pid: pid, Tid: tid, Flow: flow, Args: args})
+}
+
+// FlowEnd terminates a flow arc (phase 'f', binding point "enclosing").
+func (t *Tracer) FlowEnd(ts Time, cat, name string, pid, tid int, flow uint64, args ...Arg) {
+	t.add(Event{TS: ts, Ph: 'f', Cat: cat, Name: name, Pid: pid, Tid: tid, Flow: flow, Args: args})
+}
+
 // Len returns the number of recorded events (on a root: across all shards).
 func (t *Tracer) Len() int {
 	if t == nil {
@@ -368,6 +388,14 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 		}
 		if e.Ph == 'i' {
 			line = append(line, `,"s":"t"`...)
+		}
+		switch e.Ph {
+		case 's', 't', 'f':
+			line = append(line, `,"id":`...)
+			line = strconv.AppendUint(line, e.Flow, 10)
+			if e.Ph == 'f' {
+				line = append(line, `,"bp":"e"`...)
+			}
 		}
 		line = append(line, `,"pid":`...)
 		line = strconv.AppendInt(line, int64(e.Pid), 10)

@@ -120,6 +120,7 @@ func Boot(d *hypervisor.Domain, p *sim.Proc, opts Options) (*VM, error) {
 	s.Heap = heap
 	s.CPU = d.VCPU
 	s.WakeCost = opts.WakeCost
+	d.ThreadStats = func() (int, int) { return s.Created, s.Wakes } // domstat hook
 
 	ext := mem.NewExtent(layout.MajorHeap)
 	return &VM{Dom: d, S: s, Layout: layout, Heap: heap, Slab: mem.NewSlab(), Extent: ext}, nil

@@ -656,6 +656,7 @@ type CPU struct {
 	id     int // trace tid (offset past proc IDs)
 	freeAt Time
 	busy   time.Duration // total busy time accumulated
+	qwait  time.Duration // total time requests waited behind earlier work
 	speed  float64       // relative speed multiplier (1.0 = nominal)
 }
 
@@ -689,6 +690,11 @@ func (c *CPU) Kernel() *Kernel { return c.k }
 // BusyTime returns the total virtual time this CPU has spent executing work.
 func (c *CPU) BusyTime() time.Duration { return c.busy }
 
+// QueueWait returns the total virtual time reservations spent waiting for
+// the CPU to free (runqueue delay: work arriving while earlier work still
+// occupies the CPU starts late; the gap accumulates here).
+func (c *CPU) QueueWait() time.Duration { return c.qwait }
+
 // Utilization returns busy time divided by elapsed virtual time.
 func (c *CPU) Utilization() float64 {
 	if c.k.now == 0 {
@@ -704,6 +710,7 @@ func (c *CPU) reserve(d time.Duration) Time {
 	start := c.k.now
 	if c.freeAt > start {
 		start = c.freeAt
+		c.qwait += start.Sub(c.k.now)
 	}
 	end := start.Add(d)
 	c.freeAt = end

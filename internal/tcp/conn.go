@@ -102,6 +102,13 @@ type Conn struct {
 
 	listener *Listener // listener this conn was accepted on (nil for active opens)
 
+	// span is the causal-tracing trace id this connection carries (0 =
+	// untraced). Active opens inherit it from Stack.NextSpan; passive opens
+	// adopt it from the arriving SYN's descriptor metadata. Every outbound
+	// segment is stamped with it so the request's arc stays connected across
+	// domains without touching wire bytes.
+	span uint64
+
 	// Congestion control (New Reno).
 	cwnd, ssthresh int
 	dupAcks        int
@@ -172,6 +179,16 @@ func (c *Conn) setState(s State) {
 	c.state = s
 }
 
+// spanArgs appends the connection's trace id to trace-instant args when the
+// connection is sampled, so loss events (retransmits, timeouts, probes) land
+// inside the request's causal arc.
+func (c *Conn) spanArgs(args ...obs.Arg) []obs.Arg {
+	if c.span == 0 {
+		return args
+	}
+	return append(args, obs.U64("trace_id", c.span))
+}
+
 // RemoteAddr returns the peer's address and port.
 func (c *Conn) RemoteAddr() (addr uint32, port uint16) {
 	return uint32(c.key.remoteIP), c.key.remotePort
@@ -179,6 +196,10 @@ func (c *Conn) RemoteAddr() (addr uint32, port uint16) {
 
 // LocalPort returns the local port.
 func (c *Conn) LocalPort() uint16 { return c.key.localPort }
+
+// TraceID returns the causal-tracing trace id riding this connection
+// (0 = untraced).
+func (c *Conn) TraceID() uint64 { return c.span }
 
 func newConn(st *Stack, key connKey) *Conn {
 	p := st.Params
@@ -271,6 +292,7 @@ func (c *Conn) send(flags uint8, seq uint32, payload []byte, syn bool) {
 		Window:   c.advertisedWindow(syn),
 		WndScale: -1,
 		Payload:  payload,
+		Span:     c.span,
 	}
 	if flags&FlagACK != 0 {
 		seg.Ack = c.rcvNxt
@@ -711,7 +733,7 @@ func (c *Conn) onPersist() {
 	c.st.mxPersistProbes.Inc()
 	if tr := c.st.tr; tr.Enabled() {
 		tr.Instant(obs.Time(c.st.S.K.Now()), "tcp", "persist-probe", c.st.TracePid, 0,
-			obs.Int("port", int64(c.key.localPort)), obs.Int("backoff_us", int64(c.persistBackoff.Microseconds())))
+			c.spanArgs(obs.Int("port", int64(c.key.localPort)), obs.Int("backoff_us", int64(c.persistBackoff.Microseconds())))...)
 	}
 	switch {
 	case len(c.inflight) > 0:
@@ -748,7 +770,7 @@ func (c *Conn) onTimeout() {
 	c.st.mxTimeouts.Inc()
 	if tr := c.st.tr; tr.Enabled() {
 		tr.Instant(obs.Time(c.st.S.K.Now()), "tcp", "rto-timeout", c.st.TracePid, 0,
-			obs.Int("port", int64(c.key.localPort)), obs.Int("rto_us", int64(c.rto.Microseconds())))
+			c.spanArgs(obs.Int("port", int64(c.key.localPort)), obs.Int("rto_us", int64(c.rto.Microseconds())))...)
 	}
 	flight := c.flightSize()
 	c.ssthresh = max2(flight/2, 2*c.mss)
@@ -771,7 +793,7 @@ func (c *Conn) retransmitFirst() {
 	c.st.mxRetransmits.Inc()
 	if tr := c.st.tr; tr.Enabled() {
 		tr.Instant(obs.Time(c.st.S.K.Now()), "tcp", "retransmit", c.st.TracePid, 0,
-			obs.Int("port", int64(c.key.localPort)), obs.Int("seq", int64(c.inflight[0].seq)))
+			c.spanArgs(obs.Int("port", int64(c.key.localPort)), obs.Int("seq", int64(c.inflight[0].seq)))...)
 	}
 	seg := &c.inflight[0]
 	seg.rexmit = true

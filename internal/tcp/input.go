@@ -225,7 +225,7 @@ func (c *Conn) processAck(seg Segment) {
 			c.st.mxFastRetransmits.Inc()
 			if tr := c.st.tr; tr.Enabled() {
 				tr.Instant(obs.Time(c.st.S.K.Now()), "tcp", "fast-retransmit", c.st.TracePid, 0,
-					obs.Int("port", int64(c.key.localPort)), obs.Int("seq", int64(c.sndUna)))
+					c.spanArgs(obs.Int("port", int64(c.key.localPort)), obs.Int("seq", int64(c.sndUna)))...)
 			}
 			c.ssthresh = max2(c.flightSize()/2, 2*c.mss)
 			c.recover = c.sndNxt

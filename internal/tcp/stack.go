@@ -67,6 +67,11 @@ type Stack struct {
 	// row; the netstack layer sets it after boot (0 = host).
 	TracePid int
 
+	// NextSpan, when nonzero, is the causal-tracing trace id adopted by the
+	// next Connect call (and cleared by it). It lets an application start a
+	// traced request without widening the Connect signature.
+	NextSpan uint64
+
 	tr *obs.Tracer
 
 	// Stats live on the kernel's metrics registry; see NewStack.
@@ -195,7 +200,12 @@ func (st *Stack) accept(l *Listener, src ipv4.Addr, seg Segment) {
 	key := connKey{seg.DstPort, src, seg.SrcPort}
 	c := newConn(st, key)
 	c.listener = l
+	c.span = seg.Span // adopt the request's trace id from the SYN descriptor
 	l.halfOpen++
+	if c.span != 0 && st.tr.Enabled() {
+		st.tr.FlowStep(obs.Time(st.S.K.Now()), "trace", "tcp-accept", st.TracePid, 0, c.span,
+			obs.U64("trace_id", c.span), obs.Int("port", int64(seg.DstPort)))
+	}
 	c.setState(StateSynRcvd)
 	c.irs = seg.Seq
 	c.rcvNxt = seg.Seq + 1
@@ -229,6 +239,8 @@ func (st *Stack) Connect(dst ipv4.Addr, port uint16) *lwt.Promise[*Conn] {
 		}
 	}
 	c := newConn(st, key)
+	c.span = st.NextSpan
+	st.NextSpan = 0
 	c.setState(StateSynSent)
 	c.iss = st.nextISN()
 	c.sndUna = c.iss

@@ -35,6 +35,11 @@ type Segment struct {
 	MSS      uint16
 	WndScale int // -1 if absent
 	Payload  []byte
+	// Span is causal-tracing metadata: the trace id of the request this
+	// segment belongs to (0 = untraced). It is never encoded into or parsed
+	// from wire bytes — the network layer carries it on frame descriptors —
+	// so traced and untraced runs produce identical packets.
+	Span uint64
 	// view, when non-nil, is a retained sub-view of the receive page that
 	// Payload aliases (zero-copy RX, §3.4.1). Whoever consumes the segment
 	// must release it exactly once; see releaseView.
