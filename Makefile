@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all check fmt vet staticcheck build test race race-parallel race-obs paritycheck trace bench benchdelta benchdelta-all scalesweep
+.PHONY: all check fmt vet staticcheck build test race race-parallel race-obs paritycheck trace bench benchdelta benchdelta-all scalesweep connsweep connsweep-full
 
 all: check
 
-check: fmt vet staticcheck build test race race-parallel race-obs paritycheck benchdelta-all
+check: fmt vet staticcheck build test race race-parallel race-obs paritycheck benchdelta-all connsweep
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -46,7 +46,7 @@ race-obs: build
 # Serial-vs-parallel byte-identity: the same sharded layout (-pcpus 4)
 # driven single-threaded and multi-threaded must produce identical stdout,
 # structured JSON, metrics and trace for every experiment in the parity set.
-PARITY_EXPS = ping losssweep scalesweep
+PARITY_EXPS = ping losssweep scalesweep connsweep
 paritycheck: build
 	@$(GO) build -o /tmp/repro-parity ./cmd/repro
 	@for e in $(PARITY_EXPS); do \
@@ -81,12 +81,16 @@ benchdelta: build
 #  - scalesweep: deterministic virtual-time sweep, re-run and diffed — any
 #    delta at all means the simulation changed
 #  - parallel: host-dependent wall clock, self-delta'd as a format gate only
+#  - connsweep: full sweep is minutes of wall clock and its heap numbers are
+#    host-dependent, so the committed file is self-delta'd as a format gate;
+#    the deterministic quick sweep is exercised by the connsweep target
 benchdelta-all: benchdelta
 	@rm -f /tmp/bench_scalesweep_new.json
 	$(GO) build -o /tmp/repro-bench ./cmd/repro
 	/tmp/repro-bench -experiment scalesweep -json /tmp/bench_scalesweep_new.json > /dev/null
 	$(GO) run ./cmd/benchjson -delta BENCH_scalesweep.json /tmp/bench_scalesweep_new.json
 	$(GO) run ./cmd/benchjson -delta BENCH_parallel.json BENCH_parallel.json
+	$(GO) run ./cmd/benchjson -delta BENCH_connsweep.json BENCH_connsweep.json
 
 # Autoscaling fleet sweep -> BENCH_scalesweep.json; runs the experiment
 # twice on the same seed and asserts the rendered output is byte-identical.
@@ -96,6 +100,20 @@ scalesweep: build
 	@cat /tmp/scalesweep.1
 	cmp /tmp/scalesweep.1 /tmp/scalesweep.2
 	@echo "scalesweep deterministic: same-seed runs byte-identical; JSON in BENCH_scalesweep.json"
+
+# Million-connection population sweep, small-N gate: runs the quick sweep
+# twice on the same seed and asserts the rendered output is byte-identical.
+connsweep: build
+	@$(GO) build -o /tmp/repro-conn ./cmd/repro
+	/tmp/repro-conn -experiment connsweep -quick > /tmp/connsweep.1
+	/tmp/repro-conn -experiment connsweep -quick > /tmp/connsweep.2
+	cmp /tmp/connsweep.1 /tmp/connsweep.2
+	@echo "connsweep deterministic: same-seed quick runs byte-identical"
+
+# Full 1M-connection sweep with heap sampling -> BENCH_connsweep.json.
+# Minutes of wall clock; regenerate after changes to the TCP or timer path.
+connsweep-full: build
+	$(GO) run ./cmd/repro -experiment connsweep -memstats -json BENCH_connsweep.json
 
 # Quick smoke: run one experiment with tracing and validate the output.
 trace:

@@ -42,6 +42,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the full metrics registry after the run")
 	metricsFormat := flag.String("metrics-format", "text", "registry dump format: text or prom (Prometheus exposition)")
 	domstat := flag.Bool("domstat", false, "print the per-domain accounting table (virtual xentop) for experiments that support it")
+	memstats := flag.Bool("memstats", false, "sample the process heap in experiments that report memory (connsweep); numbers are host-dependent")
 	jsonOut := flag.String("json", "", "write the structured results (id -> series) as JSON to this file")
 	seed := flag.Int64("seed", 0, "override the experiment's default seed (0 = default)")
 	loss := flag.Float64("loss", 0, "bridge frame drop probability [0,1] for every platform run")
@@ -97,6 +98,7 @@ func main() {
 		ReplicasMax: *replicasMax,
 		LBPolicy:    *lbPolicy,
 		DomStat:     *domstat,
+		MemStats:    *memstats,
 	}
 
 	want := map[string]bool{}

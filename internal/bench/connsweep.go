@@ -1,0 +1,517 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/build"
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/httpd"
+	"repro/internal/ipv4"
+	"repro/internal/lwt"
+	"repro/internal/netstack"
+	"repro/internal/tcp"
+)
+
+// ConnSweep parks a stepped population of keep-alive TCP connections on a
+// fixed appliance fleet behind the stateless (rendezvous-hash) balancer and
+// proves the control-plane cost stays flat: the kernel event queue must
+// track the handful of *active* timers per wheel tick, never the parked
+// population. The sweep then mass-closes every connection so a full
+// population of TIME_WAIT timers parks on the hierarchical timing wheels at
+// once — the wheel holds them all while the event heap stays small. At each
+// plateau a probe session measures request latency through the VIP, and
+// (with mem stats enabled) the process heap is sampled to report simulated
+// bytes per connection across both endpoints and the fabric.
+
+var (
+	csVIP    = ipv4.AddrFrom4(10, 0, 0, 100)
+	csBaseIP = ipv4.AddrFrom4(10, 0, 0, 10)
+	csLBIP   = ipv4.AddrFrom4(10, 0, 0, 99)
+)
+
+// csConfig sizes one sweep. connGap/closeGap are the *global* spacing
+// between connection events; they pace the fleet-wide ramp so dom0's
+// per-frame bridge cost is never saturated (a handshake is ~5 bridge
+// traversals, so a 40µs gap keeps dom0 around 25% busy on handshakes).
+type csConfig struct {
+	steps       []int // cumulative target populations
+	nClients    int
+	nReplicas   int
+	connGap     time.Duration
+	closeGap    time.Duration
+	plateau     time.Duration // hold after each ramp before the barrier
+	settle      time.Duration // ramp-end to probe start
+	probeReqs   int
+	think       time.Duration
+	timeWait    time.Duration // client-side TIME_WAIT (parks the wheel)
+	handlerCost time.Duration
+}
+
+func csConf(quick bool) csConfig {
+	if quick {
+		return csConfig{
+			steps:       []int{500, 2000},
+			nClients:    4,
+			nReplicas:   2,
+			connGap:     200 * time.Microsecond,
+			closeGap:    200 * time.Microsecond,
+			plateau:     300 * time.Millisecond,
+			settle:      50 * time.Millisecond,
+			probeReqs:   15,
+			think:       500 * time.Microsecond,
+			timeWait:    60 * time.Second,
+			handlerCost: 200 * time.Microsecond,
+		}
+	}
+	// Full sweep: 64 clients × 15625 conns = 1M. Each client stays under
+	// the 16384-port ephemeral range, so exhaustion never gates the ramp.
+	return csConfig{
+		steps:       []int{10_000, 100_000, 1_000_000},
+		nClients:    64,
+		nReplicas:   8,
+		connGap:     40 * time.Microsecond,
+		closeGap:    40 * time.Microsecond,
+		plateau:     600 * time.Millisecond,
+		settle:      100 * time.Millisecond,
+		probeReqs:   40,
+		think:       time.Millisecond,
+		timeWait:    60 * time.Second,
+		handlerCost: 200 * time.Microsecond,
+	}
+}
+
+// csStep is one population plateau with its precomputed virtual schedule.
+type csStep struct {
+	target  int
+	start   time.Duration // ramp begins
+	rampEnd time.Duration
+	barrier time.Duration // measurement instant (kernel quiesced here)
+}
+
+// csClient is one load generator's tally. Written only on its own guest's
+// shard during the run; the driver reads it between Run calls, at the
+// quiesced step barriers.
+type csClient struct {
+	established int
+	failed      int
+	closed      int
+	conns       []*tcp.Conn
+	st          *tcp.Stack
+}
+
+// csProbe records the per-step probe session latencies (µs).
+type csProbe struct {
+	lats [][]float64
+	fail int
+}
+
+func csPct(lats []float64, q float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), lats...)
+	sort.Float64s(s)
+	i := int(q*float64(len(s))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
+// csUntil sleeps p's scheduler until the absolute virtual instant at, then
+// runs fn. Chained calls keep exactly one pending timer per guest: the
+// sweep must not itself populate the event queues it is measuring, so
+// connections are launched by a self-pacing chain rather than a
+// pre-scheduled event per connection.
+func csUntil(s *lwt.Scheduler, at time.Duration, fn func()) {
+	d := at - s.K.Now().Duration()
+	if d < 0 {
+		d = 0
+	}
+	lwt.Map(s.Sleep(d), func(struct{}) struct{} {
+		fn()
+		return struct{}{}
+	})
+}
+
+// deployConnClient deploys one connection-source guest. It opens its share
+// of each step's new connections at interleaved global slots (slot =
+// k*nClients+idx), parks them, and after the last plateau closes every one
+// on the same spacing — the mass close that parks a full population of
+// TIME_WAIT timers on the wheels.
+func deployConnClient(pl *core.Platform, idx int, cl *csClient, cfg csConfig,
+	steps []csStep, closeStart, drainEnd time.Duration) {
+	pl.Deploy(core.Unikernel{
+		Build:  build.Config{Name: fmt.Sprintf("connsrc-%d", idx), Roots: []string{"http"}},
+		Memory: 64 << 20,
+		Main: func(env *core.Env) int {
+			s := env.VM.S
+			cl.st = env.Net.TCP
+			done := lwt.NewPromise[struct{}](s)
+
+			var closer func(k int)
+			closer = func(k int) {
+				if k >= len(cl.conns) {
+					csUntil(s, drainEnd, func() { done.Resolve(struct{}{}) })
+					return
+				}
+				at := closeStart + time.Duration(k*cfg.nClients+idx)*cfg.closeGap
+				csUntil(s, at, func() {
+					cl.conns[k].Close()
+					cl.closed++
+					closer(k + 1)
+				})
+			}
+
+			// share returns how many of step si's new connections this
+			// client owns (remainder spread over the low indices).
+			share := func(si int) int {
+				prev := 0
+				if si > 0 {
+					prev = steps[si-1].target
+				}
+				n := steps[si].target - prev
+				sh := n / cfg.nClients
+				if idx < n%cfg.nClients {
+					sh++
+				}
+				return sh
+			}
+			var launch func(si, k int)
+			launch = func(si, k int) {
+				if si == len(steps) {
+					closer(0)
+					return
+				}
+				if k == share(si) {
+					launch(si+1, 0)
+					return
+				}
+				at := steps[si].start + time.Duration(k*cfg.nClients+idx)*cfg.connGap
+				csUntil(s, at, func() {
+					cn := cl.st.Connect(csVIP, 80)
+					lwt.Always(cn, func() {
+						if cn.Failed() != nil {
+							cl.failed++
+						} else {
+							cl.established++
+							cl.conns = append(cl.conns, cn.Value())
+						}
+					})
+					launch(si, k+1)
+				})
+			}
+			launch(0, 0)
+			return env.VM.Main(env.P, done)
+		},
+	}, core.DeployOpts{
+		Net: &netstack.Config{
+			MAC: core.MAC(0x80 + byte(idx)), IP: ipv4.AddrFrom4(10, 0, 0, 120+uint8(idx)),
+			Netmask: benchMask,
+			// The mass close must leave every connection parked in
+			// TIME_WAIT simultaneously, so the client-side hold is longer
+			// than the whole close ramp.
+			TCPParams: func(p *tcp.Params) { p.TimeWait = cfg.timeWait },
+		},
+		PCPU: -1,
+	})
+}
+
+// deployConnProbe deploys the probe guest: one keep-alive session per step,
+// run on the plateau, recording client-observed request latency while the
+// parked population sits underneath.
+func deployConnProbe(pl *core.Platform, pr *csProbe, cfg csConfig,
+	steps []csStep, drainEnd time.Duration) {
+	pl.Deploy(core.Unikernel{
+		Build:  build.Config{Name: "connprobe", Roots: []string{"http"}},
+		Memory: 64 << 20,
+		Main: func(env *core.Env) int {
+			s := env.VM.S
+			done := lwt.NewPromise[struct{}](s)
+			session := func(si int, then func()) {
+				cn := env.Net.TCP.Connect(csVIP, 80)
+				lwt.Always(cn, func() {
+					if cn.Failed() != nil {
+						pr.fail++
+						then()
+						return
+					}
+					c := cn.Value()
+					var buf []byte
+					readResp := func(next func(*httpd.Response)) {
+						var step func()
+						step = func() {
+							if resp, n, err := httpd.ParseResponse(buf); err != nil {
+								next(nil)
+								return
+							} else if resp != nil {
+								buf = buf[n:]
+								next(resp)
+								return
+							}
+							rd := c.Read(64 << 10)
+							lwt.Always(rd, func() {
+								if rd.Failed() != nil || len(rd.Value()) == 0 {
+									next(nil)
+									return
+								}
+								buf = append(buf, rd.Value()...)
+								step()
+							})
+						}
+						step()
+					}
+					var issue func(i int)
+					issue = func(i int) {
+						if i == cfg.probeReqs {
+							c.Close()
+							then()
+							return
+						}
+						start := s.K.Now()
+						wr := c.Write(httpd.EncodeRequest(&httpd.Request{Method: "GET", Path: "/"}))
+						lwt.Always(wr, func() {
+							if wr.Failed() != nil {
+								pr.fail++
+								c.Close()
+								then()
+								return
+							}
+							readResp(func(resp *httpd.Response) {
+								if resp == nil {
+									pr.fail++
+									c.Close()
+									then()
+									return
+								}
+								pr.lats[si] = append(pr.lats[si],
+									float64(s.K.Now().Sub(start).Microseconds()))
+								lwt.Map(s.Sleep(cfg.think), func(struct{}) struct{} {
+									issue(i + 1)
+									return struct{}{}
+								})
+							})
+						})
+					}
+					issue(0)
+				})
+			}
+			var run func(si int)
+			run = func(si int) {
+				if si == len(steps) {
+					csUntil(s, drainEnd, func() { done.Resolve(struct{}{}) })
+					return
+				}
+				csUntil(s, steps[si].rampEnd+cfg.settle, func() {
+					session(si, func() { run(si + 1) })
+				})
+			}
+			run(0)
+			return env.VM.Main(env.P, done)
+		},
+	}, core.DeployOpts{
+		Net: &netstack.Config{
+			MAC: core.MAC(0x7F), IP: ipv4.AddrFrom4(10, 0, 0, 119),
+			Netmask: benchMask,
+		},
+		PCPU: -1,
+	})
+}
+
+// csHeap forces a collection and returns the live heap, for the
+// bytes-per-connection appendix. Host-dependent: only sampled when the
+// caller asked for memory stats, so default output stays byte-comparable
+// across machines and serial/parallel runs.
+func csHeap() uint64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
+}
+
+// ConnSweep runs the population sweep and reports, per plateau: established
+// connections, probe p50/p99, the kernel event-queue population and the
+// wheel-resident timer count — the latter two read at quiesced barriers
+// between Run calls, where the sharded accessors are defined. memStats
+// additionally samples the process heap at each barrier (host-dependent;
+// off by default).
+func ConnSweep(seed int64, quick bool, memStats bool) *Result {
+	cfg := csConf(quick)
+	warmup := time.Second
+
+	steps := make([]csStep, len(cfg.steps))
+	cur, prev := warmup, 0
+	for i, tgt := range cfg.steps {
+		ramp := time.Duration(tgt-prev) * cfg.connGap
+		steps[i] = csStep{target: tgt, start: cur, rampEnd: cur + ramp, barrier: cur + ramp + cfg.plateau}
+		cur, prev = steps[i].barrier, tgt
+	}
+	total := prev
+	closeStart := cur
+	closeEnd := closeStart + time.Duration(total)*cfg.closeGap
+	closeBarrier := closeEnd + cfg.settle
+	drainEnd := closeEnd + cfg.timeWait + 500*time.Millisecond
+
+	pl := core.NewPlatform(seed)
+	before := pl.K.Metrics().Snapshot()
+
+	// The fleet is fixed (Min == Max): every replica is deployed on its own
+	// fresh pCPU shard and the balancer steers statelessly by rendezvous
+	// hash, so each replica's demultiplexer owns its shard of the
+	// connection space and no per-flow state accumulates in the balancer.
+	stacks := make([]*tcp.Stack, cfg.nReplicas)
+	webMain := fleet.WebMain(cfg.handlerCost, []byte("<html>parked</html>"), 0)
+	f := fleet.New(pl, fleet.Spec{
+		Name:   "conn",
+		Build:  build.WebAppliance(),
+		Memory: 64 << 20,
+		Main: func(env *core.Env, r *fleet.Replica) int {
+			stacks[r.Index] = env.Net.TCP
+			return webMain(env, r)
+		},
+		VIP: csVIP, BaseIP: csBaseIP, Netmask: benchMask, LBIP: csLBIP,
+		MACBase:       0x40,
+		Min:           cfg.nReplicas,
+		Max:           cfg.nReplicas,
+		Policy:        fleet.Hash,
+		ScaleUpConns:  1 << 20,
+		Interval:      250 * time.Millisecond,
+		ProbeInterval: 100 * time.Millisecond,
+	})
+
+	clients := make([]*csClient, cfg.nClients)
+	for i := range clients {
+		clients[i] = &csClient{}
+		deployConnClient(pl, i, clients[i], cfg, steps, closeStart, drainEnd)
+	}
+	probe := &csProbe{lats: make([][]float64, len(steps))}
+	deployConnProbe(pl, probe, cfg, steps, drainEnd)
+
+	runTo := func(at time.Duration) {
+		if d := at - pl.K.Now().Duration(); d > 0 {
+			if _, err := pl.RunFor(d); err != nil {
+				panic(fmt.Sprintf("connsweep: %v", err))
+			}
+		}
+	}
+
+	runTo(warmup)
+	var baseHeap uint64
+	if memStats {
+		baseHeap = csHeap()
+	}
+
+	estab := make([]int, len(steps))
+	failed := make([]int, len(steps))
+	queueLen := make([]int, len(steps))
+	wheelLen := make([]int, len(steps))
+	heapAt := make([]uint64, len(steps))
+	for si := range steps {
+		runTo(steps[si].barrier)
+		for _, cl := range clients {
+			estab[si] += cl.established
+			failed[si] += cl.failed
+		}
+		queueLen[si] = pl.K.EventQueueLen()
+		wheelLen[si] = pl.K.WheelTimers()
+		if memStats {
+			heapAt[si] = csHeap()
+		}
+	}
+
+	runTo(closeBarrier)
+	closeWheel := pl.K.WheelTimers()
+	closeQueue := pl.K.EventQueueLen()
+
+	runTo(drainEnd)
+	if err := pl.Check(); err != nil {
+		panic(fmt.Sprintf("connsweep: %v", err))
+	}
+
+	openAfter, closedTotal, portsExhausted := 0, 0, 0
+	for _, cl := range clients {
+		openAfter += cl.st.Conns()
+		closedTotal += cl.closed
+		portsExhausted += cl.st.PortsExhausted()
+	}
+	serverAfter, ckSent, ckValid, ckFail := 0, 0, 0, 0
+	for _, st := range stacks {
+		if st == nil {
+			continue
+		}
+		serverAfter += st.Conns()
+		ckSent += st.SynCookiesSent()
+		ckValid += st.SynCookiesValidated()
+		ckFail += st.SynCookiesFailed()
+	}
+
+	res := &Result{
+		ID:     "connsweep",
+		Title:  "Million-connection serving: parked keep-alive population sweep",
+		XLabel: "target concurrent conns",
+		YLabel: "conns / events / ms",
+	}
+	series := []struct {
+		name string
+		f    func(si int) float64
+	}{
+		{"established conns", func(si int) float64 { return float64(estab[si]) }},
+		{"probe p50 ms", func(si int) float64 { return csPct(probe.lats[si], 0.50) / 1000 }},
+		{"probe p99 ms", func(si int) float64 { return csPct(probe.lats[si], 0.99) / 1000 }},
+		{"event queue len", func(si int) float64 { return float64(queueLen[si]) }},
+		{"wheel timers", func(si int) float64 { return float64(wheelLen[si]) }},
+	}
+	if memStats {
+		series = append(series, struct {
+			name string
+			f    func(si int) float64
+		}{"heap MiB", func(si int) float64 { return float64(heapAt[si]) / (1 << 20) }})
+	}
+	for _, sp := range series {
+		s := Series{Name: sp.name}
+		for si := range steps {
+			s.X = append(s.X, float64(steps[si].target))
+			s.Y = append(s.Y, sp.f(si))
+		}
+		res.Series = append(res.Series, s)
+	}
+
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"%d replicas (hash steering), %d clients + 1 probe, conn gap %v, seed %d, live replicas %d",
+		cfg.nReplicas, cfg.nClients, cfg.connGap, seed, f.Live()))
+	for si := range steps {
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"step %d conns: established %d failed %d, event queue %d, wheel timers %d, probe p99 %.3f ms",
+			steps[si].target, estab[si], failed[si], queueLen[si], wheelLen[si],
+			csPct(probe.lats[si], 0.99)/1000))
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"mass close: %d closed, %d TIME_WAIT timers parked on wheels, event queue %d at close barrier",
+		closedTotal, closeWheel, closeQueue))
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"run peaks: event heap %d, wheel timers %d", pl.K.EventHeapPeak(), pl.K.WheelTimerPeak()))
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"after drain: client conns %d, server conns %d, ports exhausted %d, probe failures %d",
+		openAfter, serverAfter, portsExhausted, probe.fail))
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"syn cookies: sent %d validated %d failed %d", ckSent, ckValid, ckFail))
+	if memStats {
+		last := len(steps) - 1
+		perConn := float64(0)
+		if total > 0 && heapAt[last] > baseHeap {
+			perConn = float64(heapAt[last]-baseHeap) / float64(total)
+		}
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"memory: baseline heap %.1f MiB, at %d conns %.1f MiB — %.0f bytes per conn (both endpoints + fabric; host-dependent)",
+			float64(baseHeap)/(1<<20), total, float64(heapAt[last])/(1<<20), perConn))
+	}
+	res.Metrics = metricsAppendix(pl.K, before, "tcp_", "lb_", "fleet_")
+	return res
+}

@@ -132,4 +132,11 @@ func init() {
 		}
 		return out, nil
 	}})
+	Register(Experiment{"connsweep", "Million-connection parked population sweep", func(o Options) (Output, error) {
+		seed := o.Seed
+		if seed == 0 {
+			seed = 42
+		}
+		return results(bench.ConnSweep(seed, o.Quick, o.MemStats))
+	}})
 }

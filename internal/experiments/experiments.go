@@ -28,6 +28,12 @@ type Options struct {
 	// DomStat appends the per-domain accounting table (virtual xentop) to
 	// the output of experiments that boot a platform.
 	DomStat bool
+
+	// MemStats lets experiments that sample the process heap (connsweep's
+	// bytes-per-connection appendix) do so. Off by default because the
+	// numbers are host-dependent: default output stays byte-comparable
+	// across machines and serial/parallel runs.
+	MemStats bool
 }
 
 // Output is one experiment's product: structured results (what -json

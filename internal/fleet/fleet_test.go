@@ -274,3 +274,95 @@ func TestLBPolicies(t *testing.T) {
 		t.Fatalf("pick = %d, want 0 (only healthy left)", be.idx)
 	}
 }
+
+// TestLBHashConsistencyAndRemap: the rendezvous hash sends every segment of
+// a flow to the same backend, spreads flows roughly evenly, and removing a
+// backend remaps only the flows that were pinned to it.
+func TestLBHashConsistencyAndRemap(t *testing.T) {
+	pl := core.NewPlatform(1)
+	lb := NewLB(pl.K, pl.Bridge, netback.MAC(core.MAC(0xf0)), tLBIP, tVIP, Hash)
+	const nBackends = 4
+	for i := 0; i < nBackends; i++ {
+		lb.AddBackend(i, netback.MAC(core.MAC(byte(0xf1+i))))
+		lb.SetUp(i)
+	}
+
+	const nFlows = 4096
+	assign := make(map[int]int, nFlows) // flow -> backend idx
+	counts := make([]int, nBackends)
+	for i := 0; i < nFlows; i++ {
+		src := ipv4.AddrFrom4(10, 0, byte(i>>8), byte(i))
+		port := uint16(40000 + i%128)
+		be := lb.pickHash(src, port)
+		if be == nil {
+			t.Fatal("pickHash returned nil with healthy backends")
+		}
+		if again := lb.pickHash(src, port); again != be {
+			t.Fatalf("flow %d not sticky: %d then %d", i, be.idx, again.idx)
+		}
+		assign[i] = be.idx
+		counts[be.idx]++
+	}
+	for idx, n := range counts {
+		if n < nFlows/nBackends/2 || n > nFlows/nBackends*2 {
+			t.Errorf("backend %d owns %d/%d flows; distribution badly skewed: %v",
+				idx, n, nFlows, counts)
+		}
+	}
+
+	// Dropping one backend must leave every surviving assignment untouched.
+	lb.RemoveBackend(2)
+	remapped := 0
+	for i := 0; i < nFlows; i++ {
+		src := ipv4.AddrFrom4(10, 0, byte(i>>8), byte(i))
+		port := uint16(40000 + i%128)
+		be := lb.pickHash(src, port)
+		if assign[i] == 2 {
+			remapped++
+			if be.idx == 2 {
+				t.Fatal("flow still maps to removed backend")
+			}
+		} else if be.idx != assign[i] {
+			t.Fatalf("flow %d moved %d -> %d though its backend survived", i, assign[i], be.idx)
+		}
+	}
+	if remapped != counts[2] {
+		t.Errorf("remapped %d flows, want exactly the removed backend's %d", remapped, counts[2])
+	}
+}
+
+// TestFleetHashPolicyEndToEnd: a fixed-size fleet behind the stateless hash
+// policy serves every session while the balancer's connection table stays
+// empty — steering is pure computation, no per-flow state.
+func TestFleetHashPolicyEndToEnd(t *testing.T) {
+	pl := core.NewPlatform(7)
+	spec := testSpec(2, 2, Hash)
+	f := New(pl, spec)
+	var res sessionResult
+	var starts []struct {
+		delay time.Duration
+		reqs  int
+	}
+	for i := 0; i < 6; i++ {
+		starts = append(starts, struct {
+			delay time.Duration
+			reqs  int
+		}{2*time.Second + time.Duration(i)*10*time.Millisecond, 20})
+	}
+	deployClient(pl, 2, ipv4.AddrFrom4(10, 0, 0, 2), starts, &res)
+	if _, err := pl.RunFor(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if res.fail > 0 || res.ok != 6 {
+		t.Fatalf("sessions ok=%d fail=%d errs=%v, want 6 ok", res.ok, res.fail, res.errs)
+	}
+	if len(f.LB.conns) != 0 {
+		t.Errorf("hash policy kept %d steering entries, want 0 (stateless)", len(f.LB.conns))
+	}
+	if f.LB.Steered == 0 {
+		t.Error("no connections steered; traffic never hit the balancer")
+	}
+}

@@ -30,6 +30,15 @@ const (
 	// LeastConns sends each new connection to the replica with the fewest
 	// active connections (ties break toward the lowest index).
 	LeastConns
+	// Hash steers statelessly: every segment of a (client IP, port) flow
+	// rendezvous-hashes to the same healthy replica, so the balancer keeps
+	// no per-connection table at all — the property that lets one balancer
+	// front a million connections in O(1) memory. The cost: ActiveConns and
+	// BackendActive read zero (there is nothing to count), so the policy
+	// suits fixed-size fleets (Spec.Min == Spec.Max) where the controller
+	// never needs per-replica connection counts, and removing a backend
+	// remaps (and so breaks) the flows pinned to it.
+	Hash
 )
 
 func (p Policy) String() string {
@@ -38,6 +47,8 @@ func (p Policy) String() string {
 		return "round-robin"
 	case LeastConns:
 		return "least-conns"
+	case Hash:
+		return "hash"
 	}
 	return "unknown"
 }
@@ -49,8 +60,10 @@ func ParsePolicy(s string) (Policy, error) {
 		return RoundRobin, nil
 	case "least-conns", "lc":
 		return LeastConns, nil
+	case "hash", "h":
+		return Hash, nil
 	}
-	return 0, fmt.Errorf("fleet: unknown lb policy %q (want round-robin or least-conns)", s)
+	return 0, fmt.Errorf("fleet: unknown lb policy %q (want round-robin, least-conns or hash)", s)
 }
 
 // drainLinger is how long a FIN-ed connection's steering entry survives so
@@ -346,11 +359,68 @@ const (
 	tcpACK = 1 << 4
 )
 
-// steerTCP routes one client→VIP segment. New connections (a pure SYN with
-// no steering entry) pick a replica; everything else follows its entry.
-// Segments with no entry and no SYN are dropped — after a replica crash the
-// client's retransmitted SYN re-steers to a survivor.
+// lbMix is a splitmix64-style finalizer, the rendezvous-hash primitive.
+func lbMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// pickHash rendezvous-hashes a flow onto the healthy backend set: each
+// backend scores lbMix(flow ^ lbMix(idx)) and the highest score wins, so a
+// backend joining or leaving remaps only the flows that scored it highest
+// (~1/n of them), and every segment of a flow lands on the same replica
+// with no table lookup.
+func (lb *LB) pickHash(src ipv4.Addr, srcPort uint16) *backend {
+	flow := lbMix(uint64(src)<<16 | uint64(srcPort))
+	var best *backend
+	var bestScore uint64
+	for _, be := range lb.backends {
+		if be == nil || !be.up || be.draining {
+			continue
+		}
+		score := lbMix(flow ^ lbMix(uint64(be.idx)+0x9e3779b97f4a7c15))
+		if best == nil || score > bestScore {
+			best, bestScore = be, score
+		}
+	}
+	return best
+}
+
+// steerTCP routes one client→VIP segment. Under the stateful policies, new
+// connections (a pure SYN with no steering entry) pick a replica and
+// everything else follows its entry; segments with no entry and no SYN are
+// dropped — after a replica crash the client's retransmitted SYN re-steers
+// to a survivor. Under Hash, every segment recomputes its replica from the
+// flow tuple alone and no entry is ever created.
 func (lb *LB) steerTCP(src ipv4.Addr, srcPort uint16, flags uint8, f *bufpool.Buf) {
+	if lb.policy == Hash {
+		be := lb.pickHash(src, srcPort)
+		if be == nil {
+			lb.NoBackend++
+			lb.mxNoBackend.Inc()
+			f.Release()
+			return
+		}
+		if flags&tcpSYN != 0 && flags&tcpACK == 0 {
+			lb.Steered++
+			lb.mxSteered.Inc()
+			if tr := lb.K.Trace(); tr.Enabled() {
+				tr.Instant(lb.K.TraceTime(), "lb", "steer", 0, 0,
+					obs.Str("client", src.String()), obs.Int("port", int64(srcPort)),
+					obs.Int("replica", int64(be.idx)))
+				if f.Span != 0 {
+					tr.FlowStep(lb.K.TraceTime(), "trace", "lb-steer", 0, 0, f.Span,
+						obs.U64("trace_id", f.Span), obs.Int("replica", int64(be.idx)))
+				}
+			}
+		}
+		lb.bridge.Steer(be.mac, f)
+		return
+	}
 	key := connKey{src, srcPort}
 	cn := lb.conns[key]
 	if cn == nil {

@@ -44,6 +44,11 @@ type Config struct {
 	// go straight to clients without traversing the balancer. ARP still
 	// answers only for IP — the balancer owns the VIP's hardware address.
 	VIP ipv4.Addr
+
+	// TCPParams, when set, mutates the TCP parameters after the stack has
+	// applied its defaults (MTU-clamped MSS included) — the configuration
+	// seam experiments use to tune backlog, buffers or timers per guest.
+	TCPParams func(*tcp.Params)
 }
 
 // Params are the stack's per-packet cost constants.
@@ -126,6 +131,9 @@ func New(vm *pvboot.VM, nif *netif.Netif, cfg Config) *Stack {
 	tcpParams := tcp.DefaultParams()
 	if m := cfg.MTU - ipv4.HeaderLen - tcp.HeaderLen; m < tcpParams.MSS {
 		tcpParams.MSS = m
+	}
+	if cfg.TCPParams != nil {
+		cfg.TCPParams(&tcpParams)
 	}
 	localIP := cfg.IP
 	if cfg.VIP != 0 {

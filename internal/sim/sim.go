@@ -156,6 +156,9 @@ type Kernel struct {
 	metrics *obs.Registry
 	cpus    []*CPU
 
+	wheel    *Wheel // lazily created hierarchical timing wheel (see wheel.go)
+	heapPeak int    // high-water mark of the event heap, cancelled entries included
+
 	mxSpawns  *obs.Counter
 	mxWakes   *obs.Counter
 	mxCancels *obs.Counter
@@ -255,7 +258,74 @@ func (k *Kernel) At(t Time, fn func()) Event {
 		e = &event{at: t, seq: k.seq, fn: fn}
 	}
 	k.events.push(e)
+	if len(k.events) > k.heapPeak {
+		k.heapPeak = len(k.events)
+	}
 	return Event{k: k, e: e, gen: e.gen}
+}
+
+// EventQueueLen returns the current event-heap population (cancelled
+// entries included); on a sharded kernel, summed across shards. Only
+// meaningful outside the run loop — call it between Run calls.
+func (k *Kernel) EventQueueLen() int {
+	if k.cluster == nil {
+		return len(k.events)
+	}
+	n := 0
+	for _, sk := range k.cluster.kernels {
+		n += len(sk.events)
+	}
+	return n
+}
+
+// EventHeapPeak returns the high-water mark of the event heap; on a sharded
+// kernel, the sum of per-shard peaks (each tracked locally, so serial and
+// parallel runs agree). Call between Run calls.
+func (k *Kernel) EventHeapPeak() int {
+	if k.cluster == nil {
+		return k.heapPeak
+	}
+	n := 0
+	for _, sk := range k.cluster.kernels {
+		n += sk.heapPeak
+	}
+	return n
+}
+
+// WheelTimers returns the number of pending timing-wheel timers; on a
+// sharded kernel, summed across shards. Call between Run calls.
+func (k *Kernel) WheelTimers() int {
+	if k.cluster == nil {
+		if k.wheel == nil {
+			return 0
+		}
+		return k.wheel.count
+	}
+	n := 0
+	for _, sk := range k.cluster.kernels {
+		if sk.wheel != nil {
+			n += sk.wheel.count
+		}
+	}
+	return n
+}
+
+// WheelTimerPeak returns the high-water mark of pending timing-wheel
+// timers, summed across shards on a sharded kernel. Call between Run calls.
+func (k *Kernel) WheelTimerPeak() int {
+	if k.cluster == nil {
+		if k.wheel == nil {
+			return 0
+		}
+		return k.wheel.peak
+	}
+	n := 0
+	for _, sk := range k.cluster.kernels {
+		if sk.wheel != nil {
+			n += sk.wheel.peak
+		}
+	}
+	return n
 }
 
 // After schedules fn to run d after the current instant.

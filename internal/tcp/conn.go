@@ -96,9 +96,8 @@ type Conn struct {
 	sendGen             uint64 // invalidates stale deferred trySend events
 
 	// Zero-window persist (RFC 1122 §4.2.2.17).
-	persistGen     int
-	persistArmed   bool
 	persistBackoff time.Duration
+	persistTimer   sim.Timer
 
 	listener *Listener // listener this conn was accepted on (nil for active opens)
 
@@ -115,18 +114,14 @@ type Conn struct {
 	recover        uint32
 	fastRecovery   bool
 
-	// RTT estimation / RTO (Jacobson/Karn). The retransmission timer is a
-	// single reusable kernel event per connection: arming records only a
-	// deadline, and a tick that wakes before it re-schedules itself forward
-	// instead of allocating a new timer thread per (re)arm.
+	// RTT estimation / RTO (Jacobson/Karn). All per-connection timers live
+	// on the kernel's hierarchical timing wheel: arming or moving one is an
+	// O(1) slot relink, and a million pending timers put a handful of wheel
+	// events — not a million entries — on the kernel event heap. The RTO
+	// timer doubles as the TIME_WAIT timer (the RTO is disarmed for good by
+	// then); onTimerRTO dispatches on state.
 	srtt, rttvar, rto time.Duration
-	rtoGen            int // TIME_WAIT one-shot only
-	rtoArmed          bool
-	rtoDeadline       sim.Time
-	rtoTickAt         sim.Time // fire time of the live tick event
-	rtoTickLive       bool
-	rtoTickEv         sim.Event // handle for lazy cancellation of a superseded tick
-	rtoTick           func()
+	rtoTimer          sim.Timer
 
 	// Receive sequence space.
 	irs, rcvNxt  uint32
@@ -134,17 +129,11 @@ type Conn struct {
 	rcvChain     []rcvChunk // in-order payload spans awaiting the application
 	rcvLen       int        // total bytes across rcvChain
 	finRcvd      bool
-	ooo          map[uint32][]byte
+	ooo          map[uint32][]byte // allocated lazily on first out-of-order segment
 	segsSinceAck int
-	// Delayed ACK shares the reusable-kernel-event shape of the RTO timer.
-	delAckArmed    bool
-	delAckDeadline sim.Time
-	delAckTickAt   sim.Time
-	delAckTickLive bool
-	delAckTickEv   sim.Event
-	delAckTick     func()
-	ackGen         uint64 // invalidates stale same-instant ACK flushes
-	ackPending     bool
+	delAckTimer  sim.Timer
+	ackGen       uint64 // invalidates stale same-instant ACK flushes
+	ackPending   bool
 
 	readers []pendingRead
 	writers []pendingWrite
@@ -213,53 +202,41 @@ func newConn(st *Stack, key connKey) *Conn {
 		sndWnd:       p.MSS, // until the peer advertises
 		peerWndScale: -1,
 		myWndScale:   p.WndScale,
-		ooo:          map[uint32][]byte{},
 	}
-	// One persistent tick closure per timer for the life of the connection.
-	// A tick identifies itself by fire time: if it wakes at a time other
-	// than the recorded tick time it has been superseded by a re-schedule.
-	c.rtoTick = func() {
-		k := st.S.K
-		now := k.Now()
-		if now != c.rtoTickAt || c.state == StateClosed {
-			return
-		}
-		if !c.rtoArmed {
-			c.rtoTickLive = false
-			return
-		}
-		if now < c.rtoDeadline {
-			// The deadline moved forward since this tick was scheduled
-			// (new data or an ACK re-armed the timer); chase it.
-			c.rtoTickAt = c.rtoDeadline
-			c.rtoTickEv = k.At(c.rtoDeadline, c.rtoTick)
-			return
-		}
-		c.rtoTickLive = false
-		c.rtoArmed = false
+	// Wheel timers carry the connection 4-tuple as their ordering key, so
+	// same-tick timers across connections fire in deterministic peer order.
+	tk := key.timerKey()
+	c.rtoTimer.Init(tk, c.onTimerRTO)
+	c.delAckTimer.Init(tk, c.onTimerDelAck)
+	c.persistTimer.Init(tk, c.onTimerPersist)
+	return c
+}
+
+// onTimerRTO fires the retransmission timer — or, once the connection has
+// reached TIME_WAIT (where the RTO is permanently disarmed and the timer
+// slot is reused for the 2MSL wait), completes the close.
+func (c *Conn) onTimerRTO() {
+	switch c.state {
+	case StateClosed:
+	case StateTimeWait:
+		c.teardown(nil)
+	default:
 		if len(c.inflight) > 0 {
 			c.onTimeout()
 		}
 	}
-	c.delAckTick = func() {
-		k := st.S.K
-		now := k.Now()
-		if now != c.delAckTickAt || c.state == StateClosed {
-			return
-		}
-		if !c.delAckArmed {
-			c.delAckTickLive = false
-			return
-		}
-		if now < c.delAckDeadline {
-			c.delAckTickAt = c.delAckDeadline
-			c.delAckTickEv = k.At(c.delAckDeadline, c.delAckTick)
-			return
-		}
-		c.delAckTickLive = false
+}
+
+func (c *Conn) onTimerDelAck() {
+	if c.state != StateClosed {
 		c.sendAck()
 	}
-	return c
+}
+
+func (c *Conn) onTimerPersist() {
+	if c.state != StateClosed {
+		c.onPersist()
+	}
 }
 
 // window returns the receive window to advertise.
@@ -307,8 +284,8 @@ func (c *Conn) send(flags uint8, seq uint32, payload []byte, syn bool) {
 
 func (c *Conn) sendAck() {
 	c.segsSinceAck = 0
-	c.delAckArmed = false
-	c.ackGen++ // a pending same-instant flush is now redundant
+	c.delAckTimer.Cancel() // any explicit ACK supersedes a delayed one
+	c.ackGen++             // a pending same-instant flush is now redundant
 	c.ackPending = false
 	c.send(FlagACK, c.sndNxt, nil, false)
 }
@@ -337,23 +314,10 @@ func (c *Conn) scheduleAckFlush() {
 // scheduleDelayedAck arms the delayed-ACK timer (every-second-segment
 // immediate ACK is handled by the caller).
 func (c *Conn) scheduleDelayedAck() {
-	if c.delAckArmed {
+	if c.delAckTimer.Pending() {
 		return
 	}
-	k := c.st.S.K
-	c.delAckArmed = true
-	c.delAckDeadline = k.Now().Add(c.st.Params.DelayedAck)
-	if !c.delAckTickLive || c.delAckDeadline < c.delAckTickAt {
-		if c.delAckTickLive {
-			// The live tick lands after the new deadline: it is superseded,
-			// so drop it from the queue rather than letting it fire as a
-			// no-op.
-			c.delAckTickEv.Cancel()
-		}
-		c.delAckTickLive = true
-		c.delAckTickAt = c.delAckDeadline
-		c.delAckTickEv = k.At(c.delAckDeadline, c.delAckTick)
-	}
+	c.st.wheel.Schedule(&c.delAckTimer, c.st.S.K.Now().Add(c.st.Params.DelayedAck))
 }
 
 // flightSize returns bytes in flight.
@@ -608,25 +572,14 @@ func (c *Conn) teardown(err error) {
 		return
 	}
 	if c.state == StateSynRcvd && c.listener != nil {
-		c.listener.halfOpen--
+		delete(c.listener.synRcvd, c.key)
 	}
 	c.setState(StateClosed)
 	c.err = err
-	c.rtoGen++ // disarm timers
-	c.rtoArmed = false
-	c.delAckArmed = false
-	// Drop any live ticks from the event queue: a closed connection's
-	// wakeups would only fire as no-ops.
-	if c.rtoTickLive {
-		c.rtoTickEv.Cancel()
-		c.rtoTickLive = false
-	}
-	if c.delAckTickLive {
-		c.delAckTickEv.Cancel()
-		c.delAckTickLive = false
-	}
-	c.persistGen++
-	c.persistArmed = false
+	// Unlink every wheel timer: O(1) each, nothing lingers on the wheel.
+	c.rtoTimer.Cancel()
+	c.delAckTimer.Cancel()
+	c.persistTimer.Cancel()
 	c.ackGen++
 	c.ackPending = false
 	c.sendGen++
@@ -663,31 +616,17 @@ func (c *Conn) teardown(err error) {
 // --- Timers ---
 
 func (c *Conn) armRTO() {
-	k := c.st.S.K
-	c.rtoArmed = true
-	c.rtoDeadline = k.Now().Add(c.rto)
-	if !c.rtoTickLive || c.rtoDeadline < c.rtoTickAt {
-		// No tick in flight, or the live tick lands after the new deadline
-		// (the RTO shrank from a fresh RTT sample): cancel the superseded
-		// tick and schedule one that makes it. The fire-time identity check
-		// remains the safety net for ticks past cancellation.
-		if c.rtoTickLive {
-			c.rtoTickEv.Cancel()
-		}
-		c.rtoTickLive = true
-		c.rtoTickAt = c.rtoDeadline
-		c.rtoTickEv = k.At(c.rtoDeadline, c.rtoTick)
-	}
+	c.st.wheel.Schedule(&c.rtoTimer, c.st.S.K.Now().Add(c.rto))
 }
 
-func (c *Conn) disarmRTO() { c.rtoArmed = false }
+func (c *Conn) disarmRTO() { c.rtoTimer.Cancel() }
 
 // maybeArmPersist starts the zero-window probe timer when data (or a FIN)
 // is pending but the peer's window forbids sending and nothing is in
 // flight to arm an RTO. Without it, a lost window-update ACK leaves the
 // sender stalled forever (RFC 1122 §4.2.2.17).
 func (c *Conn) maybeArmPersist() {
-	if c.persistArmed || c.state == StateClosed {
+	if c.persistTimer.Pending() || c.state == StateClosed {
 		return
 	}
 	pending := len(c.sendBuf) > 0 || (c.finQueued && !c.finSent)
@@ -701,22 +640,13 @@ func (c *Conn) maybeArmPersist() {
 }
 
 func (c *Conn) armPersist() {
-	c.persistArmed = true
-	c.persistGen++
-	gen := c.persistGen
-	lwt.Map(c.st.S.Sleep(c.persistBackoff), func(struct{}) struct{} {
-		if gen == c.persistGen && c.state != StateClosed {
-			c.onPersist()
-		}
-		return struct{}{}
-	})
+	c.st.wheel.Schedule(&c.persistTimer, c.st.S.K.Now().Add(c.persistBackoff))
 }
 
 // onPersist fires the persist timer: if the window is still closed it
 // forces one byte (or the queued FIN) past it so the peer must answer
 // with its current window, then backs off and re-arms.
 func (c *Conn) onPersist() {
-	c.persistArmed = false
 	if c.sndWnd > 0 {
 		// The window reopened while the timer was pending; the normal
 		// send path owns any inflight probe again.

@@ -99,7 +99,7 @@ func (c *Conn) inputSynRcvd(seg Segment) {
 	c.disarmRTO()
 	c.setState(StateEstablished)
 	if l := c.listener; l != nil {
-		l.halfOpen--
+		delete(l.synRcvd, c.key)
 		if l.closed {
 			// The listener went away mid-handshake: refuse the peer.
 			seg.releaseView()
@@ -295,6 +295,9 @@ func (c *Conn) processPayload(seg Segment) {
 		// to trigger the sender's fast retransmit. Never batched: fast
 		// retransmit counts individual duplicate ACKs.
 		if _, dup := c.ooo[seg.Seq]; !dup && len(c.ooo) < 256 {
+			if c.ooo == nil {
+				c.ooo = map[uint32][]byte{}
+			}
 			c.ooo[seg.Seq] = append([]byte(nil), seg.Payload...)
 		}
 		seg.releaseView()
@@ -336,14 +339,30 @@ func (c *Conn) processFin(seg Segment) {
 	c.sendAck()
 }
 
+// enterTimeWait starts the 2MSL linger on the (now permanently idle) RTO
+// timer slot and releases every buffer the connection still holds: both
+// FINs are acked, so nothing can be retransmitted or received in order —
+// a lingering connection costs its struct and one wheel timer, not pooled
+// pages or send-buffer bytes.
 func (c *Conn) enterTimeWait() {
 	c.setState(StateTimeWait)
-	c.disarmRTO()
-	gen := c.rtoGen + 1
-	c.rtoGen = gen
-	lwtMapUnit(c.st.S, c.st.Params.TimeWait, func() {
-		if c.rtoGen == gen && c.state == StateTimeWait {
-			c.teardown(nil)
+	c.releaseBuffers()
+	c.st.wheel.Schedule(&c.rtoTimer, c.st.S.K.Now().Add(c.st.Params.TimeWait))
+}
+
+// releaseBuffers drops send-side state, the out-of-order map and pooled
+// receive pages. In-order data the application has not read yet stays
+// readable: page-backed chunks are copied to the heap so their pages can
+// go back to the pool immediately instead of after 2MSL.
+func (c *Conn) releaseBuffers() {
+	c.sendBuf = nil
+	c.inflight = nil
+	c.ooo = nil
+	for i := range c.rcvChain {
+		if v := c.rcvChain[i].view; v != nil {
+			c.rcvChain[i].data = append([]byte(nil), c.rcvChain[i].data...)
+			c.rcvChain[i].view = nil
+			v.Release()
 		}
-	})
+	}
 }

@@ -311,6 +311,7 @@ func TestSynBacklogCapAndListenerClose(t *testing.T) {
 	s := lwt.NewScheduler(k)
 	st := NewStack(s, ipv4.AddrFrom4(10, 0, 0, 1), DefaultParams())
 	st.Params.SynBacklog = 4
+	st.Params.SynCookies = false            // this test pins the plain drop path
 	st.Output = func(ipv4.Addr, Segment) {} // flood sources never answer
 	rx := k.NewSignal("rx")
 	s.OnSignal(rx, func() {})
@@ -334,8 +335,8 @@ func TestSynBacklogCapAndListenerClose(t *testing.T) {
 	if _, err := k.RunFor(time.Second); err != nil {
 		t.Fatal(err)
 	}
-	if l.halfOpen != 4 {
-		t.Errorf("halfOpen = %d, want 4", l.halfOpen)
+	if l.HalfOpen() != 4 {
+		t.Errorf("HalfOpen() = %d, want 4", l.HalfOpen())
 	}
 	if st.Conns() != 4 {
 		t.Errorf("conn table has %d entries, want 4", st.Conns())
@@ -356,7 +357,7 @@ func TestSynBacklogCapAndListenerClose(t *testing.T) {
 	if st.Conns() != 0 {
 		t.Errorf("conn table not reclaimed after Close: %d entries", st.Conns())
 	}
-	if l.halfOpen != 0 {
-		t.Errorf("halfOpen = %d after Close, want 0", l.halfOpen)
+	if l.HalfOpen() != 0 {
+		t.Errorf("HalfOpen() = %d after Close, want 0", l.HalfOpen())
 	}
 }

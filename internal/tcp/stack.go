@@ -9,6 +9,7 @@ import (
 	"repro/internal/ipv4"
 	"repro/internal/lwt"
 	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 // Params tune the TCP implementation.
@@ -19,6 +20,12 @@ type Params struct {
 	SndBuf     int
 	RcvBuf     int
 	SynBacklog int // max half-open (SynRcvd) connections per listener; 0 = unlimited
+	// SynCookies answers SYNs past the backlog cap with a stateless cookie
+	// SYN|ACK instead of dropping them: the ISN encodes the peer's options
+	// under a keyed hash and the connection materialises — directly in
+	// Established — only when the handshake-completing ACK returns a valid
+	// cookie. A flood past the cap therefore costs zero connection state.
+	SynCookies bool
 	InitRTO    time.Duration
 	MinRTO     time.Duration
 	MaxRTO     time.Duration
@@ -36,6 +43,7 @@ func DefaultParams() Params {
 		SndBuf:     256 << 10,
 		RcvBuf:     256 << 10,
 		SynBacklog: 128,
+		SynCookies: true,
 		InitRTO:    time.Second,
 		MinRTO:     200 * time.Millisecond,
 		MaxRTO:     60 * time.Second,
@@ -50,6 +58,12 @@ type connKey struct {
 	remotePort uint16
 }
 
+// timerKey packs the 4-tuple into the wheel-timer ordering key, so timers
+// expiring in the same wheel tick fire in deterministic peer order.
+func (k connKey) timerKey() uint64 {
+	return uint64(k.remoteIP)<<32 | uint64(k.localPort)<<16 | uint64(k.remotePort)
+}
+
 // Stack is the per-host TCP endpoint table and segment demultiplexer.
 type Stack struct {
 	S       *lwt.Scheduler
@@ -62,6 +76,8 @@ type Stack struct {
 	listeners map[uint16]*Listener
 	nextEphem uint16
 	isn       uint32
+	wheel     *sim.Wheel // per-shard timing wheel carrying all conn timers
+	secret    uint64     // SYN-cookie hash key (deterministic per stack)
 
 	// TracePid attributes this stack's trace events to a domain's process
 	// row; the netstack layer sets it after boot (0 = host).
@@ -85,6 +101,10 @@ type Stack struct {
 	mxTimeouts        *obs.Counter
 	mxPersistProbes   *obs.Counter
 	mxSynDrops        *obs.Counter
+	mxPortsExhausted  *obs.Counter
+	mxCookiesSent     *obs.Counter
+	mxCookiesValid    *obs.Counter
+	mxCookiesFailed   *obs.Counter
 }
 
 // SegsIn returns segments received.
@@ -108,6 +128,22 @@ func (st *Stack) PersistProbes() int { return int(st.mxPersistProbes.Value()) }
 // SynDrops returns SYNs dropped because a listener's backlog was full.
 func (st *Stack) SynDrops() int { return int(st.mxSynDrops.Value()) }
 
+// PortsExhausted returns Connect calls that failed for want of an
+// ephemeral port.
+func (st *Stack) PortsExhausted() int { return int(st.mxPortsExhausted.Value()) }
+
+// SynCookiesSent returns stateless cookie SYN|ACKs emitted past the
+// backlog cap.
+func (st *Stack) SynCookiesSent() int { return int(st.mxCookiesSent.Value()) }
+
+// SynCookiesValidated returns connections established from a valid cookie
+// ACK.
+func (st *Stack) SynCookiesValidated() int { return int(st.mxCookiesValid.Value()) }
+
+// SynCookiesFailed returns ACKs to a listening port that failed cookie
+// validation.
+func (st *Stack) SynCookiesFailed() int { return int(st.mxCookiesFailed.Value()) }
+
 // NewStack creates a TCP stack; the caller wires Output to its IP layer.
 func NewStack(s *lwt.Scheduler, local ipv4.Addr, params Params) *Stack {
 	m := s.K.Metrics()
@@ -118,8 +154,13 @@ func NewStack(s *lwt.Scheduler, local ipv4.Addr, params Params) *Stack {
 		Params:    params,
 		conns:     map[connKey]*Conn{},
 		listeners: map[uint16]*Listener{},
-		nextEphem: 49152,
+		nextEphem: ephemBase,
 		isn:       1000,
+		wheel:     s.K.Wheel(),
+		// Derived from the local address rather than drawn from the kernel
+		// RNG: a cookie-enabled stack must not shift the seeded RNG stream
+		// that fault injection and jitter consume.
+		secret: mix64(uint64(local) + 0x9e3779b97f4a7c15),
 
 		tr:                s.K.Trace(),
 		mxSegsIn:          m.Counter("tcp_segments_total", ip, obs.L("dir", "in")),
@@ -132,6 +173,10 @@ func NewStack(s *lwt.Scheduler, local ipv4.Addr, params Params) *Stack {
 		mxTimeouts:        m.Counter("tcp_rto_timeouts_total", ip),
 		mxPersistProbes:   m.Counter("tcp_persist_probes_total", ip),
 		mxSynDrops:        m.Counter("tcp_syn_backlog_drops_total", ip),
+		mxPortsExhausted:  m.Counter("tcp_ports_exhausted_total", ip),
+		mxCookiesSent:     m.Counter("tcp_syncookies_sent_total", ip),
+		mxCookiesValid:    m.Counter("tcp_syncookies_validated_total", ip),
+		mxCookiesFailed:   m.Counter("tcp_syncookies_failed_total", ip),
 	}
 	return st
 }
@@ -160,6 +205,16 @@ func (st *Stack) Input(src ipv4.Addr, seg Segment) {
 		st.accept(l, src, seg)
 		return
 	}
+	// An ACK to a listening port with no matching connection may complete a
+	// stateless cookie handshake (the half-open state lives in the ISN we
+	// sent, not in the table). Validation failure falls through to the RST.
+	if l, ok := st.listeners[seg.DstPort]; ok && st.Params.SynCookies &&
+		seg.Flags&FlagACK != 0 && seg.Flags&(FlagSYN|FlagRST) == 0 {
+		if st.acceptCookie(l, src, seg) {
+			return
+		}
+		st.mxCookiesFailed.Inc()
+	}
 	// No endpoint: RST (unless the segment is itself a RST).
 	seg.releaseView()
 	st.mxBadSegs.Inc()
@@ -186,14 +241,19 @@ func (st *Stack) Input(src ipv4.Addr, seg Segment) {
 
 // accept creates a half-open connection in SynRcvd and answers SYN|ACK.
 // The half-open population is capped per listener: past the cap the SYN is
-// silently dropped (the client's RTO retries when room frees), so a SYN
-// flood cannot grow the connection table without bound.
+// answered with a stateless cookie SYN|ACK (SynCookies on) or silently
+// dropped (the client's RTO retries when room frees), so a SYN flood
+// cannot grow the connection table without bound either way.
 func (st *Stack) accept(l *Listener, src ipv4.Addr, seg Segment) {
-	if max := st.Params.SynBacklog; max > 0 && l.halfOpen >= max {
-		st.mxSynDrops.Inc()
-		if st.tr.Enabled() {
-			st.tr.Instant(obs.Time(st.S.K.Now()), "tcp", "syn-backlog-drop", st.TracePid, 0,
-				obs.Int("port", int64(seg.DstPort)))
+	if max := st.Params.SynBacklog; max > 0 && len(l.synRcvd) >= max {
+		if st.Params.SynCookies {
+			st.sendSynCookie(src, seg)
+		} else {
+			st.mxSynDrops.Inc()
+			if st.tr.Enabled() {
+				st.tr.Instant(obs.Time(st.S.K.Now()), "tcp", "syn-backlog-drop", st.TracePid, 0,
+					obs.Int("port", int64(seg.DstPort)))
+			}
 		}
 		return
 	}
@@ -201,7 +261,7 @@ func (st *Stack) accept(l *Listener, src ipv4.Addr, seg Segment) {
 	c := newConn(st, key)
 	c.listener = l
 	c.span = seg.Span // adopt the request's trace id from the SYN descriptor
-	l.halfOpen++
+	l.synRcvd[key] = c
 	if c.span != 0 && st.tr.Enabled() {
 		st.tr.FlowStep(obs.Time(st.S.K.Now()), "trace", "tcp-accept", st.TracePid, 0, c.span,
 			obs.U64("trace_id", c.span), obs.Int("port", int64(seg.DstPort)))
@@ -219,23 +279,33 @@ func (st *Stack) accept(l *Listener, src ipv4.Addr, seg Segment) {
 	c.armRTO()
 }
 
+// The ephemeral range is the IANA dynamic range, 49152–65535.
+const (
+	ephemBase  = 49152
+	ephemRange = 1<<16 - ephemBase
+)
+
 // Connect opens a connection to dst:port; the promise resolves with the
-// established connection (or fails after SYN retries are exhausted).
+// established connection (or fails after SYN retries are exhausted, or
+// immediately when every ephemeral port toward dst:port is in use).
 func (st *Stack) Connect(dst ipv4.Addr, port uint16) *lwt.Promise[*Conn] {
 	pr := lwt.NewPromise[*Conn](st.S)
 	var key connKey
 	for tries := 0; ; tries++ {
+		if tries >= ephemRange {
+			// Every port in the range is taken for this (dst, port) pair:
+			// one full lap proves it, give up without spinning further.
+			st.mxPortsExhausted.Inc()
+			pr.Fail(fmt.Errorf("tcp: ephemeral ports exhausted"))
+			return pr
+		}
 		st.nextEphem++
 		if st.nextEphem == 0 {
-			st.nextEphem = 49152
+			st.nextEphem = ephemBase
 		}
 		key = connKey{st.nextEphem, dst, port}
 		if _, used := st.conns[key]; !used {
 			break
-		}
-		if tries > 1<<16 {
-			pr.Fail(fmt.Errorf("tcp: ephemeral ports exhausted"))
-			return pr
 		}
 	}
 	c := newConn(st, key)
@@ -258,22 +328,29 @@ var ErrListenerClosed = errors.New("tcp: listener closed")
 
 // Listener accepts inbound connections on a port.
 type Listener struct {
-	st       *Stack
-	port     uint16
-	closed   bool
-	halfOpen int // connections still in SynRcvd for this port
-	backlog  []*Conn
-	waiters  []*lwt.Promise[*Conn]
+	st     *Stack
+	port   uint16
+	closed bool
+	// synRcvd tracks this listener's half-open handshakes, so the backlog
+	// check and Close cost O(backlog) — never a scan of the whole
+	// connection table.
+	synRcvd map[connKey]*Conn
+	backlog []*Conn
+	waiters []*lwt.Promise[*Conn]
 	// Accepted counts connections handed to the application.
 	Accepted int
 }
+
+// HalfOpen returns the number of connections still in SynRcvd for this
+// listener.
+func (l *Listener) HalfOpen() int { return len(l.synRcvd) }
 
 // Listen binds a listener to port.
 func (st *Stack) Listen(port uint16) (*Listener, error) {
 	if _, dup := st.listeners[port]; dup {
 		return nil, fmt.Errorf("tcp: port %d already listening", port)
 	}
-	l := &Listener{st: st, port: port}
+	l := &Listener{st: st, port: port, synRcvd: map[connKey]*Conn{}}
 	st.listeners[port] = l
 	return l, nil
 }
@@ -298,12 +375,11 @@ func (l *Listener) Close() {
 	l.backlog = nil
 	// Abort half-open connections still handshaking toward this listener,
 	// in deterministic peer order (map iteration would scramble the RST
-	// sequence between same-seed runs).
-	var half []*Conn
-	for _, c := range l.st.conns {
-		if c.state == StateSynRcvd && c.listener == l {
-			half = append(half, c)
-		}
+	// sequence between same-seed runs). The per-listener set makes this
+	// O(backlog); it must never scan the stack's whole connection table.
+	half := make([]*Conn, 0, len(l.synRcvd))
+	for _, c := range l.synRcvd {
+		half = append(half, c)
 	}
 	sort.Slice(half, func(i, j int) bool {
 		if half[i].key.remoteIP != half[j].key.remoteIP {
