@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt vet staticcheck build test race race-parallel race-obs paritycheck trace bench benchdelta benchdelta-all scalesweep connsweep connsweep-full
+.PHONY: all check fmt vet staticcheck build test race race-parallel race-obs paritycheck trace bench benchdelta benchdelta-all scalesweep connsweep connsweep-full parallelsweep
 
 all: check
 
@@ -33,10 +33,12 @@ test: build
 race: build
 	$(GO) test -race ./...
 
-# Focused race check on the parallel simulation driver (fast; also covered
-# by the full `race` target, kept separate so CI can run it on every push).
+# Focused race check on the parallel simulation driver — including the
+# adaptive width-controller, barrier-elision and mailbox-recycling paths
+# (fast; also covered by the full `race` target, kept separate so CI can
+# run it on every push).
 race-parallel: build
-	$(GO) test -race -run Parallel ./internal/sim/...
+	$(GO) test -race -run 'Parallel|Adaptive|Mailbox|Static' ./internal/sim/...
 
 # Focused race check on the tracing/metrics and fleet-control packages (the
 # observability surfaces every other subsystem calls into concurrently).
@@ -80,16 +82,21 @@ benchdelta: build
 #  - fastpath: wall-clock microbenchmarks, re-run and diffed (benchdelta)
 #  - scalesweep: deterministic virtual-time sweep, re-run and diffed — any
 #    delta at all means the simulation changed
-#  - parallel: host-dependent wall clock, self-delta'd as a format gate only
+#  - parallel: the sim_cluster_* counters are deterministic, so they are
+#    re-measured (parallelsweep -counters-only) and diffed — an epoch or
+#    rendezvous count creeping up more than 10% fails CI; the wall times
+#    stay host-dependent and ride along unchanged in the self-copy
 #  - connsweep: full sweep is minutes of wall clock and its heap numbers are
 #    host-dependent, so the committed file is self-delta'd as a format gate;
 #    the deterministic quick sweep is exercised by the connsweep target
 benchdelta-all: benchdelta
-	@rm -f /tmp/bench_scalesweep_new.json
+	@rm -f /tmp/bench_scalesweep_new.json /tmp/bench_parallel_new.json
 	$(GO) build -o /tmp/repro-bench ./cmd/repro
 	/tmp/repro-bench -experiment scalesweep -json /tmp/bench_scalesweep_new.json > /dev/null
 	$(GO) run ./cmd/benchjson -delta BENCH_scalesweep.json /tmp/bench_scalesweep_new.json
-	$(GO) run ./cmd/benchjson -delta BENCH_parallel.json BENCH_parallel.json
+	cp BENCH_parallel.json /tmp/bench_parallel_new.json
+	$(GO) run ./cmd/parallelsweep -counters-only -out /tmp/bench_parallel_new.json 2> /dev/null
+	$(GO) run ./cmd/benchjson -delta BENCH_parallel.json /tmp/bench_parallel_new.json
 	$(GO) run ./cmd/benchjson -delta BENCH_connsweep.json BENCH_connsweep.json
 
 # Autoscaling fleet sweep -> BENCH_scalesweep.json; runs the experiment
@@ -109,6 +116,13 @@ connsweep: build
 	/tmp/repro-conn -experiment connsweep -quick > /tmp/connsweep.2
 	cmp /tmp/connsweep.1 /tmp/connsweep.2
 	@echo "connsweep deterministic: same-seed quick runs byte-identical"
+
+# Regenerate BENCH_parallel.json: scalesweep wall clock under the three
+# drivers (medians over 4 runs each; host-dependent — the honest 1-core
+# note is part of the file) plus the deterministic sim_cluster_* barrier
+# counters from a sharded run. Re-run after changes to internal/sim.
+parallelsweep: build
+	$(GO) run ./cmd/parallelsweep
 
 # Full 1M-connection sweep with heap sampling -> BENCH_connsweep.json.
 # Minutes of wall clock; regenerate after changes to the TCP or timer path.

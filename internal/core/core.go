@@ -56,6 +56,9 @@ type Platform struct {
 var (
 	defaultPCPUs    = 1
 	defaultParallel bool
+	defaultAdaptive = true
+	defaultBusyCap  int
+	defaultQuietCap int
 )
 
 // SetDefaultSharding makes subsequent NewPlatform calls shard the event
@@ -66,6 +69,16 @@ var (
 func SetDefaultSharding(pcpus int, parallel bool) {
 	defaultPCPUs = pcpus
 	defaultParallel = parallel
+}
+
+// SetAdaptiveLookahead configures the width controller of clusters created
+// by subsequent NewPlatform calls: on selects adaptive epoch widths
+// (default), busyCap/quietCap override the width caps (0 keeps the sim
+// package defaults).
+func SetAdaptiveLookahead(on bool, busyCap, quietCap int) {
+	defaultAdaptive = on
+	defaultBusyCap = busyCap
+	defaultQuietCap = quietCap
 }
 
 // NewPlatform creates a host (with 4 physical CPUs for guests) and its
@@ -80,6 +93,8 @@ func NewPlatform(seed int64) *Platform {
 	if defaultPCPUs > 1 {
 		cluster = sim.NewCluster(seed, defaultPCPUs+1, netback.DefaultParams().Latency)
 		cluster.SetParallel(defaultParallel)
+		cluster.SetAdaptive(defaultAdaptive)
+		cluster.SetWidthCaps(defaultBusyCap, defaultQuietCap)
 		k = cluster.Kernel(0)
 		if defaultPCPUs > npcpus {
 			npcpus = defaultPCPUs

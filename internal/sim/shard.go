@@ -7,20 +7,59 @@
 // cross-pCPU event latency (bridge propagation, vchan/event-channel hops).
 //
 // The epoch barrier is null-message-free (Fujimoto-style conservative
-// synchronization with static lookahead): at each barrier the coordinator
-// drains every mailbox in a canonical order, computes the global minimum
-// next-event time T, and grants shard i a window
+// synchronization): at each barrier the coordinator drains every mailbox in
+// a canonical order, computes each shard's next-event time, and grants
+// shard i a window
 //
-//	E_i = min( min_{j!=i} next_j, next_i + W ) + W
+//	E_i = min( min_{j!=i} next_j, next_i + width ) + width
 //
-// Events strictly before E_i are safe to run: anything another shard will
-// ever send arrives at or after its own next event time plus W, and a
-// reply provoked by shard i's own sends cannot come back before
-// next_i + 2W. Mailbox drains sort by (timestamp, source shard, source
-// sequence) and then assign destination-local sequence numbers, so the
-// per-shard execution order — and every trace, metric and experiment
-// output — is a pure function of the virtual schedule, byte-identical
-// whether the windows execute on one thread or many.
+// where width is the epoch width chosen by the width controller (below).
+// With width = W (the static lookahead) events strictly before E_i are
+// provably safe to run: anything another shard will ever send arrives at or
+// after its own next event time plus W, and a reply provoked by shard i's
+// own sends cannot come back before next_i + 2W. Mailbox drains sort by
+// (timestamp, source shard, source sequence) and then assign
+// destination-local sequence numbers, so the per-shard execution order —
+// and every trace, metric and experiment output — is a pure function of the
+// virtual schedule, byte-identical whether the windows execute on one
+// thread or many.
+//
+// # Adaptive epoch widths
+//
+// A static width of W pays one rendezvous per lookahead of virtual time
+// even when no shard is talking to any other, and one rendezvous per
+// cross-shard hop when they are. The adaptive driver (the default) instead
+// grants every shard one uniform window per epoch, anchored to a monotone
+// horizon E_n = max(T, E_{n-1}) + width, and iterates delivery rounds
+// inside the epoch: run the granted shards, drain the sends they posted,
+// and re-grant exactly the shards that received work inside the window,
+// until none did. A request chain thus crosses shards several hops per
+// epoch at its natural timestamps — targeted per-shard wakeups replace full
+// barriers — and the rendezvous count scales with the chosen width, not
+// with the wiring.
+//
+// The width controller picks the multiplier over W per epoch, driven only
+// by per-barrier counters and virtual-time hints — all deterministic
+// functions of the virtual schedule, so serial and parallel drivers stay
+// byte-identical:
+//
+//   - every epoch that drained cross-shard sends doubles the width up to
+//     busyCap·W (traffic is when batching pays: concurrent request chains
+//     share the epoch's rounds), and an epoch that meets traffic at a
+//     quiet-stretch width above that clamps straight back to busyCap·W;
+//   - after quietThreshold consecutive epochs drained nothing (and any
+//     netback HoldWide hint has expired), the width doubles each epoch up
+//     to quietCap·W — idle stretches cost a handful of barriers instead of
+//     one per W.
+//
+// Widths beyond W trade bounded timeliness for rendezvous count: a send
+// can reach a destination whose clock already passed its arrival timestamp
+// (at most one window's worth, and only when the destination had denser
+// local work of its own). Such sends are delivered at the destination's
+// clock (the At clamp), deterministically, and counted in
+// sim_cluster_late_deliveries_total; rounds deliver everything else at its
+// natural timestamp. SetAdaptive(false) restores the exact static-W
+// conservative schedule, under which no send can ever be late.
 package sim
 
 import (
@@ -44,26 +83,24 @@ type xevent struct {
 	fn  func()
 }
 
-// mailbox collects cross-shard sends. put may be called from any shard's
-// thread; drain only happens at barriers, when no shard is running.
+// mailbox collects cross-shard sends. The queue is guarded by the cluster's
+// single xmu (sends are rare — a handful per barrier — so one cluster-wide
+// lock costs the barrier exactly one acquisition instead of one per
+// mailbox). Two slices ping-pong between the append side and the barrier
+// drain, so steady-state operation allocates nothing.
 type mailbox struct {
-	mu sync.Mutex
-	q  []xevent
+	q        []xevent // senders append under Cluster.xmu
+	proc     []xevent // coordinator-owned: last barrier's drain, recycled
+	recycled bool     // q's backing array came from an earlier drain
 }
 
-func (m *mailbox) put(x xevent) {
-	m.mu.Lock()
-	m.q = append(m.q, x)
-	m.mu.Unlock()
-}
-
-func (m *mailbox) take() []xevent {
-	m.mu.Lock()
-	q := m.q
-	m.q = nil
-	m.mu.Unlock()
-	return q
-}
+// Width-controller tunables. Thresholds are in consecutive barriers, caps
+// are width multipliers over the static lookahead W.
+const (
+	quietThreshold  = 2   // zero-drain barriers before the width starts doubling
+	DefaultBusyCap  = 64  // width cap while cross-shard traffic is flowing
+	DefaultQuietCap = 256 // width cap while nothing is flowing
+)
 
 // Cluster is a set of shard kernels advanced in conservative epochs.
 type Cluster struct {
@@ -73,21 +110,39 @@ type Cluster struct {
 	stopped  atomic.Bool
 	parallel bool
 
+	// Width-controller state, read and written only at barriers.
+	adaptive bool
+	mult     Time // current epoch width multiplier (1 = static W)
+	quietRun int  // consecutive barriers that drained zero sends
+	busyCap  Time
+	quietCap Time
+	holdWide Time // do not widen before this instant (netback traffic hint)
+	horizon  Time // last adaptive epoch's window end (monotone)
+
+	xmu sync.Mutex // guards every mailbox queue and holdWide
+
 	mxEpochs  *obs.Counter
 	mxClamped *obs.Counter
+	mxElided  *obs.Counter
+	mxLate    *obs.Counter
+	mxReuse   *obs.Counter
+	mxWiden   *obs.Counter
+	mxWClamp  *obs.Counter
+	mxRounds  *obs.Counter
+	gWidth    *obs.Gauge
 
 	// Parallel driver state: windows[i] is shard i's grant for the current
-	// epoch (0 = idle this epoch), published under bmu before the epoch
-	// counter is bumped. The barrier blocks rather than spins so the
-	// cluster degrades gracefully when OS threads outnumber cores.
+	// epoch (0 = idle this epoch), published before the per-worker grant
+	// send. Workers rendezvous on a counter barrier: the coordinator arms
+	// pending with the number of granted shards, each worker decrements it
+	// after its window, and the last one through signals done — one wakeup
+	// per granted shard and one completion wakeup per epoch, instead of a
+	// broadcast to every worker.
 	windows []Time
-	bmu     sync.Mutex
-	wcond   *sync.Cond // workers: wait for an epoch grant
-	dcond   *sync.Cond // coordinator: wait for the barrier to drain
-	epochN  uint64
-	pending int // workers still running this epoch's windows
-	workers int // live worker goroutines
-	quit    bool
+	grants  []chan Time
+	done    chan struct{}
+	pending atomic.Int32
+	wg      sync.WaitGroup
 	started bool
 }
 
@@ -96,7 +151,8 @@ type Cluster struct {
 // shard and keeps the raw seed so single-shard behavior matches a plain
 // kernel; other shards derive their RNG seed deterministically. All shards
 // share shard 0's metrics registry and trace timeline (per-shard trace
-// buffers merged at export).
+// buffers merged at export). Adaptive epoch widths are on by default;
+// SetAdaptive(false) restores the static-W schedule.
 func NewCluster(seed int64, shards int, w time.Duration) *Cluster {
 	if shards < 1 {
 		shards = 1
@@ -104,9 +160,14 @@ func NewCluster(seed int64, shards int, w time.Duration) *Cluster {
 	if w <= 0 {
 		panic("sim: cluster lookahead must be positive")
 	}
-	c := &Cluster{w: Time(w), windows: make([]Time, shards)}
-	c.wcond = sync.NewCond(&c.bmu)
-	c.dcond = sync.NewCond(&c.bmu)
+	c := &Cluster{
+		w:        Time(w),
+		windows:  make([]Time, shards),
+		adaptive: true,
+		mult:     1,
+		busyCap:  DefaultBusyCap,
+		quietCap: DefaultQuietCap,
+	}
 	k0 := NewKernel(seed)
 	k0.cluster = c
 	c.kernels = append(c.kernels, k0)
@@ -125,8 +186,17 @@ func NewCluster(seed int64, shards int, w time.Duration) *Cluster {
 		k.mxCancels = k0.mxCancels
 		c.kernels = append(c.kernels, k)
 	}
-	c.mxEpochs = k0.metrics.Counter("sim_cluster_epochs_total")
-	c.mxClamped = k0.metrics.Counter("sim_cluster_clamped_sends_total")
+	m := k0.metrics
+	c.mxEpochs = m.Counter("sim_cluster_epochs_total")
+	c.mxClamped = m.Counter("sim_cluster_clamped_sends_total")
+	c.mxElided = m.Counter("sim_cluster_barriers_elided_total")
+	c.mxLate = m.Counter("sim_cluster_late_deliveries_total")
+	c.mxReuse = m.Counter("sim_cluster_mailbox_reuse_total")
+	c.mxWiden = m.Counter("sim_cluster_width_widenings_total")
+	c.mxWClamp = m.Counter("sim_cluster_width_clamps_total")
+	c.mxRounds = m.Counter("sim_cluster_rounds_total")
+	c.gWidth = m.Gauge("sim_cluster_width_mult")
+	c.gWidth.Set(1)
 	return c
 }
 
@@ -136,6 +206,49 @@ func (c *Cluster) SetParallel(on bool) { c.parallel = on }
 
 // Parallel reports whether the threaded driver is selected.
 func (c *Cluster) Parallel() bool { return c.parallel }
+
+// SetAdaptive switches the adaptive width controller on or off. Off, every
+// epoch uses the static lookahead W — the exact PR-5 schedule. Call before
+// Run.
+func (c *Cluster) SetAdaptive(on bool) {
+	c.adaptive = on
+	if !on {
+		c.mult = 1
+		c.gWidth.Set(1)
+	}
+}
+
+// Adaptive reports whether the width controller is enabled.
+func (c *Cluster) Adaptive() bool { return c.adaptive }
+
+// SetWidthCaps bounds the adaptive epoch width: busy·W while cross-shard
+// traffic is flowing, quiet·W during quiet stretches. Values below 1 are
+// ignored. Call before Run.
+func (c *Cluster) SetWidthCaps(busy, quiet int) {
+	if busy >= 1 {
+		c.busyCap = Time(busy)
+	}
+	if quiet >= 1 {
+		c.quietCap = Time(quiet)
+	}
+}
+
+// WidthMult returns the current epoch width multiplier. Meaningful between
+// Run calls (the controller owns it at barriers).
+func (c *Cluster) WidthMult() int { return int(c.mult) }
+
+// HoldWide tells the width controller not to widen epochs before virtual
+// time t: some endpoint expects cross-shard traffic (a delivered frame
+// usually provokes an ACK or a response) even though the next few barriers
+// may drain nothing. Deterministic — t derives from the virtual schedule.
+// Safe to call from any shard's context.
+func (c *Cluster) HoldWide(t Time) {
+	c.xmu.Lock()
+	if t > c.holdWide {
+		c.holdWide = t
+	}
+	c.xmu.Unlock()
+}
 
 // Shards returns the number of shard kernels.
 func (c *Cluster) Shards() int { return len(c.kernels) }
@@ -172,7 +285,10 @@ func (k *Kernel) Post(dst *Kernel, d time.Duration, fn func()) {
 		c.mxClamped.Inc()
 	}
 	k.xseq++
-	dst.mbox.put(xevent{at: at, src: k.shard, seq: k.xseq, fn: fn})
+	x := xevent{at: at, src: k.shard, seq: k.xseq, fn: fn}
+	c.xmu.Lock()
+	dst.mbox.q = append(dst.mbox.q, x)
+	c.xmu.Unlock()
 }
 
 // PostAt is Post with an absolute target time (same clamping rules).
@@ -220,15 +336,34 @@ func (k *Kernel) runWindow(winEnd Time) {
 }
 
 // drainMailboxes moves every parked cross-shard send into its destination
-// heap. Sends sort by (timestamp, source shard, source sequence) before
-// destination-local sequence numbers are assigned, so the resulting order
-// is independent of which thread enqueued first.
-func (c *Cluster) drainMailboxes() {
+// heap and returns how many it moved. All queues are stolen under a single
+// lock acquisition; sorting and heap insertion run unlocked (no shard is
+// executing at a barrier). Sends sort by (timestamp, source shard, source
+// sequence) before destination-local sequence numbers are assigned, so the
+// resulting order is independent of which thread enqueued first. A send
+// whose destination clock already passed its timestamp (possible inside
+// widened epochs) is delivered at the destination's current instant — the
+// At clamp — and counted in sim_cluster_late_deliveries_total.
+func (c *Cluster) drainMailboxes() int {
+	c.xmu.Lock()
 	for _, k := range c.kernels {
-		q := k.mbox.take()
+		m := &k.mbox
+		q := m.q
+		if len(q) > 0 && m.recycled {
+			c.mxReuse.Inc()
+		}
+		m.q = m.proc[:0]
+		m.recycled = cap(m.proc) > 0
+		m.proc = q
+	}
+	c.xmu.Unlock()
+	total := 0
+	for _, k := range c.kernels {
+		q := k.mbox.proc
 		if len(q) == 0 {
 			continue
 		}
+		total += len(q)
 		sort.Slice(q, func(i, j int) bool {
 			if q[i].at != q[j].at {
 				return q[i].at < q[j].at
@@ -238,36 +373,143 @@ func (c *Cluster) drainMailboxes() {
 			}
 			return q[i].seq < q[j].seq
 		})
-		for _, x := range q {
-			k.At(x.at, x.fn)
+		for i := range q {
+			if q[i].at < k.now {
+				c.mxLate.Inc()
+			}
+			k.At(q[i].at, q[i].fn)
+			q[i].fn = nil // drop the closure reference until the slot recycles
 		}
 	}
+	return total
 }
 
 // mailboxesPending reports whether any cross-shard send is still parked.
 func (c *Cluster) mailboxesPending() bool {
+	c.xmu.Lock()
+	defer c.xmu.Unlock()
 	for _, k := range c.kernels {
-		k.mbox.mu.Lock()
-		n := len(k.mbox.q)
-		k.mbox.mu.Unlock()
-		if n > 0 {
+		if len(k.mbox.q) > 0 {
 			return true
 		}
 	}
 	return false
 }
 
+// updateWidth advances the width controller with this barrier's drain
+// count. T is the global next-event floor. Called only at barriers.
+func (c *Cluster) updateWidth(drained int, T Time) {
+	if !c.adaptive {
+		return
+	}
+	prev := c.mult
+	if drained > 0 {
+		c.quietRun = 0
+		if c.mult > c.busyCap {
+			// A quiet-stretch width met live traffic: clamp straight back
+			// to the busy regime.
+			c.mult = c.busyCap
+		} else if c.mult < c.busyCap {
+			// Traffic is exactly when batching pays: each barrier already
+			// costs a rendezvous, so widen immediately (up to busyCap) and
+			// let concurrent request chains share the next one.
+			c.mult *= 2
+			if c.mult > c.busyCap {
+				c.mult = c.busyCap
+			}
+		}
+	} else {
+		c.quietRun++
+		c.xmu.Lock()
+		hold := c.holdWide
+		c.xmu.Unlock()
+		if c.quietRun >= quietThreshold && T > hold && c.mult < c.quietCap {
+			c.mult *= 2
+			if c.mult > c.quietCap {
+				c.mult = c.quietCap
+			}
+		}
+	}
+	if c.mult > prev {
+		c.mxWiden.Inc()
+	} else if c.mult < prev {
+		c.mxWClamp.Inc()
+	}
+	if c.mult != prev {
+		c.gWidth.Set(float64(c.mult))
+	}
+}
+
+// runGranted executes every shard whose windows entry is nonzero, on the
+// worker threads (parallel) or inline (serial), and re-raises any shard
+// panic deterministically.
+func (c *Cluster) runGranted() {
+	n := len(c.kernels)
+	if c.parallel {
+		// Workers pick up shards 1..n-1; shard 0's window runs here on
+		// the coordinating thread. Only shards with runnable windows
+		// are woken (elided and idle shards stay parked).
+		act := int32(0)
+		for i := 1; i < n; i++ {
+			if c.windows[i] != 0 {
+				act++
+			}
+		}
+		if act > 0 {
+			c.pending.Store(act)
+			for i := 1; i < n; i++ {
+				if w := c.windows[i]; w != 0 {
+					c.grants[i] <- w
+				}
+			}
+		}
+		if c.windows[0] != 0 {
+			c.kernels[0].safeWindow(c.windows[0])
+		}
+		if act > 0 {
+			<-c.done
+		}
+	} else {
+		for i, k := range c.kernels {
+			if c.windows[i] != 0 {
+				k.safeWindow(c.windows[i])
+			}
+		}
+	}
+	for _, k := range c.kernels {
+		if k.panicked {
+			panic(k.panicVal)
+		}
+	}
+}
+
 // runEpochs is the barrier loop shared by the serial and parallel drivers.
+//
+// Each epoch grants windows, then iterates delivery rounds to a fixpoint:
+// run the granted shards, drain the sends they posted, and re-grant exactly
+// the shards that received new work inside their window, until none did.
+// Under the static conservative windows no send can land inside a window
+// (arrival ≥ sender's next + W ≥ window end), so the loop runs one round —
+// the exact PR-5 schedule. Under widened adaptive windows the rounds let a
+// request chain cross shards several hops per epoch at its natural
+// timestamps instead of one hop per barrier: cheap targeted wakeups replace
+// full rendezvous, which is what lets the width controller actually shrink
+// sim_cluster_epochs_total. Rounds terminate because every mailbox trip
+// moves a send at least W past the posting shard's clock, so a chain runs
+// out of window after at most 2·width/W hops.
 func (c *Cluster) runEpochs() {
 	n := len(c.kernels)
 	next := make([]Time, n)
 	has := make([]bool, n)
+	wins := make([]Time, n)
 	if c.parallel && !c.started {
 		c.startWorkers()
 	}
 	defer c.stopWorkers()
+	carry := 0 // sends drained by the previous epoch's rounds
 	for !c.stopped.Load() {
-		c.drainMailboxes()
+		drained := carry + c.drainMailboxes()
+		carry = 0
 		T := Time(math.MaxInt64)
 		any := false
 		for i, k := range c.kernels {
@@ -283,57 +525,73 @@ func (c *Cluster) runEpochs() {
 		if c.limit != 0 && T > c.limit {
 			break
 		}
+		c.updateWidth(drained, T)
+		if c.adaptive {
+			// One uniform window per epoch, anchored to a monotone horizon:
+			// E_n = max(T, E_{n-1}) + width. The horizon advances a full
+			// width per barrier even while early arrivals drag the floor T
+			// back, so the virtual time covered per rendezvous — and hence
+			// the barrier savings — scales with the width multiplier. The
+			// shard holding the floor always satisfies next < E, so every
+			// epoch makes progress.
+			win := T
+			if c.horizon > win {
+				win = c.horizon
+			}
+			win += c.w * c.mult
+			c.horizon = win
+			for i := range c.kernels {
+				wins[i] = win
+			}
+		} else {
+			// Static schedule: the exact conservative PR-5 windows.
+			for i := range c.kernels {
+				bound := next[i] + c.w // earliest echo of our own sends
+				for j := range c.kernels {
+					if j != i && has[j] && next[j] < bound {
+						bound = next[j]
+					}
+				}
+				wins[i] = bound + c.w
+			}
+		}
 		for i := range c.kernels {
 			if !has[i] {
 				c.windows[i] = 0
 				continue
 			}
-			bound := next[i] + c.w // earliest echo of our own sends
-			for j := range c.kernels {
-				if j != i && has[j] && next[j] < bound {
-					bound = next[j]
-				}
+			if next[i] >= wins[i] {
+				// Quiet-shard elision: every event (heap and timing wheel
+				// both feed nextWork) lies at or past the horizon, so the
+				// window would run nothing — skip the rendezvous.
+				c.windows[i] = 0
+				c.mxElided.Inc()
+				continue
 			}
-			c.windows[i] = bound + c.w
+			c.windows[i] = wins[i]
 		}
-		if c.parallel {
-			// Workers pick up shards 1..n-1; shard 0's window runs here on
-			// the coordinating thread. Epochs where only shard 0 has a
-			// window skip the barrier entirely.
-			act := 0
-			for i := 1; i < n; i++ {
-				if c.windows[i] != 0 {
-					act++
-				}
+		for {
+			c.runGranted()
+			got := c.drainMailboxes()
+			carry += got
+			if got == 0 {
+				break
 			}
-			if act > 0 {
-				c.bmu.Lock()
-				c.pending = act
-				c.epochN++
-				c.wcond.Broadcast()
-				c.bmu.Unlock()
-			}
-			if c.windows[0] != 0 {
-				c.kernels[0].safeWindow(c.windows[0])
-			}
-			if act > 0 {
-				c.bmu.Lock()
-				for c.pending > 0 {
-					c.dcond.Wait()
-				}
-				c.bmu.Unlock()
-			}
-		} else {
+			// Re-grant exactly the shards that now hold work inside their
+			// window (a drained send, or a timer it re-armed). step refuses
+			// events past the cluster limit, so don't re-grant for those.
+			regrant := false
 			for i, k := range c.kernels {
-				if c.windows[i] != 0 {
-					k.safeWindow(c.windows[i])
+				c.windows[i] = 0
+				if nw, ok := k.nextWork(); ok && nw < wins[i] && (c.limit == 0 || nw <= c.limit) {
+					c.windows[i] = wins[i]
+					regrant = true
 				}
 			}
-		}
-		for _, k := range c.kernels {
-			if k.panicked {
-				panic(k.panicVal)
+			if !regrant {
+				break
 			}
+			c.mxRounds.Inc()
 		}
 		c.mxEpochs.Inc()
 	}
@@ -354,8 +612,11 @@ func (k *Kernel) safeWindow(winEnd Time) {
 
 func (c *Cluster) startWorkers() {
 	c.started = true
-	c.workers = len(c.kernels) - 1
+	c.done = make(chan struct{}, 1)
+	c.grants = make([]chan Time, len(c.kernels))
 	for i := 1; i < len(c.kernels); i++ {
+		c.grants[i] = make(chan Time, 1)
+		c.wg.Add(1)
 		go c.worker(i)
 	}
 }
@@ -364,47 +625,25 @@ func (c *Cluster) stopWorkers() {
 	if !c.started {
 		return
 	}
-	c.bmu.Lock()
-	c.quit = true
-	c.wcond.Broadcast()
-	for c.workers > 0 {
-		c.dcond.Wait()
+	for i := 1; i < len(c.kernels); i++ {
+		close(c.grants[i])
 	}
-	c.quit = false
+	c.wg.Wait()
 	c.started = false
-	c.bmu.Unlock()
 }
 
 // worker drives one shard: block until the next epoch grant, run the
-// window, then check in at the barrier. Shard 0's window runs on the
-// coordinating thread itself (see the epoch publish in runEpochs), so
-// workers exist for shards 1..n-1.
+// window, then check in at the counter barrier — the last worker through
+// wakes the coordinator. Shard 0's window runs on the coordinating thread
+// itself (see the epoch publish in runEpochs), so workers exist for shards
+// 1..n-1. Closing the grant channel retires the worker.
 func (c *Cluster) worker(i int) {
+	defer c.wg.Done()
 	k := c.kernels[i]
-	var last uint64
-	for {
-		c.bmu.Lock()
-		for c.epochN == last && !c.quit {
-			c.wcond.Wait()
-		}
-		last = c.epochN
-		if c.quit {
-			c.workers--
-			if c.workers == 0 {
-				c.dcond.Signal()
-			}
-			c.bmu.Unlock()
-			return
-		}
-		c.bmu.Unlock()
-		if w := c.windows[i]; w != 0 {
-			k.safeWindow(w)
-			c.bmu.Lock()
-			c.pending--
-			if c.pending == 0 {
-				c.dcond.Signal()
-			}
-			c.bmu.Unlock()
+	for w := range c.grants[i] {
+		k.safeWindow(w)
+		if c.pending.Add(-1) == 0 {
+			c.done <- struct{}{}
 		}
 	}
 }

@@ -16,6 +16,10 @@ import (
 // the metrics snapshot and the merged trace. Serial and parallel drivers
 // must produce byte-identical results.
 func clusterRun(t *testing.T, parallel bool) (string, Time, string, string) {
+	return clusterRunShards(t, parallel, 4)
+}
+
+func clusterRunShards(t *testing.T, parallel bool, shards int) (string, Time, string, string) {
 	t.Helper()
 	tr := obs.NewTracer(obs.DefaultCap)
 	tr.Enable()
@@ -23,7 +27,6 @@ func clusterRun(t *testing.T, parallel bool) (string, Time, string, string) {
 	SetDefaultObs(tr, reg)
 	defer SetDefaultObs(nil, nil)
 
-	const shards = 4
 	c := NewCluster(7, shards, 10*time.Microsecond)
 	c.SetParallel(parallel)
 	logs := make([][]string, shards)
@@ -271,5 +274,232 @@ func TestEventCancelReuse(t *testing.T) {
 		if e.Pending() {
 			t.Error("fired event still Pending")
 		}
+	}
+}
+
+// TestAdaptiveByteIdentityShardCounts pins serial/parallel byte-identity of
+// the adaptive driver at the shard counts repro's -pcpus 1/2/4 produce
+// (pcpus + the dom0 shard).
+func TestAdaptiveByteIdentityShardCounts(t *testing.T) {
+	for _, shards := range []int{2, 3, 5} {
+		sLog, sEnd, sMet, sTr := clusterRunShards(t, false, shards)
+		pLog, pEnd, pMet, pTr := clusterRunShards(t, true, shards)
+		if sEnd != pEnd {
+			t.Errorf("shards=%d: final time: serial %v, parallel %v", shards, sEnd, pEnd)
+		}
+		if sLog != pLog {
+			t.Errorf("shards=%d: execution logs differ", shards)
+		}
+		if sMet != pMet {
+			t.Errorf("shards=%d: metrics differ:\nserial:\n%s\nparallel:\n%s", shards, sMet, pMet)
+		}
+		if sTr != pTr {
+			t.Errorf("shards=%d: traces differ (serial %d bytes, parallel %d bytes)", shards, len(sTr), len(pTr))
+		}
+	}
+}
+
+// TestAdaptiveWidthRampAndClamp drives the width controller through both
+// regimes: a quiet stretch of local-only timers must widen the epochs past
+// the busy cap, and a cross-shard burst mid-run must clamp them straight
+// back to it.
+func TestAdaptiveWidthRampAndClamp(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		reg := obs.NewRegistry()
+		SetDefaultObs(nil, reg)
+		c := NewCluster(11, 2, 10*time.Microsecond)
+		c.SetParallel(parallel)
+		c.SetWidthCaps(4, 32)
+		k0, k1 := c.Kernel(0), c.Kernel(1)
+
+		ticks := 0
+		k1.Spawn("local-ticker", func(p *Proc) {
+			for i := 0; i < 100; i++ {
+				p.Sleep(20 * time.Microsecond)
+				ticks++
+			}
+		})
+		if _, err := c.RunFor(2001 * time.Microsecond); err != nil {
+			t.Fatalf("parallel=%v: quiet leg: %v", parallel, err)
+		}
+		if ticks != 100 {
+			t.Errorf("parallel=%v: %d local ticks, want 100", parallel, ticks)
+		}
+		if m := c.WidthMult(); m <= 4 {
+			t.Errorf("parallel=%v: width mult %d after quiet stretch, want > busy cap 4", parallel, m)
+		}
+		if w := reg.Counter("sim_cluster_width_widenings_total").Value(); w == 0 {
+			t.Errorf("parallel=%v: no widenings recorded over a quiet stretch", parallel)
+		}
+
+		// A sustained burst: long enough to span many epochs, with the
+		// RunFor limit landing while traffic is still flowing so the
+		// clamped width is observable at the leg boundary.
+		delivered := 0
+		k0.Spawn("burster", func(p *Proc) {
+			for i := 0; i < 200; i++ {
+				p.Sleep(30 * time.Microsecond)
+				k0.Post(k1, 0, func() { delivered++ })
+			}
+		})
+		if _, err := c.RunFor(3 * time.Millisecond); err != nil {
+			t.Fatalf("parallel=%v: burst leg: %v", parallel, err)
+		}
+		if delivered == 0 || delivered >= 200 {
+			t.Errorf("parallel=%v: %d cross-shard sends delivered at the limit, want mid-burst", parallel, delivered)
+		}
+		if m := c.WidthMult(); m != 4 {
+			t.Errorf("parallel=%v: width mult %d after burst, want clamp to busy cap 4", parallel, m)
+		}
+		if cl := reg.Counter("sim_cluster_width_clamps_total").Value(); cl == 0 {
+			t.Errorf("parallel=%v: no clamps recorded across a quiet->traffic transition", parallel)
+		}
+		SetDefaultObs(nil, nil)
+	}
+}
+
+// TestAdaptiveElisionTimerPastHorizon parks one timer on an otherwise-idle
+// shard well past the first epochs' horizon. The shard must be elided from
+// early barriers (it has provably nothing to run), yet once the widened
+// window reaches the timer the shard must be granted again and the timer
+// must fire at exactly its natural timestamp.
+func TestAdaptiveElisionTimerPastHorizon(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		reg := obs.NewRegistry()
+		SetDefaultObs(nil, reg)
+		c := NewCluster(3, 3, 10*time.Microsecond)
+		c.SetParallel(parallel)
+
+		k1, k2 := c.Kernel(1), c.Kernel(2)
+		k1.Spawn("dense", func(p *Proc) {
+			for i := 0; i < 100; i++ {
+				p.Sleep(5 * time.Microsecond)
+			}
+		})
+		var firedAt Time
+		k2.At(Time(300*time.Microsecond), func() { firedAt = k2.Now() })
+
+		if _, err := c.Run(); err != nil {
+			t.Fatalf("parallel=%v: %v", parallel, err)
+		}
+		if firedAt != Time(300*time.Microsecond) {
+			t.Errorf("parallel=%v: parked timer fired at %v, want exactly 300µs", parallel, firedAt)
+		}
+		if el := reg.Counter("sim_cluster_barriers_elided_total").Value(); el == 0 {
+			t.Errorf("parallel=%v: quiet shard was never elided from a barrier", parallel)
+		}
+		SetDefaultObs(nil, nil)
+	}
+}
+
+// TestAdaptiveStopAtInsideWidenedEpoch lets the quiet controller widen the
+// windows, then checks a RunFor limit landing mid-window: events up to the
+// limit run, events past it stay parked, and every shard clock aligns on
+// the limit so the next leg resumes consistently.
+func TestAdaptiveStopAtInsideWidenedEpoch(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		c := NewCluster(13, 3, 10*time.Microsecond)
+		c.SetParallel(parallel)
+		k1 := c.Kernel(1)
+		ticks := 0
+		k1.Spawn("ticker", func(p *Proc) {
+			for i := 0; i < 100; i++ {
+				p.Sleep(20 * time.Microsecond)
+				ticks++
+			}
+		})
+		end, err := c.RunFor(1010 * time.Microsecond)
+		if err != nil {
+			t.Fatalf("parallel=%v: first leg: %v", parallel, err)
+		}
+		if c.WidthMult() <= 1 {
+			t.Fatalf("parallel=%v: width never widened (mult %d); limit did not land inside a widened epoch", parallel, c.WidthMult())
+		}
+		if ticks != 50 {
+			t.Errorf("parallel=%v: %d ticks at the limit, want 50", parallel, ticks)
+		}
+		if end != Time(1010*time.Microsecond) {
+			t.Errorf("parallel=%v: first leg ended at %v, want 1.01ms", parallel, end)
+		}
+		for i := 0; i < c.Shards(); i++ {
+			if n := c.Kernel(i).Now(); n != end {
+				t.Errorf("parallel=%v: shard %d clock %v, want %v", parallel, i, n, end)
+			}
+		}
+		if _, err := c.RunFor(time.Millisecond); err != nil {
+			t.Fatalf("parallel=%v: second leg: %v", parallel, err)
+		}
+		if ticks != 100 {
+			t.Errorf("parallel=%v: %d ticks after resume, want 100", parallel, ticks)
+		}
+	}
+}
+
+// TestMailboxSliceReuse pins the allocation fix: after the first barrier a
+// mailbox drain must recycle the previous drain's backing array, counted in
+// sim_cluster_mailbox_reuse_total.
+func TestMailboxSliceReuse(t *testing.T) {
+	reg := obs.NewRegistry()
+	SetDefaultObs(nil, reg)
+	defer SetDefaultObs(nil, nil)
+	c := NewCluster(17, 2, 10*time.Microsecond)
+	k0 := c.Kernel(0)
+	k1 := c.Kernel(1)
+	k0.Spawn("sender", func(p *Proc) {
+		for i := 0; i < 20; i++ {
+			p.Sleep(200 * time.Microsecond) // separate epochs: one drain each
+			k0.Post(k1, 0, func() {})
+		}
+	})
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("sim_cluster_mailbox_reuse_total").Value(); got == 0 {
+		t.Error("sim_cluster_mailbox_reuse_total = 0, want recycled drains")
+	}
+}
+
+// TestStaticScheduleConservative pins the SetAdaptive(false) escape hatch:
+// the static conservative windows never produce a late delivery, never
+// widen, never need delivery rounds — and stay byte-identical between the
+// serial and parallel drivers.
+func TestStaticScheduleConservative(t *testing.T) {
+	run := func(parallel bool) (string, string) {
+		tr := obs.NewTracer(obs.DefaultCap)
+		tr.Enable()
+		reg := obs.NewRegistry()
+		SetDefaultObs(tr, reg)
+		defer SetDefaultObs(nil, nil)
+		c := NewCluster(19, 3, 10*time.Microsecond)
+		c.SetParallel(parallel)
+		c.SetAdaptive(false)
+		for i := 0; i < 3; i++ {
+			i := i
+			k := c.Kernel(i)
+			k.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for j := 0; j < 30; j++ {
+					p.Sleep(time.Duration(1+k.Rand().Intn(40)) * time.Microsecond)
+					k.Post(c.Kernel((i+1)%3), time.Duration(k.Rand().Intn(15))*time.Microsecond, func() {})
+				}
+			})
+		}
+		if _, err := c.Run(); err != nil {
+			t.Fatalf("parallel=%v: %v", parallel, err)
+		}
+		for _, name := range []string{
+			"sim_cluster_late_deliveries_total",
+			"sim_cluster_width_widenings_total",
+			"sim_cluster_rounds_total",
+		} {
+			if v := reg.Counter(name).Value(); v != 0 {
+				t.Errorf("parallel=%v: %s = %d, want 0 under the static schedule", parallel, name, v)
+			}
+		}
+		return reg.Snapshot().Format(), fmt.Sprint(c.Now())
+	}
+	sMet, sEnd := run(false)
+	pMet, pEnd := run(true)
+	if sMet != pMet || sEnd != pEnd {
+		t.Errorf("static serial/parallel diverge:\nserial end %s\n%s\nparallel end %s\n%s", sEnd, sMet, pEnd, pMet)
 	}
 }
