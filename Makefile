@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all check fmt vet staticcheck build test race race-parallel race-obs paritycheck trace bench benchdelta benchdelta-all scalesweep connsweep connsweep-full parallelsweep
+.PHONY: all check fmt vet staticcheck build test race race-parallel race-obs paritycheck trace bench benchdelta benchdelta-all scalesweep racksweep connsweep connsweep-full parallelsweep
 
 all: check
 
-check: fmt vet staticcheck build test race race-parallel race-obs paritycheck benchdelta-all connsweep
+check: fmt vet staticcheck build test race race-parallel race-obs paritycheck benchdelta-all racksweep connsweep
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -48,7 +48,7 @@ race-obs: build
 # Serial-vs-parallel byte-identity: the same sharded layout (-pcpus 4)
 # driven single-threaded and multi-threaded must produce identical stdout,
 # structured JSON, metrics and trace for every experiment in the parity set.
-PARITY_EXPS = ping losssweep scalesweep connsweep
+PARITY_EXPS = ping losssweep scalesweep connsweep racksweep
 paritycheck: build
 	@$(GO) build -o /tmp/repro-parity ./cmd/repro
 	@for e in $(PARITY_EXPS); do \
@@ -80,8 +80,8 @@ benchdelta: build
 
 # Perf CI: delta every committed BENCH_*.json against fresh output.
 #  - fastpath: wall-clock microbenchmarks, re-run and diffed (benchdelta)
-#  - scalesweep: deterministic virtual-time sweep, re-run and diffed — any
-#    delta at all means the simulation changed
+#  - scalesweep/racksweep: deterministic virtual-time sweeps, re-run and
+#    diffed — any delta at all means the simulation changed
 #  - parallel: the sim_cluster_* counters are deterministic, so they are
 #    re-measured (parallelsweep -counters-only) and diffed — an epoch or
 #    rendezvous count creeping up more than 10% fails CI; the wall times
@@ -90,10 +90,12 @@ benchdelta: build
 #    host-dependent, so the committed file is self-delta'd as a format gate;
 #    the deterministic quick sweep is exercised by the connsweep target
 benchdelta-all: benchdelta
-	@rm -f /tmp/bench_scalesweep_new.json /tmp/bench_parallel_new.json
+	@rm -f /tmp/bench_scalesweep_new.json /tmp/bench_racksweep_new.json /tmp/bench_parallel_new.json
 	$(GO) build -o /tmp/repro-bench ./cmd/repro
 	/tmp/repro-bench -experiment scalesweep -json /tmp/bench_scalesweep_new.json > /dev/null
 	$(GO) run ./cmd/benchjson -delta BENCH_scalesweep.json /tmp/bench_scalesweep_new.json
+	/tmp/repro-bench -experiment racksweep -json /tmp/bench_racksweep_new.json > /dev/null
+	$(GO) run ./cmd/benchjson -delta BENCH_racksweep.json /tmp/bench_racksweep_new.json
 	cp BENCH_parallel.json /tmp/bench_parallel_new.json
 	$(GO) run ./cmd/parallelsweep -counters-only -out /tmp/bench_parallel_new.json 2> /dev/null
 	$(GO) run ./cmd/benchjson -delta BENCH_parallel.json /tmp/bench_parallel_new.json
@@ -107,6 +109,16 @@ scalesweep: build
 	@cat /tmp/scalesweep.1
 	cmp /tmp/scalesweep.1 /tmp/scalesweep.2
 	@echo "scalesweep deterministic: same-seed runs byte-identical; JSON in BENCH_scalesweep.json"
+
+# Multi-host rack sweep (live migration + whole-host kill) ->
+# BENCH_racksweep.json; runs the experiment twice on the same seed and
+# asserts the rendered output is byte-identical.
+racksweep: build
+	$(GO) run ./cmd/repro -experiment racksweep -json BENCH_racksweep.json > /tmp/racksweep.1
+	$(GO) run ./cmd/repro -experiment racksweep > /tmp/racksweep.2
+	@cat /tmp/racksweep.1
+	cmp /tmp/racksweep.1 /tmp/racksweep.2
+	@echo "racksweep deterministic: same-seed runs byte-identical; JSON in BENCH_racksweep.json"
 
 # Million-connection population sweep, small-N gate: runs the quick sweep
 # twice on the same seed and asserts the rendered output is byte-identical.

@@ -52,6 +52,19 @@ func main() {
 		usage()
 	}
 	cmd := os.Args[1]
+	if cmd == "experiment" {
+		// The experiment knobs (-quick, -seed, -replicas-min, ...) are
+		// derived from the shared registry's parameter declarations, so
+		// this CLI and cmd/repro can never drift apart.
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		expID := fs.String("id", "", "experiment id to run (see -list)")
+		expList := fs.Bool("list", false, "list the registry and exit")
+		expOpts := experiments.BindFlags(fs)
+		fs.Parse(os.Args[2:])
+		runExperiment(*expID, expOpts(), *expList)
+		return
+	}
+
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	appliance := fs.String("appliance", "dns", "appliance configuration")
 	noDCE := fs.Bool("no-dce", false, "disable dead-code elimination")
@@ -61,13 +74,6 @@ func main() {
 	dup := fs.Float64("dup", 0, "boot: bridge frame duplication probability [0,1]")
 	reorder := fs.Float64("reorder", 0, "boot: bridge frame reorder probability [0,1]")
 	jitter := fs.Duration("jitter", 0, "boot: max extra per-frame delivery delay")
-	expID := fs.String("id", "", "experiment: id to run (see -list)")
-	expList := fs.Bool("list", false, "experiment: list the registry and exit")
-	quick := fs.Bool("quick", false, "experiment: reduced workload sizes")
-	replicasMin := fs.Int("replicas-min", 0, "experiment: scalesweep minimum fleet replicas (0 = default)")
-	replicasMax := fs.Int("replicas-max", 0, "experiment: scalesweep maximum fleet replicas (0 = default)")
-	lbPolicy := fs.String("lb-policy", "", "experiment: scalesweep balancer policy (round-robin or least-conns)")
-	domstat := fs.Bool("domstat", false, "experiment: append the per-domain accounting table")
 	fs.Parse(os.Args[2:])
 
 	if *loss > 0 || *dup > 0 || *reorder > 0 || *jitter > 0 {
@@ -79,16 +85,6 @@ func main() {
 	switch cmd {
 	case "list":
 		listModules()
-		return
-	case "experiment":
-		runExperiment(*expID, experiments.Options{
-			Quick:       *quick,
-			Seed:        *seed,
-			ReplicasMin: *replicasMin,
-			ReplicasMax: *replicasMax,
-			LBPolicy:    *lbPolicy,
-			DomStat:     *domstat,
-		}, *expList)
 		return
 	}
 
@@ -198,7 +194,7 @@ func main() {
 func runExperiment(id string, opts experiments.Options, list bool) {
 	if list || id == "" {
 		for _, e := range experiments.All() {
-			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+			fmt.Println(e.ListLine())
 		}
 		if !list {
 			fmt.Fprintln(os.Stderr, "mirage: pick one with: mirage experiment -id <id>")

@@ -36,27 +36,23 @@ import (
 
 func main() {
 	which := flag.String("experiment", "all", "comma-separated experiment ids, or 'all'")
-	quick := flag.Bool("quick", false, "reduced workload sizes")
 	list := flag.Bool("list", false, "list experiments and exit")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
 	metrics := flag.Bool("metrics", false, "print the full metrics registry after the run")
 	metricsFormat := flag.String("metrics-format", "text", "registry dump format: text or prom (Prometheus exposition)")
-	domstat := flag.Bool("domstat", false, "print the per-domain accounting table (virtual xentop) for experiments that support it")
-	memstats := flag.Bool("memstats", false, "sample the process heap in experiments that report memory (connsweep); numbers are host-dependent")
 	jsonOut := flag.String("json", "", "write the structured results (id -> series) as JSON to this file")
-	seed := flag.Int64("seed", 0, "override the experiment's default seed (0 = default)")
 	loss := flag.Float64("loss", 0, "bridge frame drop probability [0,1] for every platform run")
 	dup := flag.Float64("dup", 0, "bridge frame duplication probability [0,1]")
 	reorder := flag.Float64("reorder", 0, "bridge frame reorder probability [0,1]")
 	jitter := flag.Duration("jitter", 0, "max extra per-frame delivery delay (e.g. 500us)")
-	replicasMin := flag.Int("replicas-min", 0, "scalesweep: minimum fleet replicas (0 = default)")
-	replicasMax := flag.Int("replicas-max", 0, "scalesweep: maximum fleet replicas (0 = default)")
-	lbPolicy := flag.String("lb-policy", "", "scalesweep: round-robin or least-conns (default round-robin)")
 	pcpus := flag.Int("pcpus", 1, "shard the event queue across this many per-pCPU kernels (1 = classic single kernel)")
 	parallel := flag.Bool("parallel", false, "drive the pCPU shards on OS threads (requires -pcpus > 1); output is byte-identical to the single-threaded run")
 	adaptive := flag.Bool("adaptive", true, "adaptive epoch widths for the sharded drivers (off = static lookahead-W epochs)")
 	widthBusy := flag.Int("width-busy", 0, "adaptive width cap, in lookaheads, while cross-shard traffic flows (0 = built-in default)")
 	widthQuiet := flag.Int("width-quiet", 0, "adaptive width cap, in lookaheads, during quiet stretches (0 = built-in default)")
+	// Every experiment knob (-quick, -seed, -replicas-min, ...) comes from
+	// the registry's parameter declarations; nothing is hand-registered here.
+	expOpts := experiments.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *parallel && *pcpus <= 1 {
@@ -90,20 +86,12 @@ func main() {
 	exps := experiments.All()
 	if *list {
 		for _, e := range exps {
-			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+			fmt.Println(e.ListLine())
 		}
 		return
 	}
 
-	opts := experiments.Options{
-		Quick:       *quick,
-		Seed:        *seed,
-		ReplicasMin: *replicasMin,
-		ReplicasMax: *replicasMax,
-		LBPolicy:    *lbPolicy,
-		DomStat:     *domstat,
-		MemStats:    *memstats,
-	}
+	opts := expOpts()
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*which, ",") {

@@ -58,14 +58,25 @@ type SSD struct {
 
 // NewSSD creates an SSD with the given parameters.
 func NewSSD(k *sim.Kernel, p SSDParams) *SSD {
+	return NewSSDNamed(k, p, "")
+}
+
+// NewSSDNamed creates an SSD whose bus CPU carries the given prefix, so
+// multi-host platforms keep per-host device gauges apart. The empty prefix
+// preserves the historical CPU name.
+func NewSSDNamed(k *sim.Kernel, p SSDParams, prefix string) *SSD {
 	if p.Channels <= 0 {
 		p.Channels = 1
+	}
+	bus := "ssd-bus"
+	if prefix != "" {
+		bus = prefix + "-ssd-bus"
 	}
 	d := &SSD{
 		K:        k,
 		Params:   p,
 		channels: make([]sim.Time, p.Channels),
-		bus:      k.NewCPU("ssd-bus"),
+		bus:      k.NewCPU(bus),
 		data:     map[uint64][]byte{},
 	}
 	return d

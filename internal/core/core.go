@@ -35,8 +35,12 @@ import (
 	"repro/internal/xenstore"
 )
 
-// Platform is a deployment target: a simulated host with hypervisor,
-// control domain, software bridge, SSD and xenstore.
+// Platform is a deployment target: one or more simulated physical hosts,
+// each with hypervisor, control domain, software bridge, SSD and xenstore.
+// NewPlatform creates the first host; AddHost grows the machine room, and
+// internal/datacenter links the host bridges with a modeled fabric. The
+// flat Host/Bridge/SSD/Store/Dom0 fields alias the first host, so
+// single-host callers are untouched by the multi-host surface.
 type Platform struct {
 	K       *sim.Kernel
 	Cluster *sim.Cluster // nil unless sharded (SetDefaultSharding pcpus > 1)
@@ -46,9 +50,53 @@ type Platform struct {
 	Store   *xenstore.Store
 	Dom0    *hypervisor.Domain
 
-	dom0Ready   *sim.Signal
+	sites       []*Site
+	npcpus      int
+	spread      int // round-robin cursor for AffinitySpread
 	deployments []*Deployment
 }
+
+// Site is one physical host of the platform: the typed "device home" every
+// deployment resolves against. Each site owns its own bridge (and so its
+// own wire-cost domain), SSD, xenstore and control domain, plus a /24
+// subnet carved from 10.0.0.0/16 in host order (the ops-style CIDR
+// allocation: host i owns 10.0.i.0/24).
+type Site struct {
+	Name   string
+	Index  int
+	Host   *hypervisor.Host
+	Bridge *netback.Bridge
+	SSD    *blkback.SSD
+	Store  *xenstore.Store
+	Dom0   *hypervisor.Domain
+
+	dom0Ready *sim.Signal
+	down      bool
+	nextIP    uint32 // low octet of the next AllocIP address
+}
+
+// Subnet returns the site's /24 base address (10.0.<index>.0).
+func (s *Site) Subnet() uint32 { return 10<<24 | uint32(s.Index)<<8 }
+
+// AllocIP hands out the next free address in the site's subnet, starting
+// at .10 (the low range is left for hand-assigned infrastructure
+// addresses, matching the existing experiments' conventions).
+func (s *Site) AllocIP() uint32 {
+	if s.nextIP < 10 {
+		s.nextIP = 10
+	}
+	ip := s.Subnet() | s.nextIP
+	s.nextIP++
+	return ip
+}
+
+// SetDown marks the site failed: no further placements resolve to it.
+// Killing the domains and cutting the fabric port is the caller's job
+// (internal/datacenter's KillHost does both).
+func (s *Site) SetDown() { s.down = true }
+
+// Alive reports whether the site accepts placements.
+func (s *Site) Alive() bool { return !s.down }
 
 // defaultPCPUs/defaultParallel shard platforms created afterwards; a CLI
 // installs them once (mirroring netback.SetDefaultFaults) so experiments
@@ -91,7 +139,7 @@ func NewPlatform(seed int64) *Platform {
 	var cluster *sim.Cluster
 	npcpus := 4
 	if defaultPCPUs > 1 {
-		cluster = sim.NewCluster(seed, defaultPCPUs+1, netback.DefaultParams().Latency)
+		cluster = sim.NewCluster(seed, defaultPCPUs+1, netback.DefaultParams().Propagation)
 		cluster.SetParallel(defaultParallel)
 		cluster.SetAdaptive(defaultAdaptive)
 		cluster.SetWidthCaps(defaultBusyCap, defaultQuietCap)
@@ -102,20 +150,71 @@ func NewPlatform(seed int64) *Platform {
 	} else {
 		k = sim.NewKernel(seed)
 	}
-	pl := &Platform{
-		K:       k,
-		Cluster: cluster,
-		Host:    hypervisor.NewHost(k, npcpus),
-		Bridge:  netback.NewBridge(k, netback.DefaultParams()),
-		SSD:     blkback.NewSSD(k, blkback.DefaultSSDParams()),
-		Store:   xenstore.New(),
-	}
-	pl.dom0Ready = k.NewSignal("dom0-ready")
-	k.Spawn("dom0-init", func(p *sim.Proc) {
-		pl.Dom0 = pl.Host.Create(p, hypervisor.Config{Name: "dom0", Memory: 512 << 20, NoSpawn: true})
-		pl.dom0Ready.Set()
-	})
+	pl := &Platform{K: k, Cluster: cluster, npcpus: npcpus}
+	// The first host keeps the historical unprefixed process, signal and
+	// CPU names so single-host runs stay byte-identical with earlier
+	// versions of this package.
+	s0 := pl.addSite("h0", "", npcpus)
+	pl.Host = s0.Host
+	pl.Bridge = s0.Bridge
+	pl.SSD = s0.SSD
+	pl.Store = s0.Store
 	return pl
+}
+
+// addSite builds one physical host. An empty prefix keeps the legacy
+// names ("dom0-init", "dom0-ready", "dom0", "pcpu0", ...); a non-empty
+// prefix namespaces everything ("h1-dom0-ready", "dom0-h1", "h1-pcpu0").
+func (pl *Platform) addSite(name, prefix string, npcpus int) *Site {
+	k := pl.K
+	s := &Site{Name: name, Index: len(pl.sites)}
+	s.Host = hypervisor.NewHostNamed(k, npcpus, prefix)
+	s.Bridge = netback.NewBridgeNamed(k, netback.DefaultParams(), prefix)
+	s.SSD = blkback.NewSSDNamed(k, blkback.DefaultSSDParams(), prefix)
+	s.Store = xenstore.New()
+	sigName, initName, dom0Name := "dom0-ready", "dom0-init", "dom0"
+	if prefix != "" {
+		sigName = prefix + "-dom0-ready"
+		initName = "dom0-init-" + prefix
+		dom0Name = "dom0-" + prefix
+	}
+	s.dom0Ready = k.NewSignal(sigName)
+	k.Spawn(initName, func(p *sim.Proc) {
+		s.Dom0 = s.Host.Create(p, hypervisor.Config{Name: dom0Name, Memory: 512 << 20, NoSpawn: true})
+		if s.Index == 0 {
+			pl.Dom0 = s.Dom0
+		}
+		s.dom0Ready.Set()
+	})
+	pl.sites = append(pl.sites, s)
+	return s
+}
+
+// AddHost racks a new physical host (same pCPU count as the first) and
+// returns its Site. Call before Run; the host's control domain boots at
+// virtual time zero alongside the others. Domains, signals and CPU gauges
+// of the new host are namespaced by its name.
+func (pl *Platform) AddHost(name string) *Site {
+	if name == "" {
+		name = fmt.Sprintf("h%d", len(pl.sites))
+	}
+	if pl.SiteByName(name) != nil {
+		panic("core: duplicate host name " + name)
+	}
+	return pl.addSite(name, name, pl.npcpus)
+}
+
+// Sites lists the platform's hosts in rack order.
+func (pl *Platform) Sites() []*Site { return pl.sites }
+
+// SiteByName returns the named host, or nil.
+func (pl *Platform) SiteByName(name string) *Site {
+	for _, s := range pl.sites {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
 }
 
 // Env is the environment handed to an appliance's main function.
@@ -159,7 +258,70 @@ type DeployOpts struct {
 	Delay time.Duration
 	// PCPU pins the guest's vCPU to this host pCPU (default 0, so
 	// co-deployed guests contend unless spread; -1 allocates a fresh one).
+	// Ignored when Placement is set.
 	PCPU int
+	// Placement, when non-nil, selects the physical host and pCPU via the
+	// typed placement API. Nil keeps the legacy single-host behaviour
+	// (first host, PCPU field above).
+	Placement *Placement
+	// Resume deploys from a migrated snapshot: the toolstack pays the flat
+	// resume cost instead of the memory-scaled build, and guest
+	// start-of-day is the reconnect path (see hypervisor.Config.Resume and
+	// pvboot.Options.Resume).
+	Resume bool
+}
+
+// Affinity is a placement hint used when Placement.Host is empty.
+type Affinity int
+
+const (
+	// AffinityAny places on the first live host.
+	AffinityAny Affinity = iota
+	// AffinitySpread round-robins deployments across live hosts.
+	AffinitySpread
+	// AffinityPack fills the first live host (alias of Any today; it
+	// exists so schedulers can diverge once hosts model capacity).
+	AffinityPack
+)
+
+// Placement is the typed placement request: which physical host a domain
+// is built on, which pCPU its vCPU pins to there, and — when Host is left
+// empty — how the platform should choose among live hosts.
+type Placement struct {
+	Host     string // host name ("" = pick by Affinity)
+	PCPU     int    // pCPU pin on the chosen host (-1 = fresh pCPU)
+	Affinity Affinity
+}
+
+// resolve picks the site a placement lands on. Explicit hosts win even
+// when down (the caller asked for that box; the deployment will stall on
+// its dead dom0, which is what talking to a failed machine does).
+func (pl *Platform) resolve(p *Placement) *Site {
+	if p == nil {
+		return pl.sites[0]
+	}
+	if p.Host != "" {
+		s := pl.SiteByName(p.Host)
+		if s == nil {
+			return nil
+		}
+		return s
+	}
+	live := pl.sites[:0:0]
+	for _, s := range pl.sites {
+		if s.Alive() {
+			live = append(live, s)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	if p.Affinity == AffinitySpread {
+		s := live[pl.spread%len(live)]
+		pl.spread++
+		return s
+	}
+	return live[0]
 }
 
 // Deployment is one deployed appliance.
@@ -167,6 +329,7 @@ type Deployment struct {
 	Name   string
 	Image  *build.Image
 	Domain *hypervisor.Domain // nil until the domain is built
+	Site   *Site              // host the domain was built on
 	Err    error
 
 	created *sim.Signal
@@ -177,6 +340,17 @@ type Deployment struct {
 func (pl *Platform) Deploy(u Unikernel, opts DeployOpts) *Deployment {
 	dep := &Deployment{Name: u.Build.Name, created: pl.K.NewSignal(u.Build.Name + "-created")}
 	pl.deployments = append(pl.deployments, dep)
+
+	site := pl.resolve(opts.Placement)
+	if site == nil {
+		dep.Err = fmt.Errorf("core: no live host for placement %+v", opts.Placement)
+		return dep
+	}
+	dep.Site = site
+	pcpu := opts.PCPU
+	if opts.Placement != nil {
+		pcpu = opts.Placement.PCPU
+	}
 
 	bopts := build.Options{DeadCodeElim: true, ASRSeed: int64(len(pl.deployments))*7919 + 1}
 	if opts.BuildOpts != nil {
@@ -197,6 +371,7 @@ func (pl *Platform) Deploy(u Unikernel, opts DeployOpts) *Deployment {
 		vm, err := pvboot.Boot(d, p, pvboot.Options{
 			BinarySize: uint64(img.SizeKB) << 10,
 			Seal:       !opts.NoSeal,
+			Resume:     opts.Resume,
 		})
 		if err != nil {
 			dep.Err = err
@@ -205,7 +380,7 @@ func (pl *Platform) Deploy(u Unikernel, opts DeployOpts) *Deployment {
 		env := &Env{VM: vm, P: p, Image: img}
 		if opts.Net != nil {
 			cfg := *opts.Net
-			nic, err := netif.Attach(vm, pl.Bridge, pl.Dom0, pl.Store, netback.MAC(cfg.MAC))
+			nic, err := netif.Attach(vm, site.Bridge, site.Dom0, site.Store, netback.MAC(cfg.MAC))
 			if err != nil {
 				dep.Err = err
 				return 1
@@ -213,7 +388,7 @@ func (pl *Platform) Deploy(u Unikernel, opts DeployOpts) *Deployment {
 			env.Net = netstack.New(vm, nic, cfg)
 		}
 		if opts.Block {
-			blk, err := blkif.Attach(vm, pl.SSD, pl.Dom0, pl.Store)
+			blk, err := blkif.Attach(vm, site.SSD, site.Dom0, site.Store)
 			if err != nil {
 				dep.Err = err
 				return 1
@@ -231,17 +406,17 @@ func (pl *Platform) Deploy(u Unikernel, opts DeployOpts) *Deployment {
 		if opts.Delay > 0 {
 			p.Sleep(opts.Delay)
 		}
-		if pl.Dom0 == nil {
-			p.Wait(pl.dom0Ready)
+		if site.Dom0 == nil {
+			p.Wait(site.dom0Ready)
 		}
 		// Block guests colocate with dom0: blkback and the SSD are
 		// dom0-shard state, so their rings must not be driven from
 		// another shard.
-		cfg := hypervisor.Config{Name: u.Build.Name, Memory: mem, Entry: entry, PCPU: opts.PCPU, Colocate: opts.Block}
+		cfg := hypervisor.Config{Name: u.Build.Name, Memory: mem, Entry: entry, PCPU: pcpu, Colocate: opts.Block, Resume: opts.Resume}
 		if opts.ParallelToolstack {
-			dep.Domain = pl.Host.CreateParallel(p, cfg)
+			dep.Domain = site.Host.CreateParallel(p, cfg)
 		} else {
-			dep.Domain = pl.Host.Create(p, cfg)
+			dep.Domain = site.Host.Create(p, cfg)
 		}
 		dep.created.Set()
 	})

@@ -57,23 +57,42 @@ func (o Output) Text() string {
 }
 
 // Experiment is one registered experiment. Run must be deterministic for a
-// fixed Options value.
+// fixed Options value. Params names the declared knobs (see params.go)
+// the experiment honours beyond ignoring them — the CLIs print them in
+// their listings, so usage is self-describing.
 type Experiment struct {
-	ID    string
-	Title string
-	Run   func(Options) (Output, error)
+	ID     string
+	Title  string
+	Params []string
+	Run    func(Options) (Output, error)
 }
 
 var registry []Experiment
 
-// Register adds an experiment at init time; duplicate ids panic.
+// Register adds an experiment at init time; duplicate ids and undeclared
+// parameter names panic.
 func Register(e Experiment) {
 	for _, x := range registry {
 		if x.ID == e.ID {
 			panic(fmt.Sprintf("experiments: duplicate id %q", e.ID))
 		}
 	}
+	for _, p := range e.Params {
+		if !knownParam(p) {
+			panic(fmt.Sprintf("experiments: %s names unknown param %q", e.ID, p))
+		}
+	}
 	registry = append(registry, e)
+}
+
+// ListLine renders one experiment for a CLI listing: id, title and the
+// knobs it honours.
+func (e Experiment) ListLine() string {
+	s := fmt.Sprintf("%-10s %s", e.ID, e.Title)
+	if len(e.Params) > 0 {
+		s += fmt.Sprintf("  [-%s]", strings.Join(e.Params, " -"))
+	}
+	return s
 }
 
 // All returns the experiments in registration order.

@@ -1,0 +1,83 @@
+package experiments
+
+import "flag"
+
+// Param is one declared experiment knob. The table below is the single
+// declaration of every knob an experiment can honour: its flag name, its
+// help text and the Options field it binds to live here and nowhere else.
+// Both CLIs derive their experiment flags from it (BindFlags), and each
+// Experiment names the knobs it reads in its Params list, so `-list` can
+// show per-experiment usage without either CLI hard-coding a flag.
+type Param struct {
+	Name string // flag name, e.g. "replicas-min"
+	Help string
+	bind func(fs *flag.FlagSet, o *Options)
+}
+
+func boolParam(name, help string, field func(o *Options) *bool) Param {
+	return Param{name, help, func(fs *flag.FlagSet, o *Options) {
+		fs.BoolVar(field(o), name, *field(o), help)
+	}}
+}
+
+func intParam(name, help string, field func(o *Options) *int) Param {
+	return Param{name, help, func(fs *flag.FlagSet, o *Options) {
+		fs.IntVar(field(o), name, *field(o), help)
+	}}
+}
+
+func int64Param(name, help string, field func(o *Options) *int64) Param {
+	return Param{name, help, func(fs *flag.FlagSet, o *Options) {
+		fs.Int64Var(field(o), name, *field(o), help)
+	}}
+}
+
+func stringParam(name, help string, field func(o *Options) *string) Param {
+	return Param{name, help, func(fs *flag.FlagSet, o *Options) {
+		fs.StringVar(field(o), name, *field(o), help)
+	}}
+}
+
+// params declares every experiment knob, in the order the CLIs register
+// them. Zero values mean "use the experiment's default".
+var params = []Param{
+	boolParam("quick", "reduced workload sizes",
+		func(o *Options) *bool { return &o.Quick }),
+	int64Param("seed", "override the experiment's default seed (0 = default)",
+		func(o *Options) *int64 { return &o.Seed }),
+	intParam("replicas-min", "fleet experiments: minimum fleet replicas (0 = default)",
+		func(o *Options) *int { return &o.ReplicasMin }),
+	intParam("replicas-max", "fleet experiments: maximum fleet replicas (0 = default)",
+		func(o *Options) *int { return &o.ReplicasMax }),
+	stringParam("lb-policy", "fleet experiments: round-robin, least-conns or hash",
+		func(o *Options) *string { return &o.LBPolicy }),
+	boolParam("domstat", "append the per-domain accounting table (virtual xentop)",
+		func(o *Options) *bool { return &o.DomStat }),
+	boolParam("memstats", "sample the process heap where reported (host-dependent numbers)",
+		func(o *Options) *bool { return &o.MemStats }),
+}
+
+// Params returns the declared knobs in registration order.
+func Params() []Param { return append([]Param(nil), params...) }
+
+// knownParam reports whether name is a declared knob (Register uses it to
+// reject experiments naming parameters that do not exist).
+func knownParam(name string) bool {
+	for _, p := range params {
+		if p.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// BindFlags registers every declared parameter on fs and returns the
+// function that collects the parsed values into an Options. Call it once
+// per FlagSet, before fs.Parse; call the returned closure after.
+func BindFlags(fs *flag.FlagSet) func() Options {
+	o := &Options{}
+	for _, p := range params {
+		p.bind(fs, o)
+	}
+	return func() Options { return *o }
+}

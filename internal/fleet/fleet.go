@@ -49,9 +49,11 @@ func (s State) String() string {
 	return "unknown"
 }
 
-// Replica is one member of the fleet.
+// Replica is one member of the fleet. Its Name and ID are stable handles:
+// they identify the replica across crash-replace and live migration, while
+// positional indices into Replicas() are only a storage detail.
 type Replica struct {
-	Index int
+	Index int // position in Replicas(); equals ID() numerically
 	Name  string
 	IP    ipv4.Addr
 	MAC   ethernet.MAC
@@ -72,10 +74,32 @@ type Replica struct {
 	drainStart sim.Time
 	stop       *sim.Signal
 	fleet      *Fleet
+	migrations int // live migrations completed (names the per-incarnation stop signal)
 }
 
 // Fleet returns the fleet this replica belongs to.
 func (r *Replica) Fleet() *Fleet { return r.fleet }
+
+// ID returns the replica's stable balancer handle.
+func (r *Replica) ID() BackendID { return BackendID(r.Index) }
+
+// Host returns the name of the physical host the replica currently runs
+// on ("" before deployment resolves).
+func (r *Replica) Host() string {
+	if r.Dep != nil && r.Dep.Site != nil {
+		return r.Dep.Site.Name
+	}
+	return ""
+}
+
+// bridge is the software bridge of the replica's current host (the first
+// host before a placement resolves, matching single-host behaviour).
+func (r *Replica) bridge() *netback.Bridge {
+	if r.Dep != nil && r.Dep.Site != nil {
+		return r.Dep.Site.Bridge
+	}
+	return r.fleet.pl.Bridge
+}
 
 // Done resolves when the fleet asks this replica to shut down; the
 // appliance main waits on it and returns.
@@ -108,6 +132,12 @@ type Spec struct {
 
 	Min, Max int
 	Policy   Policy
+
+	// Hosts, when set, spreads replicas across these platform hosts
+	// round-robin by replica index — the fleet's failure domains. Hosts
+	// that have gone down are skipped, so crash-replace after a whole-host
+	// kill lands on the survivors. Empty keeps the single-host behaviour.
+	Hosts []string
 
 	// ScaleUpConns is the active-connection capacity budgeted per replica:
 	// the controller keeps ceil(active/ScaleUpConns) replicas (within
@@ -222,6 +252,16 @@ func New(pl *core.Platform, spec Spec) *Fleet {
 // Replicas returns the replica list (all lifetimes, index order).
 func (f *Fleet) Replicas() []*Replica { return f.replicas }
 
+// ReplicaByName returns the replica with the given stable name, or nil.
+func (f *Fleet) ReplicaByName(name string) *Replica {
+	for _, r := range f.replicas {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
 // Live counts replicas that are booting, healthy or draining.
 func (f *Fleet) Live() int {
 	n := 0
@@ -282,26 +322,16 @@ func (f *Fleet) summon(reason string) *Replica {
 	}
 	r.stop = k.NewSignal(r.Name + "-stop")
 	f.replicas = append(f.replicas, r)
-	f.LB.AddBackend(idx, netback.MAC(r.MAC))
+	f.LB.AddBackend(r.ID(), netback.MAC(r.MAC))
 	if f.SLO != nil {
 		f.SLO.track(r)
 	}
 
-	cfg := f.spec.Build
-	cfg.Name = r.Name
-	r.Dep = f.pl.Deploy(core.Unikernel{
-		Build:  cfg,
-		Memory: f.spec.Memory,
-		Main: func(env *core.Env) int {
-			env.VM.Dom.OnShutdown(func(code int, reason hypervisor.ShutdownReason) {
-				f.onExit(r, reason)
-			})
-			return f.spec.Main(env, r)
-		},
-	}, core.DeployOpts{
+	f.deploy(r, core.DeployOpts{
 		Net:               &netstack.Config{MAC: r.MAC, IP: r.IP, Netmask: f.spec.Netmask, VIP: f.spec.VIP},
 		ParallelToolstack: true,
 		PCPU:              -1,
+		Placement:         f.placement(idx),
 	})
 	f.mxSummons.Inc()
 	if live := f.Live(); live > f.MaxReplicas {
@@ -313,6 +343,87 @@ func (f *Fleet) summon(reason string) *Replica {
 	return r
 }
 
+// deploy builds r's appliance with the fleet's standard wiring (exit hook,
+// replica main) and the given options; summon and ResumeMigrated share it.
+func (f *Fleet) deploy(r *Replica, opts core.DeployOpts) {
+	cfg := f.spec.Build
+	cfg.Name = r.Name
+	r.Dep = f.pl.Deploy(core.Unikernel{
+		Build:  cfg,
+		Memory: f.spec.Memory,
+		Main: func(env *core.Env) int {
+			env.VM.Dom.OnShutdown(func(code int, reason hypervisor.ShutdownReason) {
+				f.onExit(r, reason)
+			})
+			return f.spec.Main(env, r)
+		},
+	}, opts)
+}
+
+// placement resolves where replica idx lands under Spec.Hosts: round-robin
+// over the hosts that are still alive. Nil (no Hosts, or every named host
+// down) keeps the legacy first-host deploy path.
+func (f *Fleet) placement(idx int) *core.Placement {
+	if len(f.spec.Hosts) == 0 {
+		return nil
+	}
+	var live []string
+	for _, h := range f.spec.Hosts {
+		if s := f.pl.SiteByName(h); s != nil && s.Alive() {
+			live = append(live, h)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	return &core.Placement{Host: live[idx%len(live)], PCPU: -1}
+}
+
+// BeginMigrate freezes replica r for live migration: the domain suspends
+// (ShutdownSuspend — the exit hook knows not to crash-replace it), its
+// bridge port is cut so in-flight frames stop dead, and the old guest main
+// is released once the suspend has landed. The balancer keeps the backend
+// registered; probes and new connections black-hole until ResumeMigrated
+// brings the replica back — that gap is the blackout internal/datacenter
+// measures.
+func (f *Fleet) BeginMigrate(r *Replica) {
+	k := f.pl.K
+	f.event("migrate-freeze %s host=%s", r.Name, r.Host())
+	f.scaleAction("migrate-freeze", r.Name, "migration")
+	r.lastReply = k.Now() // forgive probe silence across the blackout
+	old := r.stop
+	if d := r.Dep.Domain; d != nil {
+		d.Destroy(0, hypervisor.ShutdownSuspend)
+	}
+	r.bridge().DetachMAC(netback.MAC(r.MAC))
+	// Release the old main only after the suspend reason has landed on the
+	// guest shard, so its poweroff-on-return path sees a dead domain.
+	k.After(4*f.pl.Host.Params.EventLatency, old.Set)
+}
+
+// ResumeMigrated redeploys a frozen replica on the destination host from
+// its migrated snapshot: same name, stable ID, MAC and IP; resume-cost
+// domain build; reconnect-only start-of-day. The caller has already copied
+// the image and device state across the fabric and taught it the MAC's new
+// location. The replica reports ready (SignalReady) when its server
+// listens again.
+func (f *Fleet) ResumeMigrated(r *Replica, host string) *core.Deployment {
+	k := f.pl.K
+	r.migrations++
+	r.stop = k.NewSignal(fmt.Sprintf("%s-stop-m%d", r.Name, r.migrations))
+	r.lastReply = k.Now()
+	f.deploy(r, core.DeployOpts{
+		Net:               &netstack.Config{MAC: r.MAC, IP: r.IP, Netmask: f.spec.Netmask, VIP: f.spec.VIP},
+		ParallelToolstack: true,
+		PCPU:              -1,
+		Placement:         &core.Placement{Host: host, PCPU: -1},
+		Resume:            true,
+	})
+	f.event("migrate-resume %s host=%s", r.Name, host)
+	f.scaleAction("migrate-resume", r.Name, "migration")
+	return r.Dep
+}
+
 // probeTick sends one health probe to every probe-worthy replica.
 func (f *Fleet) probeTick() {
 	if f.stopped {
@@ -322,18 +433,18 @@ func (f *Fleet) probeTick() {
 	for _, r := range f.replicas {
 		switch r.State {
 		case Booting, Healthy, Draining:
-			f.LB.Probe(r.Index, f.probeSeq)
+			f.LB.Probe(r.ID(), f.probeSeq)
 		}
 	}
 	f.pl.K.After(f.spec.ProbeInterval, f.probeTick)
 }
 
 // probeReply handles a replica's echo reply; the first one marks it up.
-func (f *Fleet) probeReply(idx int, seq uint16) {
-	if idx < 0 || idx >= len(f.replicas) {
+func (f *Fleet) probeReply(id BackendID, seq uint16) {
+	if int(id) < 0 || int(id) >= len(f.replicas) {
 		return
 	}
-	r := f.replicas[idx]
+	r := f.replicas[id]
 	if r.State == Dead || r.State == Retired {
 		return
 	}
@@ -342,7 +453,7 @@ func (f *Fleet) probeReply(idx int, seq uint16) {
 	if r.State == Booting {
 		r.State = Healthy
 		r.UpAt = k.Now()
-		f.LB.SetUp(idx)
+		f.LB.SetUp(id)
 		f.event("up %s boot_ms=%d", r.Name, r.UpAt.Sub(r.SummonedAt).Milliseconds())
 	}
 }
@@ -375,7 +486,7 @@ func (f *Fleet) tick() {
 		if r.State != Draining {
 			continue
 		}
-		if f.LB.BackendActive(r.Index) == 0 {
+		if f.LB.BackendActive(r.ID()) == 0 {
 			f.retire(r, "drained")
 		} else if now.Sub(r.drainStart) > f.spec.DrainTimeout {
 			f.retire(r, "drain-timeout")
@@ -439,39 +550,50 @@ func (f *Fleet) drainOne(reason string) {
 		if r.State != Healthy {
 			continue
 		}
-		if victim == nil || f.LB.BackendActive(r.Index) <= f.LB.BackendActive(victim.Index) {
+		if victim == nil || f.LB.BackendActive(r.ID()) <= f.LB.BackendActive(victim.ID()) {
 			victim = r
 		}
 	}
 	if victim != nil {
-		f.drain(victim.Index, reason)
+		f.drain(victim, reason)
 	}
 }
 
-// Drain starts draining replica idx: the balancer stops steering new
+// DrainReplica starts draining r: the balancer stops steering new
 // connections to it, established ones finish undisturbed, and the replica
 // retires when the last connection closes.
-func (f *Fleet) Drain(idx int) { f.drain(idx, "manual") }
-
-func (f *Fleet) drain(idx int, reason string) {
-	if idx < 0 || idx >= len(f.replicas) {
-		return
+func (f *Fleet) DrainReplica(r *Replica) {
+	if r != nil && r.fleet == f {
+		f.drain(r, "manual")
 	}
-	r := f.replicas[idx]
+}
+
+// Drain starts draining the replica at position idx in Replicas().
+//
+// Deprecated: use DrainReplica (or ReplicaByName + DrainReplica) — a
+// positional index names whatever occupies the slot, not the replica the
+// caller meant, once cross-host replacement and migration are in play.
+func (f *Fleet) Drain(idx int) {
+	if idx >= 0 && idx < len(f.replicas) {
+		f.drain(f.replicas[idx], "manual")
+	}
+}
+
+func (f *Fleet) drain(r *Replica, reason string) {
 	if r.State != Healthy && r.State != Booting {
 		return
 	}
 	r.State = Draining
 	r.drainStart = f.pl.K.Now()
-	f.LB.SetDraining(idx)
-	f.event("drain %s (%s) active=%d", r.Name, reason, f.LB.BackendActive(idx))
+	f.LB.SetDraining(r.ID())
+	f.event("drain %s (%s) active=%d", r.Name, reason, f.LB.BackendActive(r.ID()))
 	f.scaleAction("drain", r.Name, reason)
 }
 
 // retire shuts a drained replica down cleanly.
 func (f *Fleet) retire(r *Replica, why string) {
 	r.State = Retired
-	f.LB.RemoveBackend(r.Index)
+	f.LB.RemoveBackend(r.ID())
 	f.mxRetires.Inc()
 	f.event("retire %s (%s)", r.Name, why)
 	r.stop.Set()
@@ -486,8 +608,8 @@ func (f *Fleet) declareDead(r *Replica, why string) {
 		return
 	}
 	r.State = Dead
-	f.LB.RemoveBackend(r.Index)
-	f.pl.Bridge.DetachMAC(netback.MAC(r.MAC))
+	f.LB.RemoveBackend(r.ID())
+	r.bridge().DetachMAC(netback.MAC(r.MAC))
 	f.mxCrashes.Inc()
 	f.event("dead %s (%s)", r.Name, why)
 	if d := r.Dep.Domain; d != nil {
@@ -499,9 +621,15 @@ func (f *Fleet) declareDead(r *Replica, why string) {
 }
 
 // onExit is the domain lifecycle hook: a guest that powers off or crashes
-// outside the fleet's control is detected here and replaced.
+// outside the fleet's control is detected here and replaced. A suspend
+// exit is the migration freeze — BeginMigrate already cut the bridge port,
+// and the replica is coming back, so it is not declared dead.
 func (f *Fleet) onExit(r *Replica, reason hypervisor.ShutdownReason) {
-	f.pl.Bridge.DetachMAC(netback.MAC(r.MAC))
+	if reason == hypervisor.ShutdownSuspend {
+		f.event("exit %s reason=%s", r.Name, reason)
+		return
+	}
+	r.bridge().DetachMAC(netback.MAC(r.MAC))
 	if r.State == Dead || r.State == Retired {
 		f.event("exit %s reason=%s", r.Name, reason)
 		return

@@ -173,7 +173,7 @@ func TestFleetDrainNoReset(t *testing.T) {
 	var victim int = -1
 	pl.K.After(3500*time.Millisecond, func() {
 		for _, r := range f.Replicas() {
-			if r.State == Healthy && f.LB.BackendActive(r.Index) > 0 {
+			if r.State == Healthy && f.LB.BackendActive(r.ID()) > 0 {
 				victim = r.Index
 				f.Drain(r.Index)
 				return
@@ -244,14 +244,14 @@ func TestLBPolicies(t *testing.T) {
 	pl := core.NewPlatform(1)
 	lb := NewLB(pl.K, pl.Bridge, netback.MAC(core.MAC(0xf0)), tLBIP, tVIP, RoundRobin)
 	for i := 0; i < 3; i++ {
-		lb.AddBackend(i, netback.MAC(core.MAC(byte(0xf1+i))))
-		lb.SetUp(i)
+		lb.AddBackend(BackendID(i), netback.MAC(core.MAC(byte(0xf1+i))))
+		lb.SetUp(BackendID(i))
 	}
-	var got []int
+	var got []BackendID
 	for i := 0; i < 6; i++ {
-		got = append(got, lb.pick().idx)
+		got = append(got, lb.pick().id)
 	}
-	want := []int{0, 1, 2, 0, 1, 2}
+	want := []BackendID{0, 1, 2, 0, 1, 2}
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("round-robin order = %v, want %v", got, want)
@@ -262,16 +262,16 @@ func TestLBPolicies(t *testing.T) {
 	lb.backends[0].active = 2
 	lb.backends[1].active = 1
 	lb.backends[2].active = 1
-	if be := lb.pick(); be.idx != 1 {
-		t.Fatalf("least-conns pick = %d, want 1 (lowest index among ties)", be.idx)
+	if be := lb.pick(); be.id != 1 {
+		t.Fatalf("least-conns pick = %d, want 1 (lowest index among ties)", be.id)
 	}
 	lb.SetDraining(1)
-	if be := lb.pick(); be.idx != 2 {
-		t.Fatalf("least-conns pick = %d, want 2 (1 is draining)", be.idx)
+	if be := lb.pick(); be.id != 2 {
+		t.Fatalf("least-conns pick = %d, want 2 (1 is draining)", be.id)
 	}
 	lb.RemoveBackend(2)
-	if be := lb.pick(); be.idx != 0 {
-		t.Fatalf("pick = %d, want 0 (only healthy left)", be.idx)
+	if be := lb.pick(); be.id != 0 {
+		t.Fatalf("pick = %d, want 0 (only healthy left)", be.id)
 	}
 }
 
@@ -283,12 +283,12 @@ func TestLBHashConsistencyAndRemap(t *testing.T) {
 	lb := NewLB(pl.K, pl.Bridge, netback.MAC(core.MAC(0xf0)), tLBIP, tVIP, Hash)
 	const nBackends = 4
 	for i := 0; i < nBackends; i++ {
-		lb.AddBackend(i, netback.MAC(core.MAC(byte(0xf1+i))))
-		lb.SetUp(i)
+		lb.AddBackend(BackendID(i), netback.MAC(core.MAC(byte(0xf1+i))))
+		lb.SetUp(BackendID(i))
 	}
 
 	const nFlows = 4096
-	assign := make(map[int]int, nFlows) // flow -> backend idx
+	assign := make(map[int]BackendID, nFlows) // flow -> backend id
 	counts := make([]int, nBackends)
 	for i := 0; i < nFlows; i++ {
 		src := ipv4.AddrFrom4(10, 0, byte(i>>8), byte(i))
@@ -298,10 +298,10 @@ func TestLBHashConsistencyAndRemap(t *testing.T) {
 			t.Fatal("pickHash returned nil with healthy backends")
 		}
 		if again := lb.pickHash(src, port); again != be {
-			t.Fatalf("flow %d not sticky: %d then %d", i, be.idx, again.idx)
+			t.Fatalf("flow %d not sticky: %d then %d", i, be.id, again.id)
 		}
-		assign[i] = be.idx
-		counts[be.idx]++
+		assign[i] = be.id
+		counts[be.id]++
 	}
 	for idx, n := range counts {
 		if n < nFlows/nBackends/2 || n > nFlows/nBackends*2 {
@@ -319,11 +319,11 @@ func TestLBHashConsistencyAndRemap(t *testing.T) {
 		be := lb.pickHash(src, port)
 		if assign[i] == 2 {
 			remapped++
-			if be.idx == 2 {
+			if be.id == 2 {
 				t.Fatal("flow still maps to removed backend")
 			}
-		} else if be.idx != assign[i] {
-			t.Fatalf("flow %d moved %d -> %d though its backend survived", i, assign[i], be.idx)
+		} else if be.id != assign[i] {
+			t.Fatalf("flow %d moved %d -> %d though its backend survived", i, assign[i], be.id)
 		}
 	}
 	if remapped != counts[2] {
@@ -364,5 +364,44 @@ func TestFleetHashPolicyEndToEnd(t *testing.T) {
 	}
 	if f.LB.Steered == 0 {
 		t.Error("no connections steered; traffic never hit the balancer")
+	}
+}
+
+// TestReplicaHandlesStable: replicas are addressed by stable handles —
+// name and BackendID — not by position, and DrainReplica drains exactly
+// the replica the caller named.
+func TestReplicaHandlesStable(t *testing.T) {
+	pl := core.NewPlatform(21)
+	f := New(pl, testSpec(3, 3, RoundRobin))
+
+	pl.K.After(2*time.Second, func() {
+		if f.ReplicaByName("no-such") != nil {
+			t.Error("ReplicaByName on an unknown name should return nil")
+		}
+		r := f.ReplicaByName("web-1")
+		if r == nil {
+			t.Fatal("web-1 not found")
+		}
+		if r.Index != 1 || r.ID() != BackendID(1) {
+			t.Errorf("web-1 index=%d id=%v, want 1/1", r.Index, r.ID())
+		}
+		f.DrainReplica(r)
+	})
+	if _, err := pl.RunFor(6 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	if st := f.ReplicaByName("web-1").State; st != Retired {
+		t.Errorf("web-1 state %v after DrainReplica with no load, want retired", st)
+	}
+	for _, name := range []string{"web-0", "web-2"} {
+		if st := f.ReplicaByName(name).State; st != Healthy {
+			t.Errorf("%s state %v, want healthy (only web-1 was drained)", name, st)
+		}
+	}
+	// Min=3 means the control loop replaced the drained replica; the
+	// newcomer got a fresh handle rather than reusing web-1's.
+	if r := f.ReplicaByName("web-3"); r == nil || r.ID() != BackendID(3) {
+		t.Error("replacement web-3 with handle 3 not summoned after drain")
 	}
 }

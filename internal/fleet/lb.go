@@ -70,9 +70,15 @@ func ParsePolicy(s string) (Policy, error) {
 // the closing handshake still routes to the same replica.
 const drainLinger = 2 * time.Second
 
+// BackendID is a stable balancer handle for one replica. IDs are assigned
+// once and never reused (a removed backend leaves a hole), so operations
+// addressed by ID cannot race slot reuse the way positional indices could;
+// the fleet assigns each replica's ID at summon time, equal to its Index.
+type BackendID int
+
 // backend is one replica from the balancer's point of view.
 type backend struct {
-	idx      int
+	id       BackendID
 	mac      netback.MAC
 	up       bool // passed its first health probe
 	draining bool // no new connections
@@ -104,12 +110,12 @@ type LB struct {
 	vip    ipv4.Addr
 	policy Policy
 
-	backends []*backend // index order; nil slots for removed replicas
+	backends []*backend // ID order; nil slots for removed replicas
 	conns    map[connKey]*conn
 	rr       int
 
-	// OnProbeReply is called when replica idx answers probe seq.
-	OnProbeReply func(idx int, seq uint16)
+	// OnProbeReply is called when the replica behind id answers probe seq.
+	OnProbeReply func(id BackendID, seq uint16)
 
 	// Stats
 	Steered   int
@@ -140,33 +146,33 @@ func NewLB(k *sim.Kernel, b *netback.Bridge, mac netback.MAC, ip, vip ipv4.Addr,
 // MAC implements netback.Endpoint.
 func (lb *LB) MAC() netback.MAC { return lb.mac }
 
-// AddBackend registers replica idx (not yet up — it goes live on its first
-// probe reply via SetUp).
-func (lb *LB) AddBackend(idx int, mac netback.MAC) {
-	for len(lb.backends) <= idx {
+// AddBackend registers a replica under a fresh stable ID (not yet up — it
+// goes live on its first probe reply via SetUp).
+func (lb *LB) AddBackend(id BackendID, mac netback.MAC) {
+	for len(lb.backends) <= int(id) {
 		lb.backends = append(lb.backends, nil)
 	}
-	lb.backends[idx] = &backend{idx: idx, mac: mac}
+	lb.backends[id] = &backend{id: id, mac: mac}
 }
 
-// SetUp marks replica idx healthy (eligible for new connections).
-func (lb *LB) SetUp(idx int) {
-	if be := lb.byIdx(idx); be != nil {
+// SetUp marks the backend healthy (eligible for new connections).
+func (lb *LB) SetUp(id BackendID) {
+	if be := lb.byID(id); be != nil {
 		be.up = true
 	}
 }
 
-// SetDraining stops steering new connections to replica idx; established
+// SetDraining stops steering new connections to the backend; established
 // connections keep flowing to it.
-func (lb *LB) SetDraining(idx int) {
-	if be := lb.byIdx(idx); be != nil {
+func (lb *LB) SetDraining(id BackendID) {
+	if be := lb.byID(id); be != nil {
 		be.draining = true
 	}
 }
 
-// BackendActive returns how many connections are steered to replica idx.
-func (lb *LB) BackendActive(idx int) int {
-	if be := lb.byIdx(idx); be != nil {
+// BackendActive returns how many connections are steered to the backend.
+func (lb *LB) BackendActive(id BackendID) int {
+	if be := lb.byID(id); be != nil {
 		return be.active
 	}
 	return 0
@@ -183,14 +189,15 @@ func (lb *LB) ActiveConns() int {
 	return total
 }
 
-// RemoveBackend drops replica idx and forgets its connections (a crashed or
-// retired replica); clients recover by retransmitting, which re-steers.
-func (lb *LB) RemoveBackend(idx int) {
-	be := lb.byIdx(idx)
+// RemoveBackend drops the backend and forgets its connections (a crashed
+// or retired replica); clients recover by retransmitting, which re-steers.
+// The ID is never reused.
+func (lb *LB) RemoveBackend(id BackendID) {
+	be := lb.byID(id)
 	if be == nil {
 		return
 	}
-	lb.backends[idx] = nil
+	lb.backends[id] = nil
 	for key, cn := range lb.conns { // deletions only: order-independent
 		if cn.be == be {
 			lb.releaseConn(cn)
@@ -199,11 +206,11 @@ func (lb *LB) RemoveBackend(idx int) {
 	}
 }
 
-func (lb *LB) byIdx(idx int) *backend {
-	if idx < 0 || idx >= len(lb.backends) {
+func (lb *LB) byID(id BackendID) *backend {
+	if id < 0 || int(id) >= len(lb.backends) {
 		return nil
 	}
-	return lb.backends[idx]
+	return lb.backends[id]
 }
 
 // pick chooses the replica for a new connection.
@@ -233,12 +240,12 @@ func (lb *LB) pick() *backend {
 	}
 }
 
-// Probe sends one ICMP echo to replica idx with the given sequence number;
-// the echo ID carries the replica index so replies demux without state.
+// Probe sends one ICMP echo to the backend with the given sequence number;
+// the echo ID carries the backend ID so replies demux without state.
 // Probes traverse the same bridge as client traffic, so loss and latency
 // impairments apply to them too.
-func (lb *LB) Probe(idx int, seq uint16) {
-	be := lb.byIdx(idx)
+func (lb *LB) Probe(id BackendID, seq uint16) {
+	be := lb.byID(id)
 	if be == nil {
 		return
 	}
@@ -246,7 +253,7 @@ func (lb *LB) Probe(idx int, seq uint16) {
 	v := cstruct.Make(ethernet.HeaderLen + ipv4.HeaderLen + icmp.HeaderLen)
 	ethernet.Encode(v, ethernet.MAC(be.mac), ethernet.MAC(lb.mac), ethernet.TypeIPv4)
 	body := v.Sub(ethernet.HeaderLen+ipv4.HeaderLen, icmp.HeaderLen)
-	n := icmp.EncodeEcho(body, icmp.Echo{Type: icmp.TypeEchoRequest, ID: uint16(idx), Seq: seq})
+	n := icmp.EncodeEcho(body, icmp.Echo{Type: icmp.TypeEchoRequest, ID: uint16(id), Seq: seq})
 	body.Release()
 	iph := v.Sub(ethernet.HeaderLen, ipv4.HeaderLen)
 	ipv4.Encode(iph, ipv4.Header{ID: seq, Proto: ipv4.ProtoICMP, Src: lb.ip, Dst: lb.vip}, n)
@@ -329,11 +336,11 @@ func (lb *LB) ipInput(b []byte, f *bufpool.Buf) {
 	case proto == ipv4.ProtoICMP && dst == lb.ip:
 		pkt := ip[ihl:]
 		if len(pkt) >= icmp.HeaderLen && pkt[0] == icmp.TypeEchoReply {
-			idx := int(uint16(pkt[4])<<8 | uint16(pkt[5]))
+			id := BackendID(uint16(pkt[4])<<8 | uint16(pkt[5]))
 			seq := uint16(pkt[6])<<8 | uint16(pkt[7])
 			lb.mxReplies.Inc()
 			if lb.OnProbeReply != nil {
-				lb.OnProbeReply(idx, seq)
+				lb.OnProbeReply(id, seq)
 			}
 		}
 		f.Release()
@@ -370,7 +377,7 @@ func lbMix(x uint64) uint64 {
 }
 
 // pickHash rendezvous-hashes a flow onto the healthy backend set: each
-// backend scores lbMix(flow ^ lbMix(idx)) and the highest score wins, so a
+// backend scores lbMix(flow ^ lbMix(id)) and the highest score wins, so a
 // backend joining or leaving remaps only the flows that scored it highest
 // (~1/n of them), and every segment of a flow lands on the same replica
 // with no table lookup.
@@ -382,7 +389,7 @@ func (lb *LB) pickHash(src ipv4.Addr, srcPort uint16) *backend {
 		if be == nil || !be.up || be.draining {
 			continue
 		}
-		score := lbMix(flow ^ lbMix(uint64(be.idx)+0x9e3779b97f4a7c15))
+		score := lbMix(flow ^ lbMix(uint64(be.id)+0x9e3779b97f4a7c15))
 		if best == nil || score > bestScore {
 			best, bestScore = be, score
 		}
@@ -411,10 +418,10 @@ func (lb *LB) steerTCP(src ipv4.Addr, srcPort uint16, flags uint8, f *bufpool.Bu
 			if tr := lb.K.Trace(); tr.Enabled() {
 				tr.Instant(lb.K.TraceTime(), "lb", "steer", 0, 0,
 					obs.Str("client", src.String()), obs.Int("port", int64(srcPort)),
-					obs.Int("replica", int64(be.idx)))
+					obs.Int("replica", int64(be.id)))
 				if f.Span != 0 {
 					tr.FlowStep(lb.K.TraceTime(), "trace", "lb-steer", 0, 0, f.Span,
-						obs.U64("trace_id", f.Span), obs.Int("replica", int64(be.idx)))
+						obs.U64("trace_id", f.Span), obs.Int("replica", int64(be.id)))
 				}
 			}
 		}
@@ -446,12 +453,12 @@ func (lb *LB) steerTCP(src ipv4.Addr, srcPort uint16, flags uint8, f *bufpool.Bu
 		if tr := lb.K.Trace(); tr.Enabled() {
 			tr.Instant(lb.K.TraceTime(), "lb", "steer", 0, 0,
 				obs.Str("client", src.String()), obs.Int("port", int64(srcPort)),
-				obs.Int("replica", int64(be.idx)))
+				obs.Int("replica", int64(be.id)))
 			// Sampled requests: tie the steering decision into the request's
 			// causal arc (the trace id rides the SYN's frame descriptor).
 			if f.Span != 0 {
 				tr.FlowStep(lb.K.TraceTime(), "trace", "lb-steer", 0, 0, f.Span,
-					obs.U64("trace_id", f.Span), obs.Int("replica", int64(be.idx)))
+					obs.U64("trace_id", f.Span), obs.Int("replica", int64(be.id)))
 			}
 		}
 	}

@@ -31,6 +31,11 @@ type Params struct {
 	BuildBase   time.Duration // fixed toolstack overhead per domain
 	BuildPerMiB time.Duration // added per MiB of memory reservation
 	SealCost    time.Duration // one-off cost of the seal hypercall
+	// ResumeCost replaces the build cost when a domain is resumed from a
+	// migrated snapshot (Config.Resume): the memory image already exists,
+	// so the toolstack only rewires page tables and event channels instead
+	// of scrubbing and populating the reservation.
+	ResumeCost time.Duration
 }
 
 // DefaultParams returns the calibrated cost constants.
@@ -41,6 +46,7 @@ func DefaultParams() Params {
 		BuildBase:     12 * time.Millisecond,
 		BuildPerMiB:   180 * time.Microsecond,
 		SealCost:      50 * time.Microsecond,
+		ResumeCost:    800 * time.Microsecond,
 	}
 }
 
@@ -64,12 +70,20 @@ type Host struct {
 // NewHost creates a host with ncpu physical CPUs plus a dom0 control CPU.
 // On a sharded kernel each pCPU is homed on the shard that will execute
 // guests pinned to it; dom0's CPU stays on the host shard.
-func NewHost(k *sim.Kernel, ncpu int) *Host {
+func NewHost(k *sim.Kernel, ncpu int) *Host { return NewHostNamed(k, ncpu, "") }
+
+// NewHostNamed is NewHost with a CPU-name prefix, so the per-CPU gauges of
+// a multi-host platform (internal/datacenter) stay distinguishable; an
+// empty prefix keeps the historical single-host names.
+func NewHostNamed(k *sim.Kernel, ncpu int, prefix string) *Host {
+	if prefix != "" {
+		prefix += "-"
+	}
 	h := &Host{K: k, Params: DefaultParams()}
 	for i := 0; i < ncpu; i++ {
-		h.PCPUs = append(h.PCPUs, h.pcpuKernel(i).NewCPU(fmt.Sprintf("pcpu%d", i)))
+		h.PCPUs = append(h.PCPUs, h.pcpuKernel(i).NewCPU(fmt.Sprintf("%spcpu%d", prefix, i)))
 	}
-	h.Dom0CPU = k.NewCPU("pcpu-dom0")
+	h.Dom0CPU = k.NewCPU(prefix + "pcpu-dom0")
 	m := k.Metrics()
 	h.mxHypercalls = m.Counter("hv_hypercalls_total")
 	h.mxNotifies = m.Counter("hv_evtchn_notifies_total")
@@ -251,6 +265,10 @@ const (
 	ShutdownPoweroff ShutdownReason = iota
 	ShutdownCrash
 	ShutdownSealViolation
+	// ShutdownSuspend is the migration freeze: the domain stops on the
+	// source host so its state can be copied; it is not a failure, and
+	// lifecycle observers (the fleet) must not crash-replace it.
+	ShutdownSuspend
 )
 
 func (r ShutdownReason) String() string {
@@ -261,6 +279,8 @@ func (r ShutdownReason) String() string {
 		return "crash"
 	case ShutdownSealViolation:
 		return "seal-violation"
+	case ShutdownSuspend:
+		return "suspend"
 	}
 	return "unknown"
 }
@@ -309,6 +329,9 @@ type Config struct {
 	Entry    func(d *Domain, p *sim.Proc) int
 	NoSpawn  bool // build only; do not start guest code (used by boot benches)
 	Colocate bool // keep the guest on the host shard (block-backed guests)
+	// Resume builds the domain from a migrated snapshot: the flat
+	// Params.ResumeCost replaces the memory-scaled build cost.
+	Resume   bool
 	SpeedMul float64
 }
 
@@ -317,6 +340,9 @@ type Config struct {
 func (h *Host) build(p *sim.Proc, cpu *sim.CPU, cfg Config) *Domain {
 	buildStart := h.K.Now()
 	cost := h.Params.BuildBase + time.Duration(cfg.Memory>>20)*h.Params.BuildPerMiB
+	if cfg.Resume {
+		cost = h.Params.ResumeCost
+	}
 	p.Use(cpu, cost)
 	h.nextID++
 	d := &Domain{

@@ -72,21 +72,20 @@ type Homed interface {
 // up to a power of two).
 const frameBufSize = 2048
 
-// Params are the bridge cost constants.
-type Params struct {
-	PerPacketCost time.Duration // dom0 CPU work per forwarded frame
-	PerByteCost   time.Duration // link serialisation per byte (sets line rate)
-	Latency       time.Duration // propagation/notification latency
-}
-
-// DefaultParams model a host whose backend domain can switch slightly
-// above gigabit line rate, matching the paper's testbed (§4.1.3).
-func DefaultParams() Params {
-	return Params{
-		PerPacketCost: 2 * time.Microsecond,
-		PerByteCost:   4 * time.Nanosecond, // ~2 Gbit/s link ceiling
-		Latency:       10 * time.Microsecond,
-	}
+// Uplink is the bridge's typed seam to a wider network: when a host bridge
+// belongs to a multi-host fabric (internal/datacenter), frames whose
+// destination is not attached locally are handed up instead of being
+// dropped. Every method consumes the caller's frame reference. A bridge
+// with no uplink behaves exactly as before: unknown unicast destinations
+// count as NoRoute and broadcasts stay host-local.
+type Uplink interface {
+	// Forward carries a unicast frame whose destination MAC is not local.
+	Forward(src MAC, frame *bufpool.Buf)
+	// Flood carries a broadcast frame beyond the local bridge.
+	Flood(src MAC, frame *bufpool.Buf)
+	// SteerRemote carries an L4-balancer steering decision toward a MAC
+	// homed on another host; reports false when the fabric cannot route it.
+	SteerRemote(dst MAC, frame *bufpool.Buf) bool
 }
 
 // Faults is the bridge's deterministic network-impairment model. Every
@@ -132,11 +131,12 @@ func SetDefaultFaults(f Faults) { defaultFaults = f }
 type Bridge struct {
 	K      *sim.Kernel
 	CPU    *sim.CPU // backend packet-processing CPU
-	Link   *sim.CPU // serialisation resource (line rate)
+	Wire   *sim.CPU // serialisation resource (line rate)
 	Params Params
 
 	endpoints map[MAC]Endpoint
 	down      map[MAC]bool // administratively-down ports: frames from them are discarded
+	uplink    Uplink       // nil unless the bridge joins a multi-host fabric
 	faults    Faults
 	epFaults  map[MAC]Faults // per-destination overrides
 	pool      *bufpool.Pool  // frame staging buffers (VIF TX assembly)
@@ -167,7 +167,15 @@ type Bridge struct {
 }
 
 // NewBridge creates a bridge with its own backend CPU and link resources.
-func NewBridge(k *sim.Kernel, params Params) *Bridge {
+func NewBridge(k *sim.Kernel, params Params) *Bridge { return NewBridgeNamed(k, params, "") }
+
+// NewBridgeNamed is NewBridge with a CPU-name prefix for multi-host
+// platforms; an empty prefix keeps the historical single-host names.
+func NewBridgeNamed(k *sim.Kernel, params Params, prefix string) *Bridge {
+	cpuName, wireName := "dom0-netback", "bridge-link"
+	if prefix != "" {
+		cpuName, wireName = prefix+"-netback", prefix+"-link"
+	}
 	m := k.Metrics()
 	batchBounds := []float64{1, 2, 4, 8, 16, 32}
 	pool := bufpool.NewPool(frameBufSize)
@@ -177,8 +185,8 @@ func NewBridge(k *sim.Kernel, params Params) *Bridge {
 	}
 	return &Bridge{
 		K:              k,
-		CPU:            k.NewCPU("dom0-netback"),
-		Link:           k.NewCPU("bridge-link"),
+		CPU:            k.NewCPU(cpuName),
+		Wire:           k.NewCPU(wireName),
 		Params:         params,
 		endpoints:      map[MAC]Endpoint{},
 		down:           map[MAC]bool{},
@@ -226,6 +234,11 @@ func (b *Bridge) DetachMAC(mac MAC) {
 	}
 }
 
+// SetUplink joins the bridge to a wider fabric: frames for MACs with no
+// local port are handed to u instead of being dropped, and broadcasts
+// flood beyond the host. Passing nil restores the isolated-host behavior.
+func (b *Bridge) SetUplink(u Uplink) { b.uplink = u }
+
 // SetFaults installs the bridge-wide impairment model.
 func (b *Bridge) SetFaults(f Faults) { b.faults = f }
 
@@ -259,36 +272,30 @@ func (b *Bridge) Transmit(src MAC, f *bufpool.Buf) {
 	var dst MAC
 	copy(dst[:], frame[0:6])
 
-	cpuDone := b.CPU.Reserve(b.Params.PerPacketCost)
-	linkDone := b.Link.Reserve(time.Duration(len(frame)) * b.Params.PerByteCost)
-	at := cpuDone
-	if linkDone > at {
-		at = linkDone
-	}
-	at = at.Add(b.Params.Latency)
+	at := b.Params.Reserve(b.CPU, b.Wire, len(frame))
 	b.Bytes += len(frame)
 	b.mxBytes.Add(int64(len(frame)))
 
 	if dst == Broadcast {
 		b.Flooded++
 		b.mxFlooded.Inc()
-		// Flood in MAC order: map iteration order would make event
-		// sequencing (and traces) differ between identical runs.
-		macs := make([]MAC, 0, len(b.endpoints))
-		for mac := range b.endpoints {
-			if mac != src {
-				macs = append(macs, mac)
-			}
-		}
-		sort.Slice(macs, func(i, j int) bool { return bytes.Compare(macs[i][:], macs[j][:]) < 0 })
-		for _, mac := range macs {
-			b.deliver(mac, b.endpoints[mac], at, f.Retain())
+		b.floodLocal(src, at, f.Retain())
+		if b.uplink != nil {
+			// The uplink sees the frame once it has cleared this bridge.
+			u := b.uplink
+			b.K.At(at, func() { u.Flood(src, f) })
+			return
 		}
 		f.Release()
 		return
 	}
 	e, ok := b.endpoints[dst]
 	if !ok {
+		if b.uplink != nil {
+			u := b.uplink
+			b.K.At(at, func() { u.Forward(src, f) })
+			return
+		}
 		b.NoRoute++
 		f.Release()
 		return
@@ -302,6 +309,78 @@ func (b *Bridge) Transmit(src MAC, f *bufpool.Buf) {
 	b.deliver(dst, e, at, f)
 }
 
+// floodLocal delivers one broadcast reference to every local endpoint but
+// the source, in MAC order (map iteration order would make event sequencing
+// and traces differ between identical runs). Consumes the caller's ref.
+func (b *Bridge) floodLocal(src MAC, at sim.Time, f *bufpool.Buf) {
+	macs := make([]MAC, 0, len(b.endpoints))
+	for mac := range b.endpoints {
+		if mac != src {
+			macs = append(macs, mac)
+		}
+	}
+	sort.Slice(macs, func(i, j int) bool { return bytes.Compare(macs[i][:], macs[j][:]) < 0 })
+	for _, mac := range macs {
+		b.deliver(mac, b.endpoints[mac], at, f.Retain())
+	}
+	f.Release()
+}
+
+// Inject delivers a fabric-forwarded frame to this bridge's local ports
+// only — it is the receive half of the Uplink seam and never re-uplinks,
+// so a frame cannot loop between bridges. The local bridge traversal is
+// charged exactly as for Transmit (the fabric already charged its own
+// hops). Consumes the caller's frame reference.
+func (b *Bridge) Inject(f *bufpool.Buf) {
+	frame := f.Bytes()
+	if len(frame) < 14 {
+		f.Release()
+		return
+	}
+	var dst, src MAC
+	copy(dst[:], frame[0:6])
+	copy(src[:], frame[6:12])
+
+	at := b.Params.Reserve(b.CPU, b.Wire, len(frame))
+	b.Bytes += len(frame)
+	b.mxBytes.Add(int64(len(frame)))
+
+	if dst == Broadcast {
+		b.Flooded++
+		b.mxFlooded.Inc()
+		b.floodLocal(src, at, f)
+		return
+	}
+	e, ok := b.endpoints[dst]
+	if !ok {
+		b.NoRoute++
+		f.Release()
+		return
+	}
+	b.Forwarded++
+	b.mxForwarded.Inc()
+	b.deliver(dst, e, at, f)
+}
+
+// InjectSteer is Inject for a steered frame: deliver to the local port
+// owning dst regardless of the frame's embedded destination MAC. Returns
+// false (frame dropped) when dst is not attached here.
+func (b *Bridge) InjectSteer(dst MAC, f *bufpool.Buf) bool {
+	e, ok := b.endpoints[dst]
+	if !ok {
+		b.NoRoute++
+		f.Release()
+		return false
+	}
+	at := b.Params.Reserve(b.CPU, b.Wire, f.Len())
+	b.Bytes += f.Len()
+	b.mxBytes.Add(int64(f.Len()))
+	b.Steered++
+	b.mxSteered.Inc()
+	b.deliver(dst, e, at, f)
+	return true
+}
+
 // Steer forwards a frame to the endpoint owning dst regardless of the
 // frame's embedded destination MAC — the L2 redirection primitive a
 // virtual load balancer in the bridge path uses to hand a connection's
@@ -312,18 +391,25 @@ func (b *Bridge) Transmit(src MAC, f *bufpool.Buf) {
 func (b *Bridge) Steer(dst MAC, f *bufpool.Buf) bool {
 	e, ok := b.endpoints[dst]
 	if !ok {
+		if b.uplink != nil {
+			// Charge the local traversal, then hand the steering decision
+			// to the fabric once the frame has cleared this bridge.
+			frame := f.Bytes()
+			at := b.Params.Reserve(b.CPU, b.Wire, len(frame))
+			b.Bytes += len(frame)
+			b.mxBytes.Add(int64(len(frame)))
+			b.Steered++
+			b.mxSteered.Inc()
+			u := b.uplink
+			b.K.At(at, func() { u.SteerRemote(dst, f) })
+			return true
+		}
 		b.NoRoute++
 		f.Release()
 		return false
 	}
 	frame := f.Bytes()
-	cpuDone := b.CPU.Reserve(b.Params.PerPacketCost)
-	linkDone := b.Link.Reserve(time.Duration(len(frame)) * b.Params.PerByteCost)
-	at := cpuDone
-	if linkDone > at {
-		at = linkDone
-	}
-	at = at.Add(b.Params.Latency)
+	at := b.Params.Reserve(b.CPU, b.Wire, len(frame))
 	b.Bytes += len(frame)
 	b.mxBytes.Add(int64(len(frame)))
 	b.Steered++
@@ -424,7 +510,7 @@ func (b *Bridge) schedule(e Endpoint, at sim.Time, frame *bufpool.Buf) {
 		if dk := h.Home(); dk != b.K {
 			b.K.PostAt(dk, at, func() { e.Deliver(frame) })
 			if c := b.K.Cluster(); c != nil {
-				c.HoldWide(at.Add(replyHoldoff * b.Params.Latency))
+				c.HoldWide(at.Add(replyHoldoff * b.Params.Propagation))
 			}
 			return
 		}

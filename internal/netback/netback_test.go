@@ -87,7 +87,7 @@ func TestBridgeDeliveryDelayIncludesCosts(t *testing.T) {
 	if _, err := k.Run(); err != nil {
 		t.Fatal(err)
 	}
-	min := p.Latency + p.PerPacketCost
+	min := p.Propagation + p.PerPacketCost
 	if deliveredAt.Sub(0) < min {
 		t.Errorf("delivered after %v, want >= %v", deliveredAt.Sub(0), min)
 	}

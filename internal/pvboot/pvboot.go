@@ -37,6 +37,10 @@ type Options struct {
 	InitCost time.Duration
 	// WakeCost is the per-timer-wake dispatch cost for the scheduler.
 	WakeCost time.Duration
+	// Resume marks start-of-day after live migration: runtime state was
+	// carried over in the snapshot, so the default InitCost shrinks to
+	// the reconnect work (event channels, device handshakes).
+	Resume bool
 }
 
 // VM is a booted unikernel guest: the runtime state an entry function works
@@ -51,15 +55,24 @@ type VM struct {
 }
 
 // defaultInitCost is the guest-side boot work (runtime init, driver
-// handshakes) of a Mirage unikernel.
-const defaultInitCost = 4 * time.Millisecond
+// handshakes) of a Mirage unikernel; resumeInitCost is the reconnect-only
+// start-of-day after a migration (the snapshot carries the initialised
+// runtime, so only device rings and event channels are rebuilt).
+const (
+	defaultInitCost = 4 * time.Millisecond
+	resumeInitCost  = 200 * time.Microsecond
+)
 
 // Boot performs start-of-day initialisation for domain d in proc p and
 // returns the VM handle. The domain's page tables are populated with the
 // W^X layout of Figure 2 before any application code runs.
 func Boot(d *hypervisor.Domain, p *sim.Proc, opts Options) (*VM, error) {
 	if opts.InitCost == 0 {
-		opts.InitCost = defaultInitCost
+		if opts.Resume {
+			opts.InitCost = resumeInitCost
+		} else {
+			opts.InitCost = defaultInitCost
+		}
 	}
 	if opts.BinarySize == 0 {
 		opts.BinarySize = 256 << 10
