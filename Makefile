@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all check fmt vet staticcheck build test race race-parallel race-obs paritycheck trace bench benchdelta benchdelta-all scalesweep racksweep connsweep connsweep-full parallelsweep
+.PHONY: all check fmt vet staticcheck build test race race-parallel race-obs race-storage paritycheck trace bench benchdelta benchdelta-all scalesweep racksweep connsweep connsweep-full parallelsweep kvsweep
 
 all: check
 
-check: fmt vet staticcheck build test race race-parallel race-obs paritycheck benchdelta-all racksweep connsweep
+check: fmt vet staticcheck build test race race-parallel race-obs race-storage paritycheck benchdelta-all racksweep connsweep kvsweep
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -45,10 +45,16 @@ race-parallel: build
 race-obs: build
 	$(GO) test -race ./internal/obs/... ./internal/fleet/...
 
+# Focused race check on the storage fast path (blkif merging/indirect
+# descriptors, blkback, the WAL/B-tree appliance and the buffer-cache
+# baseline).
+race-storage: build
+	$(GO) test -race ./internal/storage/... ./internal/blkif/... ./internal/blkback/... ./internal/conventional/...
+
 # Serial-vs-parallel byte-identity: the same sharded layout (-pcpus 4)
 # driven single-threaded and multi-threaded must produce identical stdout,
 # structured JSON, metrics and trace for every experiment in the parity set.
-PARITY_EXPS = ping losssweep scalesweep connsweep racksweep
+PARITY_EXPS = ping losssweep scalesweep connsweep racksweep kvsweep
 paritycheck: build
 	@$(GO) build -o /tmp/repro-parity ./cmd/repro
 	@for e in $(PARITY_EXPS); do \
@@ -100,6 +106,9 @@ benchdelta-all: benchdelta
 	$(GO) run ./cmd/parallelsweep -counters-only -out /tmp/bench_parallel_new.json 2> /dev/null
 	$(GO) run ./cmd/benchjson -delta BENCH_parallel.json /tmp/bench_parallel_new.json
 	$(GO) run ./cmd/benchjson -delta BENCH_connsweep.json BENCH_connsweep.json
+	@rm -f /tmp/bench_kvsweep_new.json
+	/tmp/repro-bench -experiment kvsweep -json /tmp/bench_kvsweep_new.json > /dev/null
+	$(GO) run ./cmd/benchjson -delta BENCH_kvsweep.json /tmp/bench_kvsweep_new.json
 
 # Autoscaling fleet sweep -> BENCH_scalesweep.json; runs the experiment
 # twice on the same seed and asserts the rendered output is byte-identical.
@@ -119,6 +128,15 @@ racksweep: build
 	@cat /tmp/racksweep.1
 	cmp /tmp/racksweep.1 /tmp/racksweep.2
 	@echo "racksweep deterministic: same-seed runs byte-identical; JSON in BENCH_racksweep.json"
+
+# Durable KV appliance sweep -> BENCH_kvsweep.json; runs the experiment
+# twice on the same seed and asserts the rendered output is byte-identical.
+kvsweep: build
+	$(GO) run ./cmd/repro -experiment kvsweep -json BENCH_kvsweep.json > /tmp/kvsweep.1
+	$(GO) run ./cmd/repro -experiment kvsweep > /tmp/kvsweep.2
+	@cat /tmp/kvsweep.1
+	cmp /tmp/kvsweep.1 /tmp/kvsweep.2
+	@echo "kvsweep deterministic: same-seed runs byte-identical; JSON in BENCH_kvsweep.json"
 
 # Million-connection population sweep, small-N gate: runs the quick sweep
 # twice on the same seed and asserts the rendered output is byte-identical.

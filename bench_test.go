@@ -80,8 +80,8 @@ func BenchmarkFig08TCP(b *testing.B) {
 	reportSeries(b, r, "Mbps_10flows")
 }
 
-// BenchmarkFig09BlockRead regenerates Figure 9 (random block read
-// throughput vs block size).
+// BenchmarkFig09BlockRead regenerates Figure 9 (sequential block read
+// throughput vs block size at queue depth 32, through a real guest).
 func BenchmarkFig09BlockRead(b *testing.B) {
 	var r *bench.Result
 	for i := 0; i < b.N; i++ {

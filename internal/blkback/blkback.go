@@ -115,12 +115,26 @@ func (d *SSD) Submit(sector uint64, n int, write bool) sim.Time {
 	return chanDone
 }
 
-// ReadSector returns the 512 bytes at sector (zeroes if never written).
+// ReadSector returns a copy of the 512 bytes at sector (zeroes if never
+// written). A copy, not the stored slice: callers hold device state
+// otherwise and a stray mutation would corrupt it, exactly the aliasing
+// WriteSector already defends against on the way in.
 func (d *SSD) ReadSector(sector uint64) []byte {
+	buf := make([]byte, SectorSize)
+	d.ReadSectorInto(sector, buf)
+	return buf
+}
+
+// ReadSectorInto copies the sector's 512 bytes into dst (zeroes if never
+// written) — the allocation-free form the backend's data-movement loop uses.
+func (d *SSD) ReadSectorInto(sector uint64, dst []byte) {
 	if b, ok := d.data[sector]; ok {
-		return b
+		copy(dst, b)
+		return
 	}
-	return make([]byte, SectorSize)
+	for i := range dst[:SectorSize] {
+		dst[i] = 0
+	}
 }
 
 // WriteSector stores 512 bytes at sector.
@@ -130,38 +144,82 @@ func (d *SSD) WriteSector(sector uint64, b []byte) {
 	d.data[sector] = buf
 }
 
+// MaxSegments is how many page-sized segments one indirect request carries
+// (real blkfront's BLKIF_MAX_INDIRECT_PAGES_PER_REQUEST default is 32; we
+// model its classic 11-segment request extended through one indirect page,
+// so a single ring slot moves up to 11 pages).
+const MaxSegments = 11
+
+// MaxReqSectors is the largest request one ring slot can describe.
+const MaxReqSectors = MaxSegments * SectorsPerPage
+
 // Ring slot encoding for block requests/responses (little-endian):
 //
-// request:  op u8 | sectors u8 | gref u32 (offset 4) | sector u64 (offset 8) | id u16 (offset 16)
-// response: id u16 | status u8
+//	request:  op u8 | sectors u8 | nsegs u8 (offset 3) | gref u32 (offset 4) |
+//	          sector u64 (offset 8) | id u16 (offset 16)
+//	response: id u16 | status u8
+//
+// Direct ops carry the data page's gref and at most one page of sectors.
+// Indirect ops carry the gref of an *indirect page* holding nsegs segment
+// grefs (LE32 at offsets 0, 4, 8, ...), each a full data page except the
+// last — one slot, up to MaxSegments pages.
 const (
-	opRead  = 0
-	opWrite = 1
+	opRead          = 0
+	opWrite         = 1
+	opIndirectRead  = 2
+	opIndirectWrite = 3
 
 	bOffOp     = 0
 	bOffCount  = 1
+	bOffSegs   = 3
 	bOffGref   = 4
 	bOffSector = 8
 	bOffID     = 16
 	bOffStatus = 2
 )
 
+// Req is one decoded block request.
+type Req struct {
+	Write    bool
+	Indirect bool
+	Sectors  uint8  // total sectors (≤ MaxReqSectors)
+	Segs     uint8  // segment count; 1 and unused for direct requests
+	Gref     uint32 // data page gref (direct) or indirect page gref
+	Sector   uint64
+	ID       uint16
+}
+
 // EncodeReq writes a block request into a ring slot.
-func EncodeReq(s *cstruct.View, write bool, sectors uint8, gref uint32, sector uint64, id uint16) {
+func EncodeReq(s *cstruct.View, r Req) {
 	op := uint8(opRead)
-	if write {
+	switch {
+	case r.Indirect && r.Write:
+		op = opIndirectWrite
+	case r.Indirect:
+		op = opIndirectRead
+	case r.Write:
 		op = opWrite
 	}
 	s.PutU8(bOffOp, op)
-	s.PutU8(bOffCount, sectors)
-	s.PutLE32(bOffGref, gref)
-	s.PutLE64(bOffSector, sector)
-	s.PutLE16(bOffID, id)
+	s.PutU8(bOffCount, r.Sectors)
+	s.PutU8(bOffSegs, r.Segs)
+	s.PutLE32(bOffGref, r.Gref)
+	s.PutLE64(bOffSector, r.Sector)
+	s.PutLE16(bOffID, r.ID)
 }
 
 // DecodeReq reads a block request.
-func DecodeReq(s *cstruct.View) (write bool, sectors uint8, gref uint32, sector uint64, id uint16) {
-	return s.U8(bOffOp) == opWrite, s.U8(bOffCount), s.LE32(bOffGref), s.LE64(bOffSector), s.LE16(bOffID)
+func DecodeReq(s *cstruct.View) Req {
+	op := s.U8(bOffOp)
+	return Req{
+		Write:    op == opWrite || op == opIndirectWrite,
+		Indirect: op == opIndirectRead || op == opIndirectWrite,
+		Sectors:  s.U8(bOffCount),
+		Segs:     s.U8(bOffSegs),
+		Gref:     s.LE32(bOffGref),
+		Sector:   s.LE64(bOffSector),
+		ID:       s.LE16(bOffID),
+	}
 }
 
 // EncodeRsp writes a block response.
@@ -192,6 +250,11 @@ type VBD struct {
 	// Requests counts ring requests served.
 	Requests int
 	Errors   int
+	// IndirectReqs counts requests that arrived through an indirect page;
+	// SegmentsMoved counts the data pages they carried (the fast-path win is
+	// SegmentsMoved ≫ Requests).
+	IndirectReqs  int
+	SegmentsMoved int
 }
 
 // VBDBackend is the device-seam backend for the block device class: it
@@ -232,19 +295,13 @@ func (v *VBD) worker(p *sim.Proc) {
 	for {
 		progressed := false
 		for {
-			var write bool
-			var sectors uint8
-			var gref uint32
-			var sector uint64
-			var id uint16
-			if !v.back.PopRequest(func(s *cstruct.View) {
-				write, sectors, gref, sector, id = DecodeReq(s)
-			}) {
+			var r Req
+			if !v.back.PopRequest(func(s *cstruct.View) { r = DecodeReq(s) }) {
 				break
 			}
 			progressed = true
 			v.Requests++
-			v.submit(write, sectors, gref, sector, id)
+			v.submit(r)
 		}
 		if !progressed {
 			if raced := v.back.EnableRequestEvents(); raced {
@@ -256,37 +313,101 @@ func (v *VBD) worker(p *sim.Proc) {
 }
 
 // submit performs the data movement, books device time, and schedules the
-// ring response at the device completion instant.
-func (v *VBD) submit(write bool, sectors uint8, gref uint32, sector uint64, id uint16) {
-	ok := int(sectors) > 0 && int(sectors) <= SectorsPerPage
+// ring response at the device completion instant. An indirect request is
+// one device operation: all segment grants are mapped as a batch up front,
+// the device is booked once for the whole scatter-gather transfer, and the
+// per-sector movement walks the segment pages in order.
+func (v *VBD) submit(r Req) {
+	ok := false
 	var done sim.Time
-	if ok {
-		n := int(sectors) * SectorSize
-		done = v.ssd.Submit(sector, n, write)
-		page, err := v.guest.Grants.Map(grant.Ref(gref))
-		if err != nil {
-			ok = false
-		} else {
-			if write {
-				for i := 0; i < int(sectors); i++ {
-					v.ssd.WriteSector(sector+uint64(i), page.Slice(i*SectorSize, SectorSize))
-				}
-			} else {
-				for i := 0; i < int(sectors); i++ {
-					page.PutBytes(i*SectorSize, v.ssd.ReadSector(sector+uint64(i)))
-				}
-			}
-			v.guest.Grants.Unmap(grant.Ref(gref), page)
-		}
+	if r.Indirect {
+		ok = v.submitIndirect(r, &done)
+	} else {
+		ok = v.submitDirect(r, &done)
 	}
 	if !ok {
 		v.Errors++
 		done = v.ssd.K.Now()
 	}
 	v.ssd.K.At(done, func() {
-		v.back.PushResponse(func(s *cstruct.View) { EncodeRsp(s, id, ok) })
+		v.back.PushResponse(func(s *cstruct.View) { EncodeRsp(s, r.ID, ok) })
 		v.flushResponses()
 	})
+}
+
+func (v *VBD) submitDirect(r Req, done *sim.Time) bool {
+	if int(r.Sectors) <= 0 || int(r.Sectors) > SectorsPerPage {
+		return false
+	}
+	*done = v.ssd.Submit(r.Sector, int(r.Sectors)*SectorSize, r.Write)
+	page, err := v.guest.Grants.Map(grant.Ref(r.Gref))
+	if err != nil {
+		return false
+	}
+	v.moveSectors(r.Write, r.Sector, int(r.Sectors), page, 0)
+	v.guest.Grants.Unmap(grant.Ref(r.Gref), page)
+	return true
+}
+
+func (v *VBD) submitIndirect(r Req, done *sim.Time) bool {
+	segs, sectors := int(r.Segs), int(r.Sectors)
+	if segs <= 0 || segs > MaxSegments ||
+		sectors <= (segs-1)*SectorsPerPage || sectors > segs*SectorsPerPage {
+		return false
+	}
+	ind, err := v.guest.Grants.Map(grant.Ref(r.Gref))
+	if err != nil {
+		return false
+	}
+	// Grant-batch mapping: every segment page is mapped before any data
+	// moves, so the whole burst pays one mapping pass, not one per page of
+	// progress.
+	grefs := make([]grant.Ref, segs)
+	pages := make([]*cstruct.View, segs)
+	for i := 0; i < segs; i++ {
+		grefs[i] = grant.Ref(ind.LE32(i * 4))
+		pg, err := v.guest.Grants.Map(grefs[i])
+		if err != nil {
+			for j := 0; j < i; j++ {
+				v.guest.Grants.Unmap(grefs[j], pages[j])
+			}
+			v.guest.Grants.Unmap(grant.Ref(r.Gref), ind)
+			return false
+		}
+		pages[i] = pg
+	}
+	v.IndirectReqs++
+	v.SegmentsMoved += segs
+	// One device operation for the whole request: the channel is occupied
+	// once and the bus sees one transfer, which is where merged queues beat
+	// per-page submission.
+	*done = v.ssd.Submit(r.Sector, sectors*SectorSize, r.Write)
+	left := sectors
+	for i := 0; i < segs; i++ {
+		n := SectorsPerPage
+		if n > left {
+			n = left
+		}
+		v.moveSectors(r.Write, r.Sector+uint64(i*SectorsPerPage), n, pages[i], 0)
+		left -= n
+	}
+	for i := segs - 1; i >= 0; i-- {
+		v.guest.Grants.Unmap(grefs[i], pages[i])
+	}
+	v.guest.Grants.Unmap(grant.Ref(r.Gref), ind)
+	return true
+}
+
+// moveSectors shuttles n sectors between the device store and a mapped
+// segment page starting at byte off within the page.
+func (v *VBD) moveSectors(write bool, sector uint64, n int, page *cstruct.View, off int) {
+	for i := 0; i < n; i++ {
+		if write {
+			v.ssd.WriteSector(sector+uint64(i), page.Slice(off+i*SectorSize, SectorSize))
+		} else {
+			v.ssd.ReadSectorInto(sector+uint64(i), page.Slice(off+i*SectorSize, SectorSize))
+		}
+	}
 }
 
 // flushResponses defers the response publish to the end of the instant so

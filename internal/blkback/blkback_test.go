@@ -71,10 +71,16 @@ func TestWriteSectorCopiesInput(t *testing.T) {
 
 func TestReqRspSlotRoundTrip(t *testing.T) {
 	s := cstruct.Make(64)
-	EncodeReq(s, true, 8, 1234, 0xDEADBEEF00, 42)
-	write, sectors, gref, sector, id := DecodeReq(s)
-	if !write || sectors != 8 || gref != 1234 || sector != 0xDEADBEEF00 || id != 42 {
-		t.Errorf("req round trip: %v %d %d %#x %d", write, sectors, gref, sector, id)
+	in := Req{Write: true, Sectors: 8, Segs: 1, Gref: 1234, Sector: 0xDEADBEEF00, ID: 42}
+	EncodeReq(s, in)
+	if got := DecodeReq(s); got != in {
+		t.Errorf("req round trip: got %+v, want %+v", got, in)
+	}
+	ind := Req{Write: false, Indirect: true, Sectors: MaxReqSectors, Segs: MaxSegments,
+		Gref: 77, Sector: 4096, ID: 7}
+	EncodeReq(s, ind)
+	if got := DecodeReq(s); got != ind {
+		t.Errorf("indirect req round trip: got %+v, want %+v", got, ind)
 	}
 	EncodeRsp(s, 42, true)
 	rid, ok := DecodeRsp(s)
@@ -84,6 +90,30 @@ func TestReqRspSlotRoundTrip(t *testing.T) {
 	EncodeRsp(s, 43, false)
 	if _, ok := DecodeRsp(s); ok {
 		t.Error("error status lost")
+	}
+}
+
+func TestReadSectorReturnsCopy(t *testing.T) {
+	k := sim.NewKernel(1)
+	ssd := NewSSD(k, DefaultSSDParams())
+	buf := make([]byte, SectorSize)
+	buf[0] = 'A'
+	ssd.WriteSector(9, buf)
+	got := ssd.ReadSector(9)
+	got[0] = 'Z'
+	if ssd.ReadSector(9)[0] != 'A' {
+		t.Error("ReadSector aliased device state; caller mutation corrupted the sector")
+	}
+	// The into-form overwrites every byte, including stale ones.
+	dst := make([]byte, SectorSize)
+	for i := range dst {
+		dst[i] = 0xFF
+	}
+	ssd.ReadSectorInto(1234, dst) // never written: must zero
+	for _, b := range dst {
+		if b != 0 {
+			t.Fatal("ReadSectorInto left stale bytes for an unwritten sector")
+		}
 	}
 }
 

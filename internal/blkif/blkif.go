@@ -3,6 +3,14 @@
 // I/O pages, with filesystems and caching provided as libraries above.
 // Reads and writes are always direct — there is no buffer cache on this
 // path — and complete via promises on the lwt scheduler.
+//
+// The fast path mirrors real blkfront: requests submitted in the same
+// instant are plugged into a staging queue, adjacent-sector requests merge
+// into one scatter-gather operation, and merged operations that exceed one
+// page ride an indirect descriptor — one ring slot carrying up to
+// MaxSegments data pages through an indirect page of segment grants. A
+// burst therefore costs one ring publish, one notification and (per merged
+// run) one device operation instead of one of each per request.
 package blkif
 
 import (
@@ -27,6 +35,13 @@ const SectorSize = blkback.SectorSize
 // SectorsPerPage re-exports the page capacity in sectors.
 const SectorsPerPage = blkback.SectorsPerPage
 
+// MaxSegments re-exports the indirect-descriptor segment limit: the most
+// data pages one merged request (one ring slot) can carry.
+const MaxSegments = blkback.MaxSegments
+
+// MaxReqSectors re-exports the largest merged request in sectors.
+const MaxReqSectors = blkback.MaxReqSectors
+
 // Blkif is a connected guest block device.
 type Blkif struct {
 	vm       *pvboot.VM
@@ -35,26 +50,57 @@ type Blkif struct {
 	port     *hypervisor.Port
 
 	nextID   uint16
-	inflight map[uint16]*op
-	queue    []*op
-	// flushPending defers the ring publish + notify to the end of the
-	// current instant, so a burst of submits costs one notification.
-	flushPending bool
+	inflight map[uint16]*devop
+	// staged holds requests plugged in the current instant, merged into
+	// devops at unplug time.
+	staged    []*op
+	plugDepth int
+	// queue holds merged devops waiting for ring slots.
+	queue []*devop
+	// unplugPending/flushPending defer merge and ring publish + notify to
+	// the end of the current instant, so a burst of submits costs one merge
+	// pass and one notification.
+	unplugPending bool
+	flushPending  bool
+	batching      bool
 
 	// Stats
 	Reads, Writes int
+	// Merged counts requests that rode along in another request's ring slot
+	// (each one a ring slot and a device op saved); Indirect counts ring
+	// requests issued through an indirect page.
+	Merged, Indirect int
 
-	mxReads  *obs.Counter
-	mxWrites *obs.Counter
+	mxReads    *obs.Counter
+	mxWrites   *obs.Counter
+	mxMerged   *obs.Counter
+	mxIndirect *obs.Counter
+	mxSegments *obs.Counter
 }
 
+// op is one application-level request: at most a page of sectors, with its
+// own completion promise. Several ops may share a devop after merging.
 type op struct {
 	write   bool
-	sectors uint8
+	sectors int
 	sector  uint64
-	page    *cstruct.View
-	gref    grant.Ref
+	data    []byte // staged write payload (copied at submit)
 	pr      *lwt.Promise[*cstruct.View]
+	started sim.Time
+}
+
+// devop is one ring request: a merged run of adjacent ops issued as a
+// single (possibly indirect) scatter-gather operation.
+type devop struct {
+	write   bool
+	sector  uint64
+	sectors int
+	ops     []*op
+
+	pages   []*cstruct.View
+	grefs   []grant.Ref
+	indPage *cstruct.View // nil for direct (single-page) requests
+	indGref grant.Ref
 	started sim.Time
 }
 
@@ -68,13 +114,17 @@ func Attach(vm *pvboot.VM, ssd *blkback.SSD, dom0 *hypervisor.Domain, st *xensto
 		vm:       vm,
 		front:    ring.NewFront(ringPage),
 		ringPage: ringPage,
-		inflight: map[uint16]*op{},
+		inflight: map[uint16]*devop{},
+		batching: true,
 	}
 	k := vm.S.K
 	m := k.Metrics()
 	dev := obs.L("dev", fmt.Sprintf("vbd%d", d.ID))
 	b.mxReads = m.Counter("blk_requests_total", dev, obs.L("op", "read"))
 	b.mxWrites = m.Counter("blk_requests_total", dev, obs.L("op", "write"))
+	b.mxMerged = m.Counter("blk_merged_requests_total", dev)
+	b.mxIndirect = m.Counter("blk_indirect_requests_total", dev)
+	b.mxSegments = m.Counter("blk_segments_total", dev)
 	occ := m.Histogram("ring_occupancy", []float64{1, 2, 4, 8, 16, 24, 32}, dev, obs.L("ring", "blk"))
 	b.front.Hooks.OnPublish = func(inFlight int, notify bool) {
 		occ.Observe(float64(inFlight))
@@ -101,6 +151,12 @@ func (b *Blkif) Fields() map[string]string { return nil }
 // Connected implements device.Frontend.
 func (b *Blkif) Connected(port *hypervisor.Port) { b.port = port }
 
+// SetBatching toggles request merging and indirect descriptors (on by
+// default). With batching off every request occupies its own ring slot and
+// its own device operation — the pre-fast-path behaviour, kept as the
+// measured baseline for fig9's batched-vs-unbatched comparison.
+func (b *Blkif) SetBatching(on bool) { b.batching = on }
+
 // Read reads sectors (1..8) starting at sector into a fresh I/O page and
 // resolves with a view of the data. The caller owns the view.
 func (b *Blkif) Read(sector uint64, sectors int) *lwt.Promise[*cstruct.View] {
@@ -115,46 +171,178 @@ func (b *Blkif) Write(sector uint64, data []byte) *lwt.Promise[*cstruct.View] {
 	return b.submit(true, sector, sectors, data)
 }
 
+// Plug widens the merge window: staged requests are held (and keep
+// accumulating merge candidates) until the matching Unplug, like the guest
+// block layer's plug/unplug batching. Plug/Unplug pairs nest.
+func (b *Blkif) Plug() { b.plugDepth++ }
+
+// Unplug closes a Plug window; the outermost Unplug merges and issues the
+// staged requests immediately.
+func (b *Blkif) Unplug() {
+	if b.plugDepth == 0 {
+		panic("blkif: Unplug without Plug")
+	}
+	b.plugDepth--
+	if b.plugDepth == 0 {
+		b.unplug()
+	}
+}
+
 func (b *Blkif) submit(write bool, sector uint64, sectors int, data []byte) *lwt.Promise[*cstruct.View] {
 	pr := lwt.NewPromise[*cstruct.View](b.vm.S)
 	if sectors <= 0 || sectors > SectorsPerPage {
 		pr.Fail(fmt.Errorf("blkif: bad request size %d sectors", sectors))
 		return pr
 	}
-	page := b.vm.Dom.Pool.Get()
+	o := &op{
+		write:   write,
+		sectors: sectors,
+		sector:  sector,
+		pr:      pr,
+		started: b.vm.S.K.Now(),
+	}
 	if write {
-		page.PutBytes(0, data)
+		o.data = append([]byte(nil), data...)
 		b.Writes++
 		b.mxWrites.Inc()
 	} else {
 		b.Reads++
 		b.mxReads.Inc()
 	}
-	o := &op{
-		write:   write,
-		sectors: uint8(sectors),
-		sector:  sector,
-		page:    page,
-		gref:    b.vm.Dom.Grants.Grant(page, false),
-		pr:      pr,
-		started: b.vm.S.K.Now(),
-	}
-	if b.front.Free() == 0 {
-		b.queue = append(b.queue, o)
-		return pr
-	}
-	b.push(o)
+	b.staged = append(b.staged, o)
+	b.scheduleUnplug()
 	return pr
 }
 
-func (b *Blkif) push(o *op) {
+// scheduleUnplug arranges an automatic unplug at the end of the current
+// instant, so same-instant bursts merge without explicit Plug/Unplug.
+func (b *Blkif) scheduleUnplug() {
+	if b.unplugPending || b.plugDepth > 0 {
+		return
+	}
+	b.unplugPending = true
+	k := b.vm.S.K
+	k.At(k.Now(), func() {
+		b.unplugPending = false
+		if b.plugDepth == 0 {
+			b.unplug()
+		}
+	})
+}
+
+// unplug merges the staged requests into devops and issues as many as the
+// ring has slots for; the rest wait in the queue.
+func (b *Blkif) unplug() {
+	if len(b.staged) == 0 {
+		return
+	}
+	var cur *devop
+	for _, o := range b.staged {
+		if b.batching && cur != nil && cur.write == o.write &&
+			cur.sector+uint64(cur.sectors) == o.sector &&
+			cur.sectors+o.sectors <= MaxReqSectors {
+			cur.ops = append(cur.ops, o)
+			cur.sectors += o.sectors
+			b.Merged++
+			b.mxMerged.Inc()
+			continue
+		}
+		cur = &devop{write: o.write, sector: o.sector, sectors: o.sectors, ops: []*op{o}}
+		b.queue = append(b.queue, cur)
+	}
+	b.staged = b.staged[:0]
+	b.fill()
+}
+
+// fill pushes queued devops while ring slots are free.
+func (b *Blkif) fill() {
+	for len(b.queue) > 0 && b.front.Free() > 0 {
+		d := b.queue[0]
+		b.queue = b.queue[1:]
+		b.push(d)
+	}
+}
+
+// push materialises a devop's I/O pages, grants them, and encodes the ring
+// request — direct for a single-page devop, indirect otherwise.
+func (b *Blkif) push(d *devop) {
+	dom := b.vm.Dom
+	npages := (d.sectors + SectorsPerPage - 1) / SectorsPerPage
+	d.pages = make([]*cstruct.View, npages)
+	d.grefs = make([]grant.Ref, npages)
+	for i := range d.pages {
+		d.pages[i] = dom.Pool.Get()
+		d.grefs[i] = dom.Grants.Grant(d.pages[i], false)
+	}
+	if d.write {
+		off := 0
+		for _, o := range d.ops {
+			b.scatter(d, off, o.data)
+			off += o.sectors * SectorSize
+		}
+	}
 	b.nextID++
 	id := b.nextID
-	b.inflight[id] = o
-	b.front.PushRequest(func(s *cstruct.View) {
-		blkback.EncodeReq(s, o.write, o.sectors, uint32(o.gref), o.sector, id)
-	})
+	b.inflight[id] = d
+	d.started = b.vm.S.K.Now()
+	req := blkback.Req{
+		Write:   d.write,
+		Sectors: uint8(d.sectors),
+		Segs:    uint8(npages),
+		Sector:  d.sector,
+		ID:      id,
+	}
+	if npages == 1 {
+		req.Gref = uint32(d.grefs[0])
+	} else {
+		req.Indirect = true
+		d.indPage = dom.Pool.Get()
+		for i, g := range d.grefs {
+			d.indPage.PutLE32(i*4, uint32(g))
+		}
+		d.indGref = dom.Grants.Grant(d.indPage, true)
+		req.Gref = uint32(d.indGref)
+		b.Indirect++
+		b.mxIndirect.Inc()
+	}
+	b.mxSegments.Add(int64(npages))
+	b.front.PushRequest(func(s *cstruct.View) { blkback.EncodeReq(s, req) })
 	b.scheduleFlush()
+}
+
+// scatter copies a write payload into the devop's pages starting at byte
+// offset off within the merged request.
+func (b *Blkif) scatter(d *devop, off int, data []byte) {
+	for len(data) > 0 {
+		pg := d.pages[off/cstruct.PageSize]
+		po := off % cstruct.PageSize
+		n := cstruct.PageSize - po
+		if n > len(data) {
+			n = len(data)
+		}
+		pg.PutBytes(po, data[:n])
+		data = data[n:]
+		off += n
+	}
+}
+
+// gatherView resolves a read op's view of the completed devop: a zero-copy
+// sub-view when the op's bytes sit inside one segment page, an assembled
+// copy when a merged op straddles two.
+func (d *devop) gatherView(off, n int) *cstruct.View {
+	pi := off / cstruct.PageSize
+	po := off % cstruct.PageSize
+	if po+n <= cstruct.PageSize {
+		return d.pages[pi].Sub(po, n)
+	}
+	buf := make([]byte, n)
+	for copied := 0; copied < n; {
+		pg := d.pages[(off+copied)/cstruct.PageSize]
+		so := (off + copied) % cstruct.PageSize
+		c := copy(buf[copied:], pg.Slice(so, cstruct.PageSize-so))
+		copied += c
+	}
+	return cstruct.Wrap(buf)
 }
 
 // scheduleFlush publishes the batch of requests pushed this instant with a
@@ -184,53 +372,176 @@ func (b *Blkif) OnEvent() {
 			if !b.front.PopResponse(func(s *cstruct.View) { id, ok = blkback.DecodeRsp(s) }) {
 				break
 			}
-			o := b.inflight[id]
-			if o == nil {
+			d := b.inflight[id]
+			if d == nil {
 				continue
 			}
 			delete(b.inflight, id)
-			b.traceDone(o)
-			b.vm.Dom.Grants.End(o.gref)
-			if !ok {
-				o.page.Release()
-				o.pr.Fail(fmt.Errorf("blkif: device error"))
-			} else if o.write {
-				o.page.Release()
-				o.pr.Resolve(nil)
-			} else {
-				o.pr.Resolve(o.page.Sub(0, int(o.sectors)*SectorSize))
-				o.page.Release()
-			}
+			b.complete(d, ok)
 		}
-		for len(b.queue) > 0 && b.front.Free() > 0 {
-			o := b.queue[0]
-			b.queue = b.queue[1:]
-			b.push(o)
-		}
+		b.fill()
 		if raced := b.front.EnableResponseEvents(); !raced {
 			return
 		}
 	}
 }
 
-// traceDone emits a span covering the request's submit-to-completion life.
-func (b *Blkif) traceDone(o *op) {
+// complete ends the devop's grants, distributes results to its member ops,
+// and releases the I/O pages.
+func (b *Blkif) complete(d *devop, ok bool) {
+	b.traceDone(d, ok)
+	dom := b.vm.Dom
+	for _, g := range d.grefs {
+		dom.Grants.End(g)
+	}
+	if d.indPage != nil {
+		dom.Grants.End(d.indGref)
+		d.indPage.Release()
+		d.indPage = nil
+	}
+	off := 0
+	for _, o := range d.ops {
+		switch {
+		case !ok:
+			o.pr.Fail(fmt.Errorf("blkif: device error"))
+		case o.write:
+			o.pr.Resolve(nil)
+		default:
+			o.pr.Resolve(d.gatherView(off, o.sectors*SectorSize))
+		}
+		off += o.sectors * SectorSize
+	}
+	for _, pg := range d.pages {
+		pg.Release()
+	}
+	d.pages = nil
+}
+
+// traceDone emits a span covering the devop's issue-to-completion life.
+func (b *Blkif) traceDone(d *devop, ok bool) {
 	k := b.vm.S.K
 	tr := k.Trace()
 	if !tr.Enabled() {
 		return
 	}
 	name := "read"
-	if o.write {
+	if d.write {
 		name = "write"
 	}
-	tr.Complete(obs.Time(o.started), obs.Time(k.Now().Sub(o.started)), "blk", name,
+	tr.Complete(obs.Time(d.started), obs.Time(k.Now().Sub(d.started)), "blk", name,
 		b.vm.Dom.ID, 0,
-		obs.Int("sector", int64(o.sector)), obs.Int("sectors", int64(o.sectors)))
+		obs.Int("sector", int64(d.sector)), obs.Int("sectors", int64(d.sectors)),
+		obs.Int("reqs", int64(len(d.ops))))
 }
 
-// InFlight returns the number of outstanding requests.
-func (b *Blkif) InFlight() int { return len(b.inflight) + len(b.queue) }
+// InFlight returns the number of outstanding application requests.
+func (b *Blkif) InFlight() int {
+	n := len(b.staged)
+	for _, d := range b.queue {
+		n += len(d.ops)
+	}
+	for _, d := range b.inflight {
+		n += len(d.ops)
+	}
+	return n
+}
+
+// Queue is a queue-depth-N submission context over a Blkif: callers fire
+// requests with completion callbacks and the queue keeps up to depth
+// application requests outstanding, spilling the rest into a backlog.
+// Freed slots refill in end-of-instant bursts so refills stage together
+// and merge like the original burst did — sustained QD-N load keeps the
+// merge window full instead of dribbling one request at a time.
+type Queue struct {
+	b     *Blkif
+	depth int
+
+	inflight int
+	backlog  []func()
+	// pumpPending defers backlog refill to the end of the instant so all
+	// completions of the instant free their slots first.
+	pumpPending bool
+
+	// Done counts completed requests; Errors counts failed ones.
+	Done, Errors int
+}
+
+// NewQueue creates a submission queue bounded at depth outstanding
+// requests (depth >= 1).
+func (b *Blkif) NewQueue(depth int) *Queue {
+	if depth < 1 {
+		depth = 1
+	}
+	return &Queue{b: b, depth: depth}
+}
+
+// Read submits a sector read; done fires on completion with the data view
+// (owned by the callback) or an error.
+func (q *Queue) Read(sector uint64, sectors int, done func(*cstruct.View, error)) {
+	q.issue(func() {
+		pr := q.b.Read(sector, sectors)
+		lwt.Always(pr, func() {
+			q.finish(pr.Failed())
+			if err := pr.Failed(); err != nil {
+				done(nil, err)
+				return
+			}
+			done(pr.Value(), nil)
+		})
+	})
+}
+
+// Write submits a sector write; done fires once the device acknowledges.
+func (q *Queue) Write(sector uint64, data []byte, done func(error)) {
+	q.issue(func() {
+		pr := q.b.Write(sector, data)
+		lwt.Always(pr, func() {
+			q.finish(pr.Failed())
+			done(pr.Failed())
+		})
+	})
+}
+
+// Backlog returns the number of requests waiting for a queue slot.
+func (q *Queue) Backlog() int { return len(q.backlog) }
+
+// InFlight returns the number of requests holding queue slots.
+func (q *Queue) InFlight() int { return q.inflight }
+
+func (q *Queue) issue(fire func()) {
+	if q.inflight < q.depth {
+		q.inflight++
+		fire()
+		return
+	}
+	q.backlog = append(q.backlog, fire)
+}
+
+func (q *Queue) finish(err error) {
+	q.inflight--
+	q.Done++
+	if err != nil {
+		q.Errors++
+	}
+	q.pump()
+}
+
+func (q *Queue) pump() {
+	if q.pumpPending || len(q.backlog) == 0 {
+		return
+	}
+	q.pumpPending = true
+	k := q.b.vm.S.K
+	k.At(k.Now(), func() {
+		q.pumpPending = false
+		for q.inflight < q.depth && len(q.backlog) > 0 {
+			fire := q.backlog[0]
+			q.backlog = q.backlog[1:]
+			q.inflight++
+			fire()
+		}
+	})
+}
 
 // ReadAt is a convenience: read n bytes at byte offset off (must be
 // sector-aligned ranges internally; n <= one page).

@@ -17,6 +17,15 @@ import (
 // withGuest boots a guest with a block device over a fresh SSD and runs fn.
 func withGuest(t *testing.T, fn func(b *Blkif, vm *pvboot.VM, p *sim.Proc) int) (*sim.Kernel, *blkback.SSD) {
 	t.Helper()
+	return withGuestSSD(t, func(b *Blkif, vm *pvboot.VM, p *sim.Proc, _ *blkback.SSD) int {
+		return fn(b, vm, p)
+	})
+}
+
+// withGuestSSD is withGuest with the backing SSD visible to fn, for tests
+// that seed sectors or count device operations mid-run.
+func withGuestSSD(t *testing.T, fn func(b *Blkif, vm *pvboot.VM, p *sim.Proc, ssd *blkback.SSD) int) (*sim.Kernel, *blkback.SSD) {
+	t.Helper()
 	k := sim.NewKernel(11)
 	h := hypervisor.NewHost(k, 2)
 	ssd := blkback.NewSSD(k, blkback.DefaultSSDParams())
@@ -37,7 +46,7 @@ func withGuest(t *testing.T, fn func(b *Blkif, vm *pvboot.VM, p *sim.Proc) int) 
 					t.Errorf("attach: %v", err)
 					return 1
 				}
-				return fn(b, vm, p)
+				return fn(b, vm, p, ssd)
 			},
 		})
 	})
@@ -180,5 +189,217 @@ func TestPagesRecycledAfterIO(t *testing.T) {
 	})
 	if pool.Allocated > 8 {
 		t.Errorf("pool allocated %d pages for 200 sequential reads; recycling broken", pool.Allocated)
+	}
+}
+
+func TestAdjacentReadsMergeIntoOneDeviceOp(t *testing.T) {
+	// 8 adjacent single-page reads staged in one instant merge into one
+	// indirect request and one device operation.
+	var got [8][]byte
+	withGuestSSD(t, func(b *Blkif, vm *pvboot.VM, p *sim.Proc, ssd *blkback.SSD) int {
+		for i := 0; i < 8; i++ {
+			buf := make([]byte, 4096)
+			for j := range buf {
+				buf[j] = byte(i + j)
+			}
+			ssd.WriteSector(uint64(i*8), buf[:SectorSize])
+			ssd.WriteSector(uint64(i*8+7), buf[4096-SectorSize:])
+		}
+		rBefore := ssd.Reads
+		var ws []lwt.Waiter
+		for i := 0; i < 8; i++ {
+			i := i
+			ws = append(ws, lwt.Map(b.Read(uint64(i*8), 8), func(v *cstruct.View) struct{} {
+				got[i] = append([]byte(nil), v.Bytes()...)
+				v.Release()
+				return struct{}{}
+			}))
+		}
+		code := vm.Main(p, lwt.Join(vm.S, ws...))
+		if devops := ssd.Reads - rBefore; devops != 1 {
+			t.Errorf("8 adjacent page reads cost %d device ops, want 1", devops)
+		}
+		if b.Merged != 7 {
+			t.Errorf("Merged = %d, want 7", b.Merged)
+		}
+		if b.Indirect != 1 {
+			t.Errorf("Indirect = %d, want 1", b.Indirect)
+		}
+		return code
+	})
+	for i := 0; i < 8; i++ {
+		if len(got[i]) != 4096 {
+			t.Fatalf("read %d returned %d bytes", i, len(got[i]))
+		}
+		if got[i][0] != byte(i) || got[i][4095] != byte(i+4095) {
+			t.Errorf("read %d returned wrong data: first=%d last=%d", i, got[i][0], got[i][4095])
+		}
+	}
+}
+
+func TestMergedWritesLandCorrectly(t *testing.T) {
+	// Adjacent writes staged together merge into one scatter-gather write
+	// and every byte lands at its own sector.
+	_, ssd := withGuestSSD(t, func(b *Blkif, vm *pvboot.VM, p *sim.Proc, ssd *blkback.SSD) int {
+		wBefore := ssd.Writes
+		var ws []lwt.Waiter
+		for i := 0; i < 4; i++ {
+			buf := make([]byte, 4096)
+			for j := range buf {
+				buf[j] = byte(10*i + 1)
+			}
+			ws = append(ws, b.Write(uint64(200+i*8), buf))
+		}
+		code := vm.Main(p, lwt.Join(vm.S, ws...))
+		if devops := ssd.Writes - wBefore; devops != 1 {
+			t.Errorf("4 adjacent page writes cost %d device ops, want 1", devops)
+		}
+		return code
+	})
+	for i := 0; i < 4; i++ {
+		for s := 0; s < 8; s++ {
+			sec := ssd.ReadSector(uint64(200 + i*8 + s))
+			if sec[0] != byte(10*i+1) || sec[SectorSize-1] != byte(10*i+1) {
+				t.Fatalf("write %d sector %d corrupted: got %d", i, s, sec[0])
+			}
+		}
+	}
+}
+
+func TestBatchingOffKeepsRequestsSeparate(t *testing.T) {
+	// The unbatched baseline: adjacent requests each take their own ring
+	// slot and device op.
+	withGuestSSD(t, func(b *Blkif, vm *pvboot.VM, p *sim.Proc, ssd *blkback.SSD) int {
+		b.SetBatching(false)
+		rBefore := ssd.Reads
+		var ws []lwt.Waiter
+		for i := 0; i < 8; i++ {
+			ws = append(ws, lwt.Map(b.Read(uint64(i*8), 8), func(v *cstruct.View) struct{} {
+				v.Release()
+				return struct{}{}
+			}))
+		}
+		code := vm.Main(p, lwt.Join(vm.S, ws...))
+		if devops := ssd.Reads - rBefore; devops != 8 {
+			t.Errorf("unbatched: 8 reads cost %d device ops, want 8", devops)
+		}
+		if b.Merged != 0 || b.Indirect != 0 {
+			t.Errorf("unbatched path merged (%d) or went indirect (%d)", b.Merged, b.Indirect)
+		}
+		return code
+	})
+}
+
+func TestMergeRespectsMaxReqSectors(t *testing.T) {
+	// A run longer than MaxSegments pages splits at the indirect limit.
+	withGuestSSD(t, func(b *Blkif, vm *pvboot.VM, p *sim.Proc, ssd *blkback.SSD) int {
+		rBefore := ssd.Reads
+		var ws []lwt.Waiter
+		for i := 0; i < MaxSegments+1; i++ {
+			ws = append(ws, lwt.Map(b.Read(uint64(i*SectorsPerPage), SectorsPerPage), func(v *cstruct.View) struct{} {
+				v.Release()
+				return struct{}{}
+			}))
+		}
+		code := vm.Main(p, lwt.Join(vm.S, ws...))
+		if devops := ssd.Reads - rBefore; devops != 2 {
+			t.Errorf("%d-page run cost %d device ops, want 2", MaxSegments+1, devops)
+		}
+		return code
+	})
+}
+
+func TestNoGrantLeaksAfterMergedIO(t *testing.T) {
+	var leaked, active int
+	withGuest(t, func(b *Blkif, vm *pvboot.VM, p *sim.Proc) int {
+		// The ring page grant stays active for the device's lifetime.
+		base := vm.Dom.Grants.Active()
+		var ws []lwt.Waiter
+		for i := 0; i < 16; i++ {
+			ws = append(ws, lwt.Map(b.Read(uint64(i*8), 8), func(v *cstruct.View) struct{} {
+				v.Release()
+				return struct{}{}
+			}))
+			ws = append(ws, b.Write(uint64(512+i*8), make([]byte, 4096)))
+		}
+		code := vm.Main(p, lwt.Join(vm.S, ws...))
+		leaked = vm.Dom.Grants.Leaked
+		active = vm.Dom.Grants.Active() - base
+		return code
+	})
+	if leaked != 0 {
+		t.Errorf("%d grants leaked", leaked)
+	}
+	if active != 0 {
+		t.Errorf("%d grants still active after all I/O completed", active)
+	}
+}
+
+func TestQueueBoundsInFlightAndCompletesAll(t *testing.T) {
+	// A QD-4 queue over 40 requests: never more than 4 outstanding, all
+	// 40 complete, refill bursts still merge.
+	const total, depth = 40, 4
+	var maxInflight int
+	var q *Queue
+	withGuest(t, func(b *Blkif, vm *pvboot.VM, p *sim.Proc) int {
+		q = b.NewQueue(depth)
+		pr := lwt.NewPromise[struct{}](vm.S)
+		for i := 0; i < total; i++ {
+			q.Read(uint64(i), 1, func(v *cstruct.View, err error) {
+				if err != nil {
+					t.Errorf("queue read: %v", err)
+				} else {
+					v.Release()
+				}
+				if q.Done == total {
+					pr.Resolve(struct{}{})
+				}
+			})
+			if q.InFlight() > maxInflight {
+				maxInflight = q.InFlight()
+			}
+		}
+		return vm.Main(p, pr)
+	})
+	if q.Done != total {
+		t.Fatalf("queue completed %d/%d", q.Done, total)
+	}
+	if q.Errors != 0 {
+		t.Fatalf("queue saw %d errors", q.Errors)
+	}
+	if maxInflight > depth {
+		t.Errorf("in-flight reached %d, queue depth is %d", maxInflight, depth)
+	}
+	if q.Backlog() != 0 {
+		t.Errorf("backlog not drained: %d", q.Backlog())
+	}
+}
+
+func TestQueueRefillBurstsMerge(t *testing.T) {
+	// Sequential QD-16 reads: refills are pumped in bursts, so merged
+	// requests keep forming after the first window drains.
+	var merged int
+	withGuestSSD(t, func(b *Blkif, vm *pvboot.VM, p *sim.Proc, ssd *blkback.SSD) int {
+		q := b.NewQueue(16)
+		pr := lwt.NewPromise[struct{}](vm.S)
+		const total = 64
+		for i := 0; i < total; i++ {
+			q.Read(uint64(i*8), 8, func(v *cstruct.View, err error) {
+				if err != nil {
+					t.Errorf("queue read: %v", err)
+					return
+				}
+				v.Release()
+				if q.Done == total {
+					pr.Resolve(struct{}{})
+				}
+			})
+		}
+		code := vm.Main(p, pr)
+		merged = b.Merged
+		return code
+	})
+	if merged < 32 {
+		t.Errorf("only %d of 64 sequential QD-16 reads merged; refill bursts not merging", merged)
 	}
 }

@@ -78,7 +78,7 @@ func init() {
 			}
 			return results(bench.LossSweep(bytes, nil))
 		}})
-	Register(Experiment{ID: "fig9", Title: "Random block read throughput",
+	Register(Experiment{ID: "fig9", Title: "Sequential block read throughput",
 		Params: []string{"quick"},
 		Run: func(o Options) (Output, error) {
 			sizes, reqs := bench.DefaultBlockSizes, 1024
@@ -86,6 +86,17 @@ func init() {
 				sizes, reqs = []int{4, 64, 1024, 4096}, 256
 			}
 			return results(bench.Fig9BlockRead(sizes, reqs))
+		}})
+	Register(Experiment{ID: "kvsweep", Title: "Durable KV appliance vs queue depth",
+		Params: []string{"quick", "seed", "value-bytes", "read-pct", "qd-max"},
+		Run: func(o Options) (Output, error) {
+			return results(bench.KVSweep(bench.KVSweepConfig{
+				Seed:       o.Seed,
+				Quick:      o.Quick,
+				ValueBytes: o.ValueBytes,
+				ReadPct:    o.ReadPct,
+				QDMax:      o.QDMax,
+			}))
 		}})
 	Register(Experiment{ID: "fig10", Title: "DNS throughput vs zone size",
 		Params: []string{"quick"},

@@ -25,6 +25,11 @@ type Options struct {
 	ReplicasMax int
 	LBPolicy    string // round-robin | least-conns (also rr | lc)
 
+	// Storage experiments (kvsweep).
+	ValueBytes int
+	ReadPct    int
+	QDMax      int
+
 	// DomStat appends the per-domain accounting table (virtual xentop) to
 	// the output of experiments that boot a platform.
 	DomStat bool

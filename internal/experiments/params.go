@@ -51,6 +51,12 @@ var params = []Param{
 		func(o *Options) *int { return &o.ReplicasMax }),
 	stringParam("lb-policy", "fleet experiments: round-robin, least-conns or hash",
 		func(o *Options) *string { return &o.LBPolicy }),
+	intParam("value-bytes", "kvsweep: record value size in bytes (0 = default 128, max 256)",
+		func(o *Options) *int { return &o.ValueBytes }),
+	intParam("read-pct", "kvsweep: read share of the op mix in percent (0 = default 50, max 95)",
+		func(o *Options) *int { return &o.ReadPct }),
+	intParam("qd-max", "kvsweep: deepest queue depth swept (0 = default 64)",
+		func(o *Options) *int { return &o.QDMax }),
 	boolParam("domstat", "append the per-domain accounting table (virtual xentop)",
 		func(o *Options) *bool { return &o.DomStat }),
 	boolParam("memstats", "sample the process heap where reported (host-dependent numbers)",

@@ -104,17 +104,22 @@ func (t *BTree) appendNode(n *bnode) uint64 {
 	return pg
 }
 
-// commit writes the superblock and returns a promise for full durability
-// of the operation (all appended nodes + the root pointer).
+// commit waits for the appended node pages to be durable and only then
+// writes the superblock's root pointer — the barrier that makes a torn
+// update invisible: a crash before the superblock lands leaves the old
+// root intact and the new pages orphaned.
 func (t *BTree) commit() *lwt.Promise[struct{}] {
-	sb := make([]byte, SectorSize)
-	v := cstruct.Wrap(sb)
-	v.PutBE32(0, superMagic)
-	v.PutBE64(4, t.root)
-	v.PutBE64(12, t.nextPage)
-	writes := append(t.pending, t.dev.Write(0, sb))
+	writes := t.pending
 	t.pending = nil
-	return lwt.Join(t.s, writes...)
+	root, next := t.root, t.nextPage
+	return lwt.Bind(lwt.Join(t.s, writes...), func(struct{}) *lwt.Promise[struct{}] {
+		sb := make([]byte, SectorSize)
+		v := cstruct.Wrap(sb)
+		v.PutBE32(0, superMagic)
+		v.PutBE64(4, root)
+		v.PutBE64(12, next)
+		return lwt.Map(t.dev.Write(0, sb), func(*cstruct.View) struct{} { return struct{}{} })
+	})
 }
 
 // load fetches a node through the cache.
@@ -136,6 +141,11 @@ func (t *BTree) load(pg uint64) *lwt.Promise[*bnode] {
 
 // Root returns the current root page (usable with GetAt for snapshots).
 func (t *BTree) Root() uint64 { return t.root }
+
+// Pages returns the number of pages the append-only tree has consumed —
+// callers co-locating other structures (e.g. a WAL region) on the same
+// device use it to guard against collision.
+func (t *BTree) Pages() uint64 { return t.nextPage }
 
 // Set inserts or replaces key. The promise resolves when the update is
 // durable (new path pages and superblock written).
